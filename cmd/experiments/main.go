@@ -1,0 +1,113 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 3) plus the ablation experiments indexed in
+// DESIGN.md.
+//
+// Usage:
+//
+//	experiments -exp fig3            # edge-cut/balance comparison, p=k=32
+//	experiments -exp table3 -scale scaled
+//	experiments -exp all -seeds 3 -v
+//
+// Experiments: fig3 fig4 fig5 table2 table3 table4 ablslice abledge
+// ablrandom ablinit all. Scales: tiny (default, CI-sized), scaled
+// (~1/18 of the paper's graphs), paper (full 257K..7.5M-vertex sizes —
+// hours of compute on a workstation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// trimPs keeps the processor counts at or below maxP.
+func trimPs(ps []int, maxP int) []int {
+	out := ps[:0]
+	for _, p := range ps {
+		if p <= maxP {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment: fig3|fig4|fig5|table2|table3|table4|ablslice|abledge|ablrandom|ablinit|all")
+		scaleF  = flag.String("scale", "tiny", "problem scale: tiny|scaled|paper")
+		seedsN  = flag.Int("seeds", 3, "number of random seeds to average (paper: 3)")
+		maxP    = flag.Int("maxp", 128, "largest processor count for the run-time tables (trim for slow hosts)")
+		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+	)
+	flag.Parse()
+
+	scale, err := exp.ParseScale(*scaleF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	seeds := make([]uint64, *seedsN)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "fig3", "fig4", "fig5":
+			p := map[string]int{"fig3": 32, "fig4": 64, "fig5": 128}[name]
+			rows := exp.Figure(exp.FigureOptions{P: p, Scale: scale, Seeds: seeds, Progress: progress})
+			exp.WriteFigure(os.Stdout, fmt.Sprintf(
+				"Figure %s: parallel edge-cut normalized by serial MeTiS + parallel balance, p = k = %d (%s scale)",
+				strings.TrimPrefix(name, "fig"), p, scale), rows)
+		case "table2":
+			rows := exp.Table2(scale, seeds[0], trimPs([]int{16, 32, 64, 128}, *maxP), progress)
+			exp.WriteTable2(os.Stdout, rows)
+		case "table3":
+			ps := trimPs([]int{8, 16, 32, 64, 128}, *maxP)
+			rows := exp.TableTimes(scale, 3, ps, nil, seeds[0], progress)
+			exp.WriteTableTimes(os.Stdout,
+				"Table 3: parallel run times (simulated s) and efficiencies, 3-constraint Type 1 problems", ps, rows, true)
+		case "table4":
+			ps := trimPs([]int{8, 16, 32, 64, 128}, *maxP)
+			rows := exp.TableTimes(scale, 1, ps, nil, seeds[0], progress)
+			exp.WriteTableTimes(os.Stdout,
+				"Table 4: single-constraint parallel run times (simulated s) — the ParMeTiS baseline", ps, rows, false)
+		case "ablslice":
+			rows := exp.AblationSlice(scale, 32, seeds, progress)
+			exp.WriteSchemeRows(os.Stdout, rows)
+		case "abledge":
+			rows := exp.AblationBalancedEdge(scale, 32, seeds, progress)
+			exp.WriteEdgeRows(os.Stdout, rows)
+		case "ablrandom":
+			rows := exp.AblationRandomWeights(scale, 32, seeds, progress)
+			exp.WriteRandomRows(os.Stdout, rows)
+		case "ablinit":
+			rows := exp.AblationInitImbalance(scale, 32, seeds[0], progress)
+			exp.WriteInitRows(os.Stdout, rows)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+	}
+
+	if *expName == "all" {
+		for _, name := range []string{"fig3", "fig4", "fig5", "table2", "table3", "table4",
+			"ablslice", "abledge", "ablrandom", "ablinit"} {
+			run(name)
+		}
+		return
+	}
+	run(*expName)
+}

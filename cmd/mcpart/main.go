@@ -1,0 +1,143 @@
+// Command mcpart partitions a graph with the multilevel multi-constraint
+// algorithms: serially (the SC'98 algorithm) or on p simulated processors
+// (the Euro-Par 2000 parallel formulation).
+//
+// Usage:
+//
+//	mcpart -graph mesh.graph -k 16                 # serial, file input
+//	mcpart -mesh mrng2s -workload type1 -m 3 -k 32 -p 32
+//	mcpart -graph mesh.graph -k 8 -out labels.txt
+//
+// The input file is in the METIS 4.0 format (see internal/graph). With
+// -mesh, a synthetic mrng-like mesh is generated instead and -workload
+// overlays a Type 1 or Type 2 multi-constraint problem on it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	partition "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "input graph file (METIS format)")
+		mesh      = flag.String("mesh", "", "generate a named mesh instead (mrng1..mrng4, mrng1s.., mrng1t..)")
+		workload  = flag.String("workload", "", "overlay workload: type1|type2 (requires -mesh or -graph)")
+		m         = flag.Int("m", 1, "number of constraints for -workload")
+		k         = flag.Int("k", 8, "number of subdomains")
+		p         = flag.Int("p", 0, "simulated processors; 0 = serial algorithm")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		tol       = flag.Float64("tol", 0.05, "load imbalance tolerance")
+		scheme    = flag.String("scheme", "reservation", "parallel refinement scheme: reservation|slice|free")
+		outFile   = flag.String("out", "", "write one subdomain label per line to this file")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphFile, *mesh, *workload, *m, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcpart:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, %d constraint(s)\n", g.NumVertices(), g.NumEdges(), g.Ncon)
+
+	var part []int32
+	if *p == 0 {
+		var stats partition.SerialStats
+		part, stats, err = partition.Serial(g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol})
+		if err == nil {
+			fmt.Printf("serial: cut=%d imbalance=%.4f levels=%d coarsest=%d (coarsen %v, init %v, uncoarsen %v)\n",
+				stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN,
+				stats.CoarsenTime, stats.InitTime, stats.UncoarsenTime)
+		}
+	} else {
+		var sch partition.Scheme
+		switch *scheme {
+		case "reservation":
+			sch = partition.Reservation
+		case "slice":
+			sch = partition.Slice
+		case "free":
+			sch = partition.Free
+		default:
+			fmt.Fprintf(os.Stderr, "mcpart: unknown scheme %q\n", *scheme)
+			os.Exit(2)
+		}
+		var stats partition.ParallelStats
+		part, stats, err = partition.Parallel(g, *k, *p, partition.ParallelOptions{
+			Seed: *seed, Tol: *tol, Scheme: sch,
+		})
+		if err == nil {
+			fmt.Printf("parallel p=%d: cut=%d imbalance=%.4f levels=%d simTime=%.3fs wall=%v moves=%d\n",
+				*p, stats.EdgeCut, stats.Imbalance, stats.Levels, stats.SimTime, stats.WallTime, stats.Moves)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcpart:", err)
+		os.Exit(1)
+	}
+
+	imbs := partition.Imbalances(g, part, *k)
+	fmt.Print("per-constraint imbalance:")
+	for _, x := range imbs {
+		fmt.Printf(" %.4f", x)
+	}
+	fmt.Printf("\ncommunication volume: %d\n", partition.CommVolume(g, part, *k))
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcpart:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		for _, x := range part {
+			fmt.Fprintln(bw, x)
+		}
+		if err := bw.Flush(); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcpart:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d labels to %s\n", len(part), *outFile)
+	}
+}
+
+func loadGraph(file, mesh, workload string, m int, seed uint64) (*partition.Graph, error) {
+	var g *partition.Graph
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err = partition.ReadGraph(bufio.NewReader(f))
+		if err != nil {
+			return nil, err
+		}
+	case mesh != "":
+		spec, ok := gen.MeshByName(mesh)
+		if !ok {
+			return nil, fmt.Errorf("unknown mesh %q", mesh)
+		}
+		g = spec.Build(seed*7919 + 7)
+	default:
+		return nil, fmt.Errorf("need -graph or -mesh")
+	}
+	switch workload {
+	case "":
+		return g, nil
+	case "type1":
+		return partition.Type1Workload(g, m, seed+100), nil
+	case "type2":
+		return partition.Type2Workload(g, m, seed+100), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}

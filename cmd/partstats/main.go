@@ -1,0 +1,194 @@
+// Command partstats analyzes a partitioning of a graph: edge-cut,
+// per-constraint subdomain weights and imbalances, communication volume,
+// boundary sizes, and subdomain contiguity — the diagnostics one wants
+// before trusting a decomposition with a simulation.
+//
+// Usage:
+//
+//	mcpart -mesh mrng1s -workload type1 -m 3 -k 16 -out labels.txt
+//	partstats -graph <(graphgen -mesh mrng1s -workload type1 -m 3) -part labels.txt -k 16
+//
+// or with a generated graph:
+//
+//	partstats -mesh mrng1s -workload type1 -m 3 -part labels.txt -k 16
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	partition "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "input graph file (METIS format)")
+		mesh      = flag.String("mesh", "", "generate a named mesh instead")
+		workload  = flag.String("workload", "", "overlay workload: type1|type2")
+		m         = flag.Int("m", 1, "constraints for -workload")
+		seed      = flag.Uint64("seed", 1, "workload seed (must match the partitioning run)")
+		partFile  = flag.String("part", "", "partition file: one subdomain label per line")
+		k         = flag.Int("k", 0, "number of subdomains (0 = max label + 1)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphFile, *mesh, *workload, *m, *seed)
+	if err != nil {
+		fail(err)
+	}
+	part, err := loadPart(*partFile, g.NumVertices())
+	if err != nil {
+		fail(err)
+	}
+	kk := *k
+	if kk == 0 {
+		for _, p := range part {
+			if int(p)+1 > kk {
+				kk = int(p) + 1
+			}
+		}
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges, %d constraint(s); %d subdomains\n\n",
+		g.NumVertices(), g.NumEdges(), g.Ncon, kk)
+	fmt.Printf("edge-cut:             %d\n", partition.EdgeCut(g, part))
+	fmt.Printf("communication volume: %d\n", partition.CommVolume(g, part, kk))
+	fmt.Print("imbalance per constraint:")
+	for _, x := range partition.Imbalances(g, part, kk) {
+		fmt.Printf(" %.4f", x)
+	}
+	fmt.Println()
+
+	// Per-subdomain table.
+	counts := make([]int, kk)
+	boundary := make([]int, kk)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		counts[part[v]]++
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if part[u] != part[v] {
+				boundary[part[v]]++
+				break
+			}
+		}
+	}
+	contiguous := contiguity(g, part, kk)
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "subdomain\tvertices\tboundary\tcontiguous")
+	for s := 0; s < kk; s++ {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\n", s, counts[s], boundary[s], contiguous[s])
+	}
+	tw.Flush()
+}
+
+// contiguity reports whether each subdomain induces a connected subgraph.
+func contiguity(g *partition.Graph, part []int32, k int) []bool {
+	n := g.NumVertices()
+	visited := make([]bool, n)
+	out := make([]bool, k)
+	for i := range out {
+		out[i] = true
+	}
+	seenPart := make([]bool, k)
+	var queue []int32
+	for s := int32(0); int(s) < n; s++ {
+		if visited[s] {
+			continue
+		}
+		p := part[s]
+		if seenPart[p] {
+			out[p] = false // second component of this subdomain
+			// still mark its vertices visited
+		}
+		seenPart[p] = true
+		queue = append(queue[:0], s)
+		visited[s] = true
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if !visited[u] && part[u] == p {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func loadGraph(file, mesh, workload string, m int, seed uint64) (*partition.Graph, error) {
+	var g *partition.Graph
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err = partition.ReadGraph(bufio.NewReader(f))
+		if err != nil {
+			return nil, err
+		}
+	case mesh != "":
+		spec, ok := gen.MeshByName(mesh)
+		if !ok {
+			return nil, fmt.Errorf("unknown mesh %q", mesh)
+		}
+		g = spec.Build(seed*7919 + 7)
+	default:
+		return nil, fmt.Errorf("need -graph or -mesh")
+	}
+	switch workload {
+	case "":
+		return g, nil
+	case "type1":
+		return partition.Type1Workload(g, m, seed+100), nil
+	case "type2":
+		return partition.Type2Workload(g, m, seed+100), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+func loadPart(file string, n int) ([]int32, error) {
+	if file == "" {
+		return nil, fmt.Errorf("need -part")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var part []int32
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		x, err := strconv.ParseInt(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad label %q", line)
+		}
+		part = append(part, int32(x))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(part) != n {
+		return nil, fmt.Errorf("partition has %d labels, graph has %d vertices", len(part), n)
+	}
+	return part, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "partstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package partition_test
+
+import (
+	"fmt"
+
+	partition "repro"
+)
+
+// The basic workflow: build a multi-constraint problem and partition it
+// with the serial SC'98 algorithm.
+func ExampleSerial() {
+	g := partition.Mesh3D(12, 12, 12, 7)  // a small 3D mesh
+	g = partition.Type1Workload(g, 2, 42) // two balance constraints
+	part, _, err := partition.Serial(g, 8, partition.SerialOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	balanced := partition.MaxImbalance(g, part, 8) <= 1.07
+	fmt.Println("subdomains:", 8)
+	fmt.Println("all constraints within tolerance:", balanced)
+	fmt.Println("cut is positive:", partition.EdgeCut(g, part) > 0)
+	// Output:
+	// subdomains: 8
+	// all constraints within tolerance: true
+	// cut is positive: true
+}
+
+// The parallel formulation runs the same computation on p simulated
+// processors (goroutines) and reports a simulated Cray-T3E-style run time.
+func ExampleParallel() {
+	g := partition.Mesh3D(12, 12, 12, 7)
+	g = partition.Type2Workload(g, 3, 42) // a three-phase workload
+	part, stats, err := partition.Parallel(g, 8, 4, partition.ParallelOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("simulated time is positive:", stats.SimTime > 0)
+	fmt.Println("phases balanced:", partition.MaxImbalance(g, part, 8) <= 1.07)
+	// Output:
+	// simulated time is positive: true
+	// phases balanced: true
+}
+
+// Adapting an existing decomposition to drifted weights trades edge-cut
+// against migration volume.
+func ExampleRepartition() {
+	g := partition.Mesh3D(12, 12, 12, 7)
+	g1 := partition.Type1Workload(g, 2, 42)
+	part, _, err := partition.Serial(g1, 8, partition.SerialOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	g2 := partition.Type1Workload(g, 2, 43) // the workload drifted
+	newPart, stats, err := partition.Repartition(g2, part, 8, partition.RepartitionOptions{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rebalanced:", stats.Imbalance <= 1.07)
+	fmt.Println("labels cover the graph:", len(newPart) == g2.NumVertices())
+	// Output:
+	// rebalanced: true
+	// labels cover the graph: true
+}

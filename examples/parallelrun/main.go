@@ -1,0 +1,56 @@
+// Parallelrun: exercises the parallel partitioner the way the paper's
+// headline result does — a three-constraint 128-way partitioning computed
+// on 128 simulated processors — and prints the simulated Cray-T3E-style
+// run time alongside the measured wall time, plus a small processor sweep
+// to show the scaling shape.
+//
+//	go run ./examples/parallelrun            # default mrng2s (55K vertices)
+//	go run ./examples/parallelrun -mesh mrng3s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	partition "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	meshName := flag.String("mesh", "mrng2s", "mesh name (mrng1t..mrng4t, mrng1s..mrng4s, mrng1..mrng4)")
+	flag.Parse()
+
+	spec, ok := gen.MeshByName(*meshName)
+	if !ok {
+		log.Fatalf("unknown mesh %q", *meshName)
+	}
+	base := spec.Build(7)
+	g := partition.Type1Workload(base, 3, 42)
+	fmt.Printf("%s: %d vertices, %d edges, 3 constraints\n\n", spec.Name, g.NumVertices(), g.NumEdges())
+
+	// The headline configuration: k = p = 128.
+	part, stats, err := partition.Parallel(g, 128, 128, partition.ParallelOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3-constraint 128-way partitioning on 128 simulated processors:\n")
+	fmt.Printf("  simulated time: %.3f s (T3E cost model)\n", stats.SimTime)
+	fmt.Printf("  wall time:      %v (goroutines on this host)\n", stats.WallTime)
+	fmt.Printf("  edge-cut: %d, imbalance: %.3f\n\n", stats.EdgeCut, partition.MaxImbalance(g, part, 128))
+
+	// Scaling sweep: same problem, growing processor counts.
+	fmt.Println("processor sweep (k = p, simulated seconds):")
+	var t8 float64
+	for _, p := range []int{8, 16, 32, 64, 128} {
+		_, st, err := partition.Parallel(g, p, p, partition.ParallelOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == 8 {
+			t8 = st.SimTime
+		}
+		eff := t8 * 8 / (st.SimTime * float64(p)) * 100
+		fmt.Printf("  p=%3d: %.3f s   relative efficiency %.0f%%\n", p, st.SimTime, eff)
+	}
+}

@@ -1,0 +1,36 @@
+package coarsen
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func BenchmarkMatch(b *testing.B) {
+	g := gen.Type1(gen.MRNGLike(24, 24, 24, 7), 3, 42)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Match(g, r, Options{BalancedEdge: true})
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+}
+
+func BenchmarkContract(b *testing.B) {
+	g := gen.Type1(gen.MRNGLike(24, 24, 24, 7), 3, 42)
+	match := Match(g, rng.New(1), Options{BalancedEdge: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contract(g, match)
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+}
+
+func BenchmarkBuildHierarchy(b *testing.B) {
+	g := gen.Type1(gen.MRNGLike(24, 24, 24, 7), 3, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildHierarchy(g, 2000, rng.New(uint64(i)), Options{BalancedEdge: true})
+	}
+}

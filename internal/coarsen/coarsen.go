@@ -1,0 +1,253 @@
+// Package coarsen implements the coarsening phase of the multilevel
+// paradigm: heavy-edge matching (HEM) with the SC'98 "balanced edge"
+// tie-break, and graph contraction.
+//
+// During coarsening the graph is successively shrunk by collapsing matched
+// vertex pairs; the weight vector of a coarse vertex is the component-wise
+// sum of its constituents and parallel edges merge by summing weights, so
+// total vertex weight (per constraint) and total exposed+internal edge
+// weight are invariants of contraction.
+package coarsen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/vecw"
+)
+
+// Options controls matching behaviour.
+type Options struct {
+	// BalancedEdge enables the SC'98 multi-constraint tie-break: among
+	// maximum-weight candidate edges, prefer the mate whose combined weight
+	// vector is flattest (minimum jaggedness), which keeps coarse vertex
+	// weights balanced across constraints and preserves refinement
+	// flexibility on coarse graphs.
+	BalancedEdge bool
+	// MaxVertexWeight, if positive, caps each component of a coarse
+	// vertex's weight vector: matches that would exceed it are skipped.
+	// This is METIS's guard against coarsening collapsing too much weight
+	// into single unsplittable vertices.
+	MaxVertexWeight int64
+}
+
+// Match computes a heavy-edge matching of g. The result maps every vertex v
+// to its mate (match[v] == v for unmatched vertices), and is an involution:
+// match[match[v]] == v.
+func Match(g *graph.Graph, rand *rng.RNG, opt Options) []int32 {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := make([]int32, n)
+	rand.Perm(order)
+
+	combined := make([]int64, g.Ncon)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		adj, wgt := g.Neighbors(v)
+		vw := g.VertexWeight(v)
+		best := int32(-1)
+		bestW := int32(-1)
+		bestJag := 0.0
+		for i, u := range adj {
+			if match[u] >= 0 || u == v {
+				continue
+			}
+			if opt.MaxVertexWeight > 0 && !fitsCap(vw, g.VertexWeight(u), opt.MaxVertexWeight) {
+				continue
+			}
+			switch {
+			case wgt[i] > bestW:
+				best, bestW = u, wgt[i]
+				if opt.BalancedEdge {
+					bestJag = combinedJaggedness(combined, vw, g.VertexWeight(u))
+				}
+			case wgt[i] == bestW && opt.BalancedEdge:
+				if j := combinedJaggedness(combined, vw, g.VertexWeight(u)); j < bestJag {
+					best, bestJag = u, j
+				}
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	return match
+}
+
+func fitsCap(a, b []int32, cap int64) bool {
+	for i := range a {
+		if int64(a[i])+int64(b[i]) > cap {
+			return false
+		}
+	}
+	return true
+}
+
+func combinedJaggedness(scratch []int64, a, b []int32) float64 {
+	for i := range a {
+		scratch[i] = int64(a[i]) + int64(b[i])
+	}
+	return vecw.Jaggedness(scratch)
+}
+
+// Contract collapses the matched pairs of g into a coarser graph. It
+// returns the coarse graph and cmap, the fine-vertex → coarse-vertex map.
+// Coarse vertex ids are assigned in fine-vertex order (the lower endpoint
+// of each matched pair names the coarse vertex).
+func Contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	m := g.Ncon
+	cmap := make([]int32, n)
+	cn := int32(0)
+	for v := int32(0); int(v) < n; v++ {
+		if match[v] >= v { // v is the representative of its pair (or solo)
+			cmap[v] = cn
+			cn++
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if match[v] < v {
+			cmap[v] = cmap[match[v]]
+		}
+	}
+
+	cvwgt := make([]int32, int(cn)*m)
+	for v := 0; v < n; v++ {
+		cv := int(cmap[v])
+		for c := 0; c < m; c++ {
+			cvwgt[cv*m+c] += g.Vwgt[v*m+c]
+		}
+	}
+
+	// Two passes over fine edges: count distinct coarse neighbors, then
+	// fill. A timestamped marker array deduplicates parallel edges per
+	// coarse vertex in O(1) each.
+	mark := make([]int32, cn)
+	slot := make([]int32, cn)
+	for i := range mark {
+		mark[i] = -1
+	}
+	cxadj := make([]int32, cn+1)
+	for v := int32(0); int(v) < n; v++ {
+		if match[v] < v {
+			continue
+		}
+		cv := cmap[v]
+		deg := int32(0)
+		deg += countNew(g, v, cmap, cv, mark)
+		if match[v] != v {
+			deg += countNew(g, match[v], cmap, cv, mark)
+		}
+		cxadj[cv+1] = deg
+	}
+	for i := int32(0); i < cn; i++ {
+		cxadj[i+1] += cxadj[i]
+	}
+	cadjncy := make([]int32, cxadj[cn])
+	cadjwgt := make([]int32, cxadj[cn])
+	for i := range mark {
+		mark[i] = -1
+	}
+	next := make([]int32, cn)
+	copy(next, cxadj[:cn])
+	for v := int32(0); int(v) < n; v++ {
+		if match[v] < v {
+			continue
+		}
+		cv := cmap[v]
+		fillEdges(g, v, cmap, cv, mark, slot, next, cadjncy, cadjwgt)
+		if match[v] != v {
+			fillEdges(g, match[v], cmap, cv, mark, slot, next, cadjncy, cadjwgt)
+		}
+	}
+
+	coarse := &graph.Graph{Ncon: m, Xadj: cxadj, Adjncy: cadjncy, Adjwgt: cadjwgt, Vwgt: cvwgt}
+	return coarse, cmap
+}
+
+// countNew counts coarse neighbors of fine vertex v not yet marked with cv.
+func countNew(g *graph.Graph, v int32, cmap []int32, cv int32, mark []int32) int32 {
+	adj, _ := g.Neighbors(v)
+	deg := int32(0)
+	for _, u := range adj {
+		cu := cmap[u]
+		if cu == cv {
+			continue
+		}
+		if mark[cu] != cv {
+			mark[cu] = cv
+			deg++
+		}
+	}
+	return deg
+}
+
+// fillEdges appends/merges fine vertex v's edges into coarse vertex cv's
+// adjacency. mark[cu]==cv (valid because the fill pass visits coarse
+// vertices in strictly increasing order after a reset) with slot[cu]
+// holding the output index enables weight merging of parallel edges.
+func fillEdges(g *graph.Graph, v int32, cmap []int32, cv int32, mark, slot, next, cadjncy, cadjwgt []int32) {
+	adj, wgt := g.Neighbors(v)
+	filled := cv
+	for i, u := range adj {
+		cu := cmap[u]
+		if cu == cv {
+			continue
+		}
+		if mark[cu] == filled {
+			cadjwgt[slot[cu]] += wgt[i]
+		} else {
+			mark[cu] = filled
+			slot[cu] = next[cv]
+			cadjncy[next[cv]] = cu
+			cadjwgt[next[cv]] = wgt[i]
+			next[cv]++
+		}
+	}
+}
+
+// Level is one rung of the multilevel hierarchy: the graph at this level
+// and the map from the next-finer graph's vertices onto it.
+type Level struct {
+	Graph *graph.Graph
+	CMap  []int32 // len = finer graph's vertex count; nil for the finest level
+}
+
+// BuildHierarchy coarsens g until it has at most coarsenTo vertices or
+// coarsening stalls (shrink factor worse than 0.95 per level, the
+// slow-coarsening cutoff). The returned slice starts with the input graph
+// (CMap nil) and ends with the coarsest graph.
+func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) []Level {
+	levels := []Level{{Graph: g}}
+	cur := g
+	for cur.NumVertices() > coarsenTo {
+		// Cap coarse vertex weight at ~1/coarsenTo of the heaviest
+		// constraint total so initial partitioning always has room to
+		// balance (METIS's rule of thumb).
+		o := opt
+		if o.MaxVertexWeight == 0 {
+			var maxTot int64
+			for _, t := range cur.TotalVertexWeight() {
+				if t > maxTot {
+					maxTot = t
+				}
+			}
+			o.MaxVertexWeight = 1 + maxTot*3/int64(2*coarsenTo)
+		}
+		match := Match(cur, rand, o)
+		coarse, cmap := Contract(cur, match)
+		if coarse.NumVertices() > cur.NumVertices()*19/20 {
+			break // diminishing returns: stop before wasting levels
+		}
+		levels = append(levels, Level{Graph: coarse, CMap: cmap})
+		cur = coarse
+	}
+	return levels
+}

@@ -1,0 +1,117 @@
+// Package exp implements the paper's evaluation (Section 3): the
+// edge-cut/balance comparisons of Figures 3-5, the run-time and efficiency
+// Tables 2-4, and the ablation experiments for the design decisions argued
+// in the text. The same harness backs cmd/experiments (full paper-style
+// sweeps) and the root-level benchmarks (one bench per table/figure).
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Scale selects the problem sizes of a sweep.
+type Scale string
+
+const (
+	// Tiny runs in CI-scale time (~4K-118K vertices).
+	Tiny Scale = "tiny"
+	// Scaled is the default reproduction scale (~14K-422K vertices),
+	// preserving the paper's ~4x progression between graphs.
+	Scaled Scale = "scaled"
+	// Paper uses the full published sizes (257K-7.5M vertices).
+	Paper Scale = "paper"
+)
+
+// Meshes returns the four mrng stand-ins at the given scale.
+func Meshes(s Scale) []gen.MeshSpec {
+	switch s {
+	case Paper:
+		return gen.PaperMeshes
+	case Scaled:
+		return gen.ScaledMeshes
+	default:
+		return gen.TinyMeshes
+	}
+}
+
+// ParseScale converts a -scale flag value.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case Tiny, Scaled, Paper:
+		return Scale(s), nil
+	}
+	return "", fmt.Errorf("exp: unknown scale %q (want tiny, scaled or paper)", s)
+}
+
+// Workload materializes a Type 1 or Type 2 problem with m constraints on a
+// base mesh. Base meshes are cached per spec so a sweep generates each mesh
+// once.
+type Workload struct {
+	Graph *graph.Graph
+	Name  string // e.g. "mrng2s"
+	M     int
+	Type  int // 1 or 2
+}
+
+var meshCache = map[string]*graph.Graph{}
+
+// BaseMesh builds (or returns the cached) mesh for a spec. Not safe for
+// concurrent use; the harness is sequential. The cache holds at most the
+// four meshes of one scale (~50M edges at paper scale, ~500 MB — fine for
+// a machine that would attempt paper scale at all).
+func BaseMesh(spec gen.MeshSpec) *graph.Graph {
+	if g, ok := meshCache[spec.Name]; ok {
+		return g
+	}
+	g := spec.Build(uint64(len(spec.Name))*7919 + 7)
+	meshCache[spec.Name] = g
+	return g
+}
+
+// MakeWorkload overlays the requested problem type on a mesh.
+func MakeWorkload(spec gen.MeshSpec, m, typ int, seed uint64) Workload {
+	base := BaseMesh(spec)
+	var g *graph.Graph
+	switch typ {
+	case 1:
+		g = gen.Type1(base, m, seed)
+	case 2:
+		g = gen.Type2(base, m, seed)
+	default:
+		panic(fmt.Sprintf("exp: workload type %d", typ))
+	}
+	return Workload{Graph: g, Name: spec.Name, M: m, Type: typ}
+}
+
+// Progress writes a progress line if w is non-nil.
+func Progress(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func meanI64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "scaled", "paper"} {
+		if _, err := ParseScale(s); err != nil {
+			t.Errorf("ParseScale(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("ParseScale(huge): want error")
+	}
+}
+
+func TestMeshesPerScale(t *testing.T) {
+	for _, s := range []Scale{Tiny, Scaled, Paper} {
+		if got := len(Meshes(s)); got != 4 {
+			t.Errorf("%s: %d meshes, want 4 (mrng1..mrng4)", s, got)
+		}
+	}
+}
+
+func TestBaseMeshCached(t *testing.T) {
+	spec := Meshes(Tiny)[0]
+	a := BaseMesh(spec)
+	b := BaseMesh(spec)
+	if a != b {
+		t.Error("BaseMesh did not cache")
+	}
+}
+
+func TestMakeWorkload(t *testing.T) {
+	spec := Meshes(Tiny)[0]
+	for _, typ := range []int{1, 2} {
+		w := MakeWorkload(spec, 3, typ, 5)
+		if w.Graph.Ncon != 3 || w.M != 3 || w.Type != typ {
+			t.Errorf("workload: %+v", w)
+		}
+	}
+}
+
+func TestFigureSmall(t *testing.T) {
+	rows := Figure(FigureOptions{
+		P:      8,
+		Scale:  Tiny,
+		Seeds:  []uint64{1},
+		Ms:     []int{2},
+		Types:  []int{1},
+		Graphs: []string{"mrng1t"},
+	})
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Serial <= 0 || r.Par <= 0 || r.Ratio <= 0 {
+		t.Errorf("degenerate row: %+v", r)
+	}
+	if r.Ratio < 0.5 || r.Ratio > 2.0 {
+		t.Errorf("cut ratio %.3f wildly off parity", r.Ratio)
+	}
+	if r.Balance < 1.0 || r.Balance > 1.3 {
+		t.Errorf("balance %.3f out of plausible range", r.Balance)
+	}
+	var buf bytes.Buffer
+	WriteFigure(&buf, "Figure test", rows)
+	if !strings.Contains(buf.String(), "2_cons_1") {
+		t.Errorf("figure output missing problem label:\n%s", buf.String())
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	rows := Table2(Tiny, 1, []int{8}, nil)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Serial <= 0 || rows[0].Parallel <= 0 {
+		t.Errorf("non-positive simulated times: %+v", rows[0])
+	}
+	if rows[0].Speedup <= 0 {
+		t.Errorf("speedup %f", rows[0].Speedup)
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("table 2 output malformed")
+	}
+}
+
+func TestTableTimesSmall(t *testing.T) {
+	rows := TableTimes(Tiny, 1, []int{2, 4}, []string{"mrng1t"}, 1, nil)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Times[2] <= 0 || r.Times[4] <= 0 {
+		t.Errorf("times: %+v", r.Times)
+	}
+	if r.Eff[2] < 0.99 || r.Eff[2] > 1.01 {
+		t.Errorf("base efficiency %.3f, want 1.0", r.Eff[2])
+	}
+	var buf bytes.Buffer
+	WriteTableTimes(&buf, "Table test", []int{2, 4}, rows, true)
+	if !strings.Contains(buf.String(), "mrng1t") {
+		t.Error("table output malformed")
+	}
+}
+
+func TestAblationInitImbalanceSmall(t *testing.T) {
+	rows := AblationInitImbalance(Tiny, 8, 1, nil)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	// Injected imbalance must be monotone non-decreasing with the target.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].InjectedImb+0.02 < rows[i-1].InjectedImb {
+			t.Errorf("injection not monotone: %+v", rows)
+			break
+		}
+	}
+	// Small injections recover.
+	if !rows[0].Recovered {
+		t.Errorf("5%%-imbalanced start should recover: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	WriteInitRows(&buf, rows)
+	if !strings.Contains(buf.String(), "injected") {
+		t.Error("init rows output malformed")
+	}
+}

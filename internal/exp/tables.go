@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// TimeResult is one timed parallel partitioning.
+type TimeResult struct {
+	Graph    string
+	P        int
+	K        int
+	M        int
+	SimTime  float64 // simulated parallel run time (seconds, T3E model)
+	WallTime time.Duration
+	EdgeCut  int64
+	Imb      float64
+}
+
+// timeOne runs the parallel partitioner once and reports the simulated
+// time. With p=1 the same code path yields the simulated *serial* time
+// under the identical cost model — the consistent baseline for Table 2's
+// serial column and the efficiency calculations.
+func timeOne(w Workload, k, p int, seed uint64) TimeResult {
+	_, st, err := parallel.Partition(w.Graph, k, p, parallel.Options{Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return TimeResult{
+		Graph: w.Name, P: p, K: k, M: w.M,
+		SimTime: st.SimTime, WallTime: st.WallTime,
+		EdgeCut: st.EdgeCut, Imb: st.Imbalance,
+	}
+}
+
+// Table2Row compares serial and parallel run time for one k (Table 2:
+// three-constraint Type 1 problem on mrng1, k = p).
+type Table2Row struct {
+	K        int
+	Serial   float64 // simulated time on 1 processor
+	Parallel float64 // simulated time on k processors
+	Speedup  float64
+}
+
+// Table2 reproduces Table 2: serial vs parallel run times of the
+// multi-constraint partitioner for a three-constraint problem on mrng1.
+func Table2(scale Scale, seed uint64, ks []int, progress io.Writer) []Table2Row {
+	if len(ks) == 0 {
+		ks = []int{16, 32, 64, 128}
+	}
+	spec := Meshes(scale)[0] // mrng1
+	w := MakeWorkload(spec, 3, 1, 100+seed)
+	var rows []Table2Row
+	for _, k := range ks {
+		ser := timeOne(w, k, 1, seed)
+		Progress(progress, "  table2 k=%d serial(sim)=%.3fs (wall %v)", k, ser.SimTime, ser.WallTime)
+		par := timeOne(w, k, k, seed)
+		Progress(progress, "  table2 k=%d parallel(sim)=%.3fs (wall %v)", k, par.SimTime, par.WallTime)
+		rows = append(rows, Table2Row{
+			K: k, Serial: ser.SimTime, Parallel: par.SimTime,
+			Speedup: ser.SimTime / par.SimTime,
+		})
+	}
+	return rows
+}
+
+// WriteTable2 prints Table 2.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: serial vs parallel run times (simulated seconds), 3-constraint Type 1 on mrng1")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\tserial time\tparallel time\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.2f\n", r.K, r.Serial, r.Parallel, r.Speedup)
+	}
+	tw.Flush()
+}
+
+// Table3Row gives the parallel run times and efficiencies of one graph
+// across the processor counts (Table 3: 3-constraint Type 1; Table 4:
+// single-constraint "ParMeTiS").
+type Table3Row struct {
+	Graph string
+	Times map[int]float64 // p -> simulated seconds
+	Eff   map[int]float64 // p -> efficiency relative to the base p
+	BaseP int
+}
+
+// TableTimes runs the processor sweep behind Tables 3 and 4. m=3 gives
+// Table 3 (multi-constraint), m=1 gives Table 4 (the single-constraint
+// partitioner, i.e. what ParMeTiS computes). graphs selects mrng2..mrng4
+// by default, as in the paper.
+func TableTimes(scale Scale, m int, ps []int, graphs []string, seed uint64, progress io.Writer) []Table3Row {
+	if len(ps) == 0 {
+		ps = []int{8, 16, 32, 64, 128}
+	}
+	if len(graphs) == 0 {
+		graphs = []string{Meshes(scale)[1].Name, Meshes(scale)[2].Name, Meshes(scale)[3].Name}
+	}
+	var rows []Table3Row
+	for _, spec := range Meshes(scale) {
+		if !contains(graphs, spec.Name) {
+			continue
+		}
+		w := MakeWorkload(spec, m, 1, 100+seed)
+		row := Table3Row{Graph: spec.Name, Times: map[int]float64{}, Eff: map[int]float64{}}
+		for _, p := range ps {
+			// As in the paper's usage, the mesh is partitioned for the
+			// machine it runs on: k = p subdomains on p processors.
+			r := timeOne(w, p, p, seed)
+			row.Times[p] = r.SimTime
+			Progress(progress, "  m=%d %s p=%d: sim=%.3fs wall=%v cut=%d", m, spec.Name, p, r.SimTime, r.WallTime, r.EdgeCut)
+		}
+		row.BaseP = ps[0]
+		base := row.Times[row.BaseP] * float64(row.BaseP)
+		for _, p := range ps {
+			if t, ok := row.Times[p]; ok && t > 0 {
+				row.Eff[p] = base / (t * float64(p))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteTableTimes prints Table 3 (m=3) or Table 4 (m=1).
+func WriteTableTimes(w io.Writer, title string, ps []int, rows []Table3Row, withEff bool) {
+	if len(ps) == 0 {
+		ps = []int{8, 16, 32, 64, 128}
+	}
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "graph")
+	for _, p := range ps {
+		if withEff {
+			fmt.Fprintf(tw, "\t%d-proc time\teff", p)
+		} else {
+			fmt.Fprintf(tw, "\t%d-proc", p)
+		}
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprint(tw, r.Graph)
+		for _, p := range ps {
+			if withEff {
+				fmt.Fprintf(tw, "\t%.3f\t%.0f%%", r.Times[p], r.Eff[p]*100)
+			} else {
+				fmt.Fprintf(tw, "\t%.3f", r.Times[p])
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,286 @@
+// Package graph provides the in-memory graph representation shared by all
+// partitioning code: an undirected graph in compressed sparse row (CSR)
+// form, with an m-component integer weight vector per vertex and an integer
+// weight per edge.
+//
+// Conventions, chosen to match the METIS family the papers build on:
+//
+//   - Vertices are numbered 0..N-1 (the on-disk METIS format is 1-based;
+//     the readers/writers translate).
+//   - The adjacency of vertex v is Adjncy[Xadj[v]:Xadj[v+1]] with parallel
+//     edge weights Adjwgt[Xadj[v]:Xadj[v+1]]. Every undirected edge {u,v}
+//     appears twice, once in each endpoint's list, with equal weight.
+//   - Vertex weights are flattened: vertex v's m-vector is
+//     Vwgt[v*Ncon : (v+1)*Ncon].
+//
+// Vertex indices are int32 (graphs up to ~2 billion vertices/edge-endpoints,
+// far beyond the 7.5M-vertex mrng4 of the paper) and aggregate weights are
+// accumulated in int64.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected multi-constraint weighted graph in CSR form.
+type Graph struct {
+	// Ncon is the number of balance constraints m (>= 1): the length of
+	// each vertex's weight vector.
+	Ncon int
+
+	// Xadj has length NumVertices()+1; vertex v's adjacency list is
+	// Adjncy[Xadj[v]:Xadj[v+1]].
+	Xadj []int32
+
+	// Adjncy holds neighbor vertex ids; length Xadj[n] = 2 * #edges.
+	Adjncy []int32
+
+	// Adjwgt holds edge weights parallel to Adjncy. Never nil for a
+	// validated graph; unit weights are materialized.
+	Adjwgt []int32
+
+	// Vwgt holds the flattened vertex weight vectors, length n*Ncon.
+	Vwgt []int32
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.Xadj) - 1 }
+
+// NumEdges returns the number of undirected edges (half the CSR entries).
+func (g *Graph) NumEdges() int { return len(g.Adjncy) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int { return int(g.Xadj[v+1] - g.Xadj[v]) }
+
+// VertexWeight returns the weight vector of vertex v (a view, not a copy).
+func (g *Graph) VertexWeight(v int32) []int32 {
+	return g.Vwgt[int(v)*g.Ncon : (int(v)+1)*g.Ncon]
+}
+
+// Neighbors returns views of vertex v's neighbor ids and edge weights.
+func (g *Graph) Neighbors(v int32) (adj, wgt []int32) {
+	return g.Adjncy[g.Xadj[v]:g.Xadj[v+1]], g.Adjwgt[g.Xadj[v]:g.Xadj[v+1]]
+}
+
+// TotalVertexWeight returns the m-component sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() []int64 {
+	tot := make([]int64, g.Ncon)
+	for i, w := range g.Vwgt {
+		tot[i%g.Ncon] += int64(w)
+	}
+	return tot
+}
+
+// TotalEdgeWeight returns the sum of weights over undirected edges (each
+// edge counted once).
+func (g *Graph) TotalEdgeWeight() int64 {
+	var tot int64
+	for _, w := range g.Adjwgt {
+		tot += int64(w)
+	}
+	return tot / 2
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d ncon=%d}", g.NumVertices(), g.NumEdges(), g.Ncon)
+}
+
+// Validate checks the structural invariants of the CSR representation:
+// monotone Xadj, in-range neighbor ids, no self-loops, symmetric adjacency
+// with matching weights, positive edge weights, non-negative vertex weights,
+// and consistent array lengths. It returns a descriptive error for the
+// first violation found.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if n < 0 {
+		return fmt.Errorf("graph: Xadj must have length >= 1")
+	}
+	if g.Ncon < 1 {
+		return fmt.Errorf("graph: Ncon = %d, want >= 1", g.Ncon)
+	}
+	if len(g.Vwgt) != n*g.Ncon {
+		return fmt.Errorf("graph: len(Vwgt) = %d, want n*Ncon = %d", len(g.Vwgt), n*g.Ncon)
+	}
+	if len(g.Adjwgt) != len(g.Adjncy) {
+		return fmt.Errorf("graph: len(Adjwgt) = %d, want len(Adjncy) = %d", len(g.Adjwgt), len(g.Adjncy))
+	}
+	if g.Xadj[0] != 0 {
+		return fmt.Errorf("graph: Xadj[0] = %d, want 0", g.Xadj[0])
+	}
+	if int(g.Xadj[n]) != len(g.Adjncy) {
+		return fmt.Errorf("graph: Xadj[n] = %d, want len(Adjncy) = %d", g.Xadj[n], len(g.Adjncy))
+	}
+	for v := 0; v < n; v++ {
+		if g.Xadj[v+1] < g.Xadj[v] {
+			return fmt.Errorf("graph: Xadj not monotone at vertex %d", v)
+		}
+	}
+	for _, w := range g.Vwgt {
+		if w < 0 {
+			return fmt.Errorf("graph: negative vertex weight %d", w)
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: vertex %d has a self-loop", v)
+			}
+			// Zero-weight edges are legal: the Type 2 multi-phase workloads
+			// of the paper assign edge weight = number of co-active phases,
+			// which can be zero while the edge still exists in the mesh.
+			if wgt[i] < 0 {
+				return fmt.Errorf("graph: edge (%d,%d) has negative weight %d", v, u, wgt[i])
+			}
+			if w, ok := g.edgeWeight(u, v); !ok {
+				return fmt.Errorf("graph: edge (%d,%d) present but (%d,%d) missing", v, u, u, v)
+			} else if w != wgt[i] {
+				return fmt.Errorf("graph: edge (%d,%d) weight %d != reverse weight %d", v, u, wgt[i], w)
+			}
+		}
+	}
+	return nil
+}
+
+// edgeWeight looks up the weight of edge (v,u) by scanning v's adjacency
+// list. Used only by Validate; O(deg v).
+func (g *Graph) edgeWeight(v, u int32) (int32, bool) {
+	adj, wgt := g.Neighbors(v)
+	for i, x := range adj {
+		if x == u {
+			return wgt[i], true
+		}
+	}
+	return 0, false
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Ncon:   g.Ncon,
+		Xadj:   append([]int32(nil), g.Xadj...),
+		Adjncy: append([]int32(nil), g.Adjncy...),
+		Adjwgt: append([]int32(nil), g.Adjwgt...),
+		Vwgt:   append([]int32(nil), g.Vwgt...),
+	}
+	return c
+}
+
+// Edge is an undirected weighted edge used by the Builder.
+type Edge struct {
+	U, V int32
+	W    int32
+}
+
+// Builder accumulates edges and produces a validated CSR Graph. Duplicate
+// edges are merged by summing their weights; self-loops are rejected at
+// Finish time. The builder exists so generators and file readers do not
+// each reimplement CSR assembly.
+type Builder struct {
+	n     int
+	ncon  int
+	vwgt  []int32
+	edges []Edge
+}
+
+// NewBuilder creates a builder for a graph with n vertices and ncon
+// constraints. All vertex weights default to 1 in every component.
+func NewBuilder(n, ncon int) *Builder {
+	if n < 0 || ncon < 1 {
+		panic("graph: NewBuilder with invalid n or ncon")
+	}
+	vwgt := make([]int32, n*ncon)
+	for i := range vwgt {
+		vwgt[i] = 1
+	}
+	return &Builder{n: n, ncon: ncon, vwgt: vwgt}
+}
+
+// SetVertexWeight sets vertex v's weight vector (length ncon).
+func (b *Builder) SetVertexWeight(v int32, w []int32) {
+	if len(w) != b.ncon {
+		panic("graph: SetVertexWeight with wrong vector length")
+	}
+	copy(b.vwgt[int(v)*b.ncon:], w)
+}
+
+// AddEdge records an undirected edge {u,v} of weight w. Order of endpoints
+// is irrelevant. Adding the same edge twice sums the weights.
+func (b *Builder) AddEdge(u, v, w int32) {
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+}
+
+// Finish assembles and validates the CSR graph. The builder must not be
+// reused afterwards.
+func (b *Builder) Finish() (*Graph, error) {
+	for _, e := range b.edges {
+		if e.U < 0 || int(e.U) >= b.n || e.V < 0 || int(e.V) >= b.n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, b.n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", e.U)
+		}
+		if e.W < 0 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has negative weight %d", e.U, e.V, e.W)
+		}
+	}
+	// Canonicalize (min,max) endpoint order, sort, and merge duplicates.
+	for i := range b.edges {
+		if b.edges[i].U > b.edges[i].V {
+			b.edges[i].U, b.edges[i].V = b.edges[i].V, b.edges[i].U
+		}
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	merged := b.edges[:0]
+	for _, e := range b.edges {
+		if k := len(merged); k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
+			merged[k-1].W += e.W
+		} else {
+			merged = append(merged, e)
+		}
+	}
+
+	xadj := make([]int32, b.n+1)
+	for _, e := range merged {
+		xadj[e.U+1]++
+		xadj[e.V+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		xadj[v+1] += xadj[v]
+	}
+	adjncy := make([]int32, xadj[b.n])
+	adjwgt := make([]int32, xadj[b.n])
+	next := make([]int32, b.n)
+	copy(next, xadj[:b.n])
+	for _, e := range merged {
+		adjncy[next[e.U]], adjwgt[next[e.U]] = e.V, e.W
+		next[e.U]++
+		adjncy[next[e.V]], adjwgt[next[e.V]] = e.U, e.W
+		next[e.V]++
+	}
+	g := &Graph{Ncon: b.ncon, Xadj: xadj, Adjncy: adjncy, Adjwgt: adjwgt, Vwgt: b.vwgt}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustFinish is Finish but panics on error; for use by generators whose
+// inputs are correct by construction.
+func (b *Builder) MustFinish() *Graph {
+	g, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 0, 3)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := mustTriangle(t)
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("triangle: %v", g)
+	}
+	if g.TotalEdgeWeight() != 6 {
+		t.Errorf("TotalEdgeWeight = %d, want 6", g.TotalEdgeWeight())
+	}
+	if got := g.TotalVertexWeight(); got[0] != 3 {
+		t.Errorf("TotalVertexWeight = %v", got)
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("Degree(0) = %d", g.Degree(0))
+	}
+}
+
+func TestBuilderMergesDuplicateEdges(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 4) // same edge, reversed
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edges not merged: %d", g.NumEdges())
+	}
+	if _, wgt := g.Neighbors(0); wgt[0] != 5 {
+		t.Errorf("merged weight = %d, want 5", wgt[0])
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	cases := map[string]func(b *Builder){
+		"self-loop":       func(b *Builder) { b.AddEdge(1, 1, 1) },
+		"negative weight": func(b *Builder) { b.AddEdge(0, 1, -1) },
+		"out of range":    func(b *Builder) { b.AddEdge(0, 9, 1) },
+	}
+	for name, f := range cases {
+		b := NewBuilder(3, 1)
+		f(b)
+		if _, err := b.Finish(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestBuilderZeroWeightEdgeAllowed(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddEdge(0, 1, 0)
+	if _, err := b.Finish(); err != nil {
+		t.Fatalf("zero-weight edge should be legal (Type 2 workloads): %v", err)
+	}
+}
+
+func TestVertexWeightVectors(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.SetVertexWeight(0, []int32{1, 2, 3})
+	b.AddEdge(0, 1, 1)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g.VertexWeight(0); w[0] != 1 || w[1] != 2 || w[2] != 3 {
+		t.Errorf("VertexWeight(0) = %v", w)
+	}
+	if w := g.VertexWeight(1); w[0] != 1 || w[1] != 1 || w[2] != 1 {
+		t.Errorf("default weight = %v, want all 1", w)
+	}
+	tot := g.TotalVertexWeight()
+	if tot[0] != 2 || tot[1] != 3 || tot[2] != 4 {
+		t.Errorf("totals = %v", tot)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := mustTriangle(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Asymmetric weight.
+	g2 := g.Clone()
+	g2.Adjwgt[0] += 7
+	if err := g2.Validate(); err == nil {
+		t.Error("asymmetric weight not caught")
+	}
+	// Out-of-range neighbor.
+	g3 := g.Clone()
+	g3.Adjncy[0] = 99
+	if err := g3.Validate(); err == nil {
+		t.Error("out-of-range neighbor not caught")
+	}
+	// Self-loop.
+	g4 := g.Clone()
+	g4.Adjncy[0] = 0
+	if err := g4.Validate(); err == nil {
+		t.Error("self-loop not caught")
+	}
+	// Bad Ncon.
+	g5 := g.Clone()
+	g5.Ncon = 0
+	if err := g5.Validate(); err == nil {
+		t.Error("bad Ncon not caught")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := mustTriangle(t)
+	c := g.Clone()
+	c.Vwgt[0] = 99
+	c.Adjwgt[0] = 99
+	if g.Vwgt[0] == 99 || g.Adjwgt[0] == 99 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+// TestRandomGraphsValidate builds random graphs through the Builder and
+// checks the CSR invariants always hold.
+func TestRandomGraphsValidate(t *testing.T) {
+	r := rng.New(5)
+	err := quick.Check(func(seed uint16) bool {
+		n := 2 + int(seed)%50
+		b := NewBuilder(n, 1+int(seed)%3)
+		edges := n * 2
+		for i := 0; i < edges; i++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			if u != v {
+				b.AddEdge(u, v, int32(r.Intn(9)))
+			}
+		}
+		g, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSOrderCoversComponent(t *testing.T) {
+	g := mustTriangle(t)
+	order := g.BFSOrder(1)
+	if len(order) != 3 || order[0] != 1 {
+		t.Fatalf("BFSOrder = %v", order)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two triangles, disconnected.
+	b := NewBuilder(6, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 0, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := g.Components()
+	if count != 2 {
+		t.Fatalf("components = %d, want 2", count)
+	}
+	if labels[0] != labels[2] || labels[3] != labels[5] || labels[0] == labels[3] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := mustTriangle(t)
+	sub, remap := g.InducedSubgraph([]bool{true, true, false})
+	if sub.NumVertices() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("subgraph: %v", sub)
+	}
+	if remap[2] != -1 || remap[0] != 0 || remap[1] != 1 {
+		t.Errorf("remap = %v", remap)
+	}
+	if _, wgt := sub.Neighbors(0); wgt[0] != 1 {
+		t.Errorf("subgraph edge weight = %d, want 1", wgt[0])
+	}
+}

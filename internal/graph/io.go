@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMETIS writes g in the METIS 4.0 graph file format: a header line
+// "n m fmt ncon" followed by one line per vertex listing its ncon vertex
+// weights and then (neighbor, edgeweight) pairs, all 1-based. The fmt field
+// is always "11" (has vertex weights and edge weights), with ncon appended
+// when Ncon > 1, matching what the mrng experiment inputs would look like.
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := g.NumVertices()
+	if g.Ncon > 1 {
+		if _, err := fmt.Fprintf(bw, "%d %d 11 %d\n", n, g.NumEdges(), g.Ncon); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(bw, "%d %d 11\n", n, g.NumEdges()); err != nil {
+			return err
+		}
+	}
+	var line []byte
+	for v := int32(0); int(v) < n; v++ {
+		line = line[:0]
+		for _, x := range g.VertexWeight(v) {
+			line = strconv.AppendInt(line, int64(x), 10)
+			line = append(line, ' ')
+		}
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			line = strconv.AppendInt(line, int64(u)+1, 10)
+			line = append(line, ' ')
+			line = strconv.AppendInt(line, int64(wgt[i]), 10)
+			line = append(line, ' ')
+		}
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a graph in the METIS 4.0 file format as produced by
+// WriteMETIS. It accepts fmt codes 0 (no weights), 1 (edge weights),
+// 10 (vertex weights), and 11 (both); missing weights default to 1.
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	header, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("graph: malformed header %q", header)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count %q", fields[0])
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count %q", fields[1])
+	}
+	format := "0"
+	if len(fields) >= 3 {
+		format = fields[2]
+	}
+	hasVWgt := format == "10" || format == "11"
+	hasEWgt := format == "1" || format == "11" || format == "01"
+	ncon := 1
+	if len(fields) >= 4 {
+		ncon, err = strconv.Atoi(fields[3])
+		if err != nil || ncon < 1 {
+			return nil, fmt.Errorf("graph: bad ncon %q", fields[3])
+		}
+	}
+
+	b := NewBuilder(n, ncon)
+	vwgt := make([]int32, ncon)
+	for v := 0; v < n; v++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: vertex %d: %w", v+1, err)
+		}
+		toks := strings.Fields(line)
+		i := 0
+		if hasVWgt {
+			if len(toks) < ncon {
+				return nil, fmt.Errorf("graph: vertex %d: missing vertex weights", v+1)
+			}
+			for c := 0; c < ncon; c++ {
+				x, err := strconv.ParseInt(toks[i], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: vertex %d: bad vertex weight %q", v+1, toks[i])
+				}
+				vwgt[c] = int32(x)
+				i++
+			}
+			b.SetVertexWeight(int32(v), vwgt)
+		}
+		for i < len(toks) {
+			u, err := strconv.ParseInt(toks[i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: vertex %d: bad neighbor %q", v+1, toks[i])
+			}
+			i++
+			w := int64(1)
+			if hasEWgt {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("graph: vertex %d: neighbor %d missing edge weight", v+1, u)
+				}
+				w, err = strconv.ParseInt(toks[i], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: vertex %d: bad edge weight %q", v+1, toks[i])
+				}
+				i++
+			}
+			// Each undirected edge appears on both endpoints' lines; add it
+			// once, from the lower-numbered endpoint, halving the weight
+			// double-count the Builder would otherwise apply.
+			if int64(v) < u-1 {
+				b.AddEdge(int32(v), int32(u-1), int32(w))
+			}
+		}
+	}
+	g, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// nextDataLine returns the next non-blank, non-comment line.
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

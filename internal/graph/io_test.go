@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	b := NewBuilder(4, 2)
+	b.SetVertexWeight(0, []int32{5, 7})
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(2, 3, 4)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(40)
+		ncon := 1 + r.Intn(3)
+		b := NewBuilder(n, ncon)
+		w := make([]int32, ncon)
+		for v := 0; v < n; v++ {
+			for c := range w {
+				w[c] = int32(r.Intn(20))
+			}
+			b.SetVertexWeight(int32(v), w)
+		}
+		for i := 0; i < n*2; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				b.AddEdge(u, v, int32(1+r.Intn(9)))
+			}
+		}
+		g, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadMETIS(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertGraphsEqual(t, g, g2)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() || a.Ncon != b.Ncon {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	for i, w := range a.Vwgt {
+		if b.Vwgt[i] != w {
+			t.Fatalf("vertex weight mismatch at %d", i)
+		}
+	}
+	// Compare adjacency as sets per vertex (order may differ).
+	for v := int32(0); int(v) < a.NumVertices(); v++ {
+		wa := map[int32]int32{}
+		adj, wgt := a.Neighbors(v)
+		for i, u := range adj {
+			wa[u] = wgt[i]
+		}
+		adj, wgt = b.Neighbors(v)
+		if len(adj) != len(wa) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+		for i, u := range adj {
+			if wa[u] != wgt[i] {
+				t.Fatalf("vertex %d edge (%d) weight mismatch: %d vs %d", v, u, wa[u], wgt[i])
+			}
+		}
+	}
+}
+
+func TestReadPlainFormat(t *testing.T) {
+	// Unweighted graph, fmt field omitted, with a comment line.
+	in := `% a triangle
+3 3
+2 3
+1 3
+1 2
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 || g.Ncon != 1 {
+		t.Fatalf("parsed %v", g)
+	}
+	if _, wgt := g.Neighbors(0); wgt[0] != 1 {
+		t.Error("default edge weight should be 1")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "x\n",
+		"missing vertices": "3 3 11\n1 1 2 1\n",
+		"bad edge count":   "2 5 0\n2\n1\n",
+		"bad neighbor":     "2 1 0\nzz\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,504 @@
+// Package initpart computes the initial partitioning of the coarsest graph:
+// multi-constraint recursive bisection, each bisection obtained by greedy
+// region growing followed by the SC'98 multi-constraint
+// Fiduccia-Mattheyses refinement with one priority queue per (side,
+// dominant-constraint) pair.
+//
+// The paper (Section 4) stresses that the initial partitioning must be
+// relatively balanced in every constraint — ">20% imbalanced ... is
+// unlikely to be improved during multilevel refinement" — so bisections are
+// retried from several random seeds and the balance-first FM policy drives
+// every constraint under its limit before chasing edge-cut.
+package initpart
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/pqueue"
+	"repro/internal/rng"
+	"repro/internal/vecw"
+)
+
+// Options configures initial partitioning.
+type Options struct {
+	// Tol is the per-bisection load-imbalance tolerance (e.g. 0.05 for the
+	// paper's 5%). Each bisection level gets slightly more slack so that k
+	// nested bisections can still compose into a balanced k-way result.
+	Tol float64
+	// Trials is the number of random-seed bisection attempts per split;
+	// the best (balanced, then lowest-cut) attempt wins. METIS uses a
+	// small constant; default 4.
+	Trials int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 0.05
+	}
+	if o.Trials <= 0 {
+		o.Trials = 4
+	}
+	return o
+}
+
+// RecursiveBisect computes a k-way partitioning of g by recursive
+// multi-constraint bisection and returns the part label per vertex.
+func RecursiveBisect(g *graph.Graph, k int, rand *rng.RNG, opt Options) []int32 {
+	opt = opt.withDefaults()
+	part := make([]int32, g.NumVertices())
+	orig := make([]int32, g.NumVertices())
+	for i := range orig {
+		orig[i] = int32(i)
+	}
+	recurse(g, orig, k, 0, part, rand, opt)
+	return part
+}
+
+func recurse(g *graph.Graph, orig []int32, k int, base int32, out []int32, rand *rng.RNG, opt Options) {
+	if k <= 1 {
+		for _, ov := range orig {
+			out[ov] = base
+		}
+		return
+	}
+	k0 := (k + 1) / 2
+	k1 := k - k0
+	frac0 := float64(k0) / float64(k)
+	// Give deeper levels a pro-rated slice of the tolerance so the product
+	// of per-level imbalances stays near the target.
+	tol := opt.Tol * 0.9
+	if k > 2 {
+		tol = opt.Tol * 0.5
+	}
+	bi := Bisect(g, rand, frac0, tol, opt.Trials)
+
+	keep0 := make([]bool, g.NumVertices())
+	for v, s := range bi {
+		keep0[v] = s == 0
+	}
+	g0, remap0 := g.InducedSubgraph(keep0)
+	for v := range keep0 {
+		keep0[v] = !keep0[v]
+	}
+	g1, remap1 := g.InducedSubgraph(keep0)
+
+	orig0 := make([]int32, g0.NumVertices())
+	orig1 := make([]int32, g1.NumVertices())
+	for v, ov := range orig {
+		if bi[v] == 0 {
+			orig0[remap0[v]] = ov
+		} else {
+			orig1[remap1[v]] = ov
+		}
+	}
+	recurse(g0, orig0, k0, base, out, rand, opt)
+	recurse(g1, orig1, k1, base+int32(k0), out, rand, opt)
+}
+
+// Bisect splits g into sides {0,1} with side 0 targeting fraction frac0 of
+// every constraint's total weight, within tolerance tol. It runs `trials`
+// seeded attempts (greedy growing + multi-constraint FM) and returns the
+// best bisection found.
+func Bisect(g *graph.Graph, rand *rng.RNG, frac0, tol float64, trials int) []int32 {
+	n := g.NumVertices()
+	best := make([]int32, n)
+	cur := make([]int32, n)
+	bestScore := score{imb: 1e30, cut: 1 << 62}
+	w := newWorkspace(g, frac0, tol)
+	for t := 0; t < trials; t++ {
+		growBisection(g, cur, rand, w)
+		fm2(g, cur, rand, w)
+		s := w.evaluate(g, cur)
+		if s.better(bestScore) {
+			bestScore = s
+			copy(best, cur)
+		}
+	}
+	return best
+}
+
+// score orders candidate bisections: balanced beats unbalanced; within the
+// same balance class, lower cut wins; among unbalanced, lower imbalance
+// wins first.
+type score struct {
+	balanced bool
+	imb      float64
+	cut      int64
+}
+
+func (s score) better(o score) bool {
+	if s.balanced != o.balanced {
+		return s.balanced
+	}
+	if s.balanced {
+		return s.cut < o.cut
+	}
+	if s.imb != o.imb {
+		return s.imb < o.imb
+	}
+	return s.cut < o.cut
+}
+
+// workspace holds the per-bisection buffers reused across trials.
+type workspace struct {
+	m        int
+	total    []int64
+	limit    [2][]int64 // per-side, per-constraint upper bounds
+	target   [2][]float64
+	frac     [2]float64
+	tol      float64
+	dom      []int32 // dominant constraint per vertex
+	vwgtView []int32 // the graph's flattened vertex weights
+	pwgts    []int64 // 2*m flattened side weights
+	gain     []int64
+	locked   []bool
+	queues   [2][]*pqueue.Queue
+	moves    []int32
+}
+
+func newWorkspace(g *graph.Graph, frac0, tol float64) *workspace {
+	m := g.Ncon
+	n := g.NumVertices()
+	w := &workspace{
+		m:        m,
+		total:    g.TotalVertexWeight(),
+		frac:     [2]float64{frac0, 1 - frac0},
+		tol:      tol,
+		dom:      make([]int32, n),
+		vwgtView: g.Vwgt,
+		pwgts:    make([]int64, 2*m),
+		gain:     make([]int64, n),
+		locked:   make([]bool, n),
+		moves:    make([]int32, 0, n),
+	}
+	for side := 0; side < 2; side++ {
+		w.limit[side] = make([]int64, m)
+		w.target[side] = make([]float64, m)
+		for c := 0; c < m; c++ {
+			t := w.frac[side] * float64(w.total[c])
+			w.target[side][c] = t
+			w.limit[side][c] = int64(t*(1+tol)) + 1
+		}
+		w.queues[side] = make([]*pqueue.Queue, m)
+		for c := 0; c < m; c++ {
+			w.queues[side][c] = pqueue.New(n)
+		}
+	}
+	for v := 0; v < n; v++ {
+		w.dom[v] = dominant(g.Vwgt[v*m:(v+1)*m], w.total)
+	}
+	return w
+}
+
+// dominant returns the constraint a vertex is filed under in the SC'98 FM
+// queues: the component with the largest weight *relative to that
+// constraint's total*. Scaling by the totals matters for workloads like the
+// paper's Type 2 problems, where raw weights are 0/1 and the scarce
+// constraints (25%-active phases) are precisely the ones whose balance is
+// hardest — their vertices must be reachable through their own queue.
+func dominant(vw []int32, total []int64) int32 {
+	best := int32(0)
+	bestScore := -1.0
+	for c := 0; c < len(vw); c++ {
+		if total[c] <= 0 {
+			continue
+		}
+		if s := float64(vw[c]) / float64(total[c]); s > bestScore {
+			best, bestScore = int32(c), s
+		}
+	}
+	return best
+}
+
+func (w *workspace) evaluate(g *graph.Graph, part []int32) score {
+	cut := metrics.EdgeCut(g, part)
+	w.computePwgts(g, part)
+	imb := 0.0
+	for side := 0; side < 2; side++ {
+		for c := 0; c < w.m; c++ {
+			if w.target[side][c] <= 0 {
+				continue
+			}
+			if r := float64(w.pwgts[side*w.m+c]) / w.target[side][c]; r > imb {
+				imb = r
+			}
+		}
+	}
+	return score{balanced: imb <= 1+w.tol+1e-9, imb: imb, cut: cut}
+}
+
+func (w *workspace) computePwgts(g *graph.Graph, part []int32) {
+	for i := range w.pwgts {
+		w.pwgts[i] = 0
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vecw.Add(w.pwgts[int(part[v])*w.m:(int(part[v])+1)*w.m], g.Vwgt[v*w.m:(v+1)*w.m])
+	}
+}
+
+// growBisection seeds side 0 from a random vertex and grows it greedily
+// (max-gain frontier first) until side 0 holds, on average over the
+// constraints, fraction frac0 of the total weight. Everything else is side
+// 1. Disconnected graphs restart the growth from fresh random seeds.
+func growBisection(g *graph.Graph, part []int32, rand *rng.RNG, w *workspace) {
+	n := g.NumVertices()
+	for v := range part {
+		part[v] = 1
+	}
+	if n == 0 {
+		return
+	}
+	m := w.m
+	// Grow until the sum over constraints of (side-0 weight_c / total_c)
+	// reaches frac0 * (number of constraints with any weight).
+	var curScore float64
+	invTotal := make([]float64, m)
+	active := 0
+	for c := 0; c < m; c++ {
+		if w.total[c] > 0 {
+			invTotal[c] = 1 / float64(w.total[c])
+			active++
+		}
+	}
+	if active == 0 {
+		// Degenerate: no weight anywhere; split by vertex count.
+		half := int(w.frac[0] * float64(n))
+		order := make([]int32, n)
+		rand.Perm(order)
+		for i := 0; i < half; i++ {
+			part[order[i]] = 0
+		}
+		return
+	}
+	targetScore := w.frac[0] * float64(active)
+
+	q := w.queues[0][0]
+	q.Reset()
+	inQ := make([]bool, n) // also marks vertices already grabbed
+	for curScore < targetScore {
+		if q.Len() == 0 {
+			// Fresh seed (first iteration or disconnected remainder).
+			seed := int32(-1)
+			for tries := 0; tries < 8; tries++ {
+				cand := int32(rand.Intn(n))
+				if !inQ[cand] && part[cand] == 1 {
+					seed = cand
+					break
+				}
+			}
+			if seed < 0 {
+				for v := int32(0); int(v) < n; v++ {
+					if !inQ[v] && part[v] == 1 {
+						seed = v
+						break
+					}
+				}
+			}
+			if seed < 0 {
+				break // everything grabbed
+			}
+			inQ[seed] = true
+			q.Push(seed, 0)
+		}
+		v, _ := q.Pop()
+		part[v] = 0
+		vw := g.VertexWeight(v)
+		for c := 0; c < m; c++ {
+			curScore += float64(vw[c]) * invTotal[c]
+		}
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if part[u] == 0 {
+				continue
+			}
+			if inQ[u] {
+				if q.Contains(u) {
+					q.Update(u, q.Gain(u)+int64(wgt[i]))
+				}
+			} else {
+				inQ[u] = true
+				q.Push(u, int64(wgt[i]))
+			}
+		}
+	}
+	q.Reset()
+}
+
+// maxNegMoves bounds the hill-climbing depth of one FM pass: after this
+// many consecutive non-improving moves the pass gives up and rolls back.
+const maxNegMoves = 100
+
+// fm2 runs multi-constraint FM passes over the bisection until a pass
+// yields no improvement. Policy per move, following SC'98:
+//
+//  1. If some (side, constraint) is over its limit, moves are forced out of
+//     the most-overloaded side, drawn from that side's queue for the
+//     overloaded constraint (falling back to its other queues), regardless
+//     of gain — balance first.
+//  2. Otherwise the best-gain move that keeps both sides within limits is
+//     taken; a bounded number of negative-gain moves allows escaping local
+//     minima, with rollback to the best state seen.
+func fm2(g *graph.Graph, part []int32, rand *rng.RNG, w *workspace) {
+	n := g.NumVertices()
+	m := w.m
+	for pass := 0; pass < 8; pass++ {
+		w.computePwgts(g, part)
+		computeGains(g, part, w.gain)
+		for side := 0; side < 2; side++ {
+			for c := 0; c < m; c++ {
+				w.queues[side][c].Reset()
+			}
+		}
+		order := make([]int32, n)
+		rand.Perm(order)
+		for _, v := range order {
+			w.locked[v] = false
+			w.queues[part[v]][w.dom[v]].Push(v, w.gain[v])
+		}
+
+		cut := metrics.EdgeCut(g, part)
+		bestState := w.stateScore(cut)
+		w.moves = w.moves[:0]
+		bestLen := 0
+		sinceBest := 0
+
+		for {
+			v := w.selectMove()
+			if v < 0 {
+				break
+			}
+			from := part[v]
+			to := 1 - from
+			w.queues[from][w.dom[v]].Delete(v)
+			w.locked[v] = true
+			part[v] = to
+			cut -= w.gain[v]
+			vecw.Move(w.pwgts[int(from)*m:(int(from)+1)*m], w.pwgts[int(to)*m:(int(to)+1)*m], g.VertexWeight(v))
+			w.moves = append(w.moves, v)
+
+			adj, wgt := g.Neighbors(v)
+			for i, u := range adj {
+				delta := 2 * int64(wgt[i])
+				if part[u] == to {
+					w.gain[u] -= delta
+				} else {
+					w.gain[u] += delta
+				}
+				if !w.locked[u] {
+					w.queues[part[u]][w.dom[u]].Update(u, w.gain[u])
+				}
+			}
+
+			s := w.stateScore(cut)
+			if s.better(bestState) {
+				bestState = s
+				bestLen = len(w.moves)
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if sinceBest > maxNegMoves {
+					break
+				}
+			}
+		}
+
+		// Roll back the tail of moves past the best state.
+		for i := len(w.moves) - 1; i >= bestLen; i-- {
+			v := w.moves[i]
+			part[v] = 1 - part[v]
+		}
+		if bestLen == 0 {
+			// No move improved on the pass's starting state: converged.
+			break
+		}
+	}
+}
+
+// stateScore scores the current in-flight FM state from w.pwgts and cut.
+func (w *workspace) stateScore(cut int64) score {
+	imb := 0.0
+	for side := 0; side < 2; side++ {
+		for c := 0; c < w.m; c++ {
+			if w.target[side][c] <= 0 {
+				continue
+			}
+			if r := float64(w.pwgts[side*w.m+c]) / w.target[side][c]; r > imb {
+				imb = r
+			}
+		}
+	}
+	return score{balanced: imb <= 1+w.tol+1e-9, imb: imb, cut: cut}
+}
+
+// selectMove picks the next vertex to move under the balance-first policy,
+// returning -1 when no acceptable move exists.
+func (w *workspace) selectMove() int32 {
+	m := w.m
+	// Forced mode: some side over limit in some constraint.
+	overSide, overCon := -1, -1
+	var overAmt int64
+	for side := 0; side < 2; side++ {
+		for c := 0; c < m; c++ {
+			if ex := w.pwgts[side*m+c] - w.limit[side][c]; ex > overAmt {
+				overAmt, overSide, overCon = ex, side, c
+			}
+		}
+	}
+	if overSide >= 0 {
+		// Prefer the queue of the overloaded constraint; fall back to any
+		// non-empty queue on the overloaded side.
+		if q := w.queues[overSide][overCon]; q.Len() > 0 {
+			v, _ := q.Peek()
+			return v
+		}
+		for c := 0; c < m; c++ {
+			if q := w.queues[overSide][c]; q.Len() > 0 {
+				v, _ := q.Peek()
+				return v
+			}
+		}
+		return -1
+	}
+
+	// Normal mode: best-gain move that keeps the destination side legal.
+	bestV := int32(-1)
+	var bestGain int64
+	for side := 0; side < 2; side++ {
+		to := 1 - side
+		for c := 0; c < m; c++ {
+			q := w.queues[side][c]
+			if q.Len() == 0 {
+				continue
+			}
+			v, gain := q.Peek()
+			if bestV >= 0 && gain <= bestGain {
+				continue
+			}
+			if vecw.FitsUnder(w.pwgts[to*m:(to+1)*m], w.vwOf(v), w.limit[to]) {
+				bestV, bestGain = v, gain
+			}
+		}
+	}
+	return bestV
+}
+
+// vwOf returns vertex v's weight vector.
+func (w *workspace) vwOf(v int32) []int32 {
+	return w.vwgtView[int(v)*w.m : (int(v)+1)*w.m]
+}
+
+func computeGains(g *graph.Graph, part []int32, gain []int64) {
+	n := g.NumVertices()
+	for v := int32(0); int(v) < n; v++ {
+		adj, wgt := g.Neighbors(v)
+		var gsum int64
+		for i, u := range adj {
+			if part[u] == part[v] {
+				gsum -= int64(wgt[i])
+			} else {
+				gsum += int64(wgt[i])
+			}
+		}
+		gain[v] = gsum
+	}
+}

@@ -1,0 +1,300 @@
+// Package kwayrefine implements the serial multi-constraint k-way
+// refinement used during the uncoarsening phase (SC'98): a randomized
+// greedy Kernighan-Lin variant that moves boundary vertices to adjacent
+// subdomains when the move reduces edge-cut and keeps every one of the m
+// constraints within its balance limit, plus an explicit balancing pass
+// that accepts cut-increasing moves to drain overweight subdomains.
+package kwayrefine
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/vecw"
+)
+
+// Options configures refinement.
+type Options struct {
+	// Tol is the load-imbalance tolerance (paper: 0.05).
+	Tol float64
+	// Passes bounds the number of refinement iterations per level; the
+	// paper notes the iteration count is upper bounded but stops early at
+	// a local minimum.
+	Passes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 0.05
+	}
+	if o.Passes <= 0 {
+		o.Passes = 8
+	}
+	return o
+}
+
+// Refiner holds the reusable state for refining partitions of graphs with
+// at most maxVtx vertices into k parts with m constraints.
+type Refiner struct {
+	k, m  int
+	opt   Options
+	pwgts []int64 // k*m
+	limit []int64 // k*m
+	avg   []float64
+	// per-vertex scratch for external-degree accumulation
+	edw     []int64
+	mark    []int32
+	touched []int32
+	order   []int32
+}
+
+// NewRefiner creates a refiner for k parts and m constraints.
+func NewRefiner(k, m int, opt Options) *Refiner {
+	return &Refiner{
+		k: k, m: m, opt: opt.withDefaults(),
+		pwgts:   make([]int64, k*m),
+		limit:   make([]int64, k*m),
+		avg:     make([]float64, m),
+		edw:     make([]int64, k),
+		mark:    make([]int32, k),
+		touched: make([]int32, 0, k),
+	}
+}
+
+// setup recomputes subdomain weights, averages and limits for g/part.
+func (r *Refiner) setup(g *graph.Graph, part []int32) {
+	for i := range r.pwgts {
+		r.pwgts[i] = 0
+	}
+	n := g.NumVertices()
+	m := r.m
+	for v := 0; v < n; v++ {
+		vecw.Add(r.pwgts[int(part[v])*m:(int(part[v])+1)*m], g.Vwgt[v*m:(v+1)*m])
+	}
+	total := g.TotalVertexWeight()
+	for c := 0; c < m; c++ {
+		r.avg[c] = float64(total[c]) / float64(r.k)
+		lim := vecw.Limit(total[c], r.k, r.opt.Tol)
+		for s := 0; s < r.k; s++ {
+			r.limit[s*m+c] = lim
+		}
+	}
+	for i := range r.mark {
+		r.mark[i] = -1
+	}
+}
+
+// Refine runs greedy refinement passes (preceded by balancing passes when
+// the partitioning is imbalanced) until convergence or the pass budget is
+// exhausted. It returns the number of vertex moves made.
+func (r *Refiner) Refine(g *graph.Graph, part []int32, rand *rng.RNG) int {
+	r.setup(g, part)
+	n := g.NumVertices()
+	if cap(r.order) < n {
+		r.order = make([]int32, n)
+	}
+	r.order = r.order[:n]
+
+	totalMoves := 0
+	for pass := 0; pass < r.opt.Passes; pass++ {
+		moves := 0
+		if r.imbalanced() {
+			moves += r.balancePass(g, part, rand)
+		}
+		moves += r.greedyPass(g, part, rand)
+		totalMoves += moves
+		if moves == 0 {
+			break
+		}
+	}
+	return totalMoves
+}
+
+// Balance runs only balancing passes; used to recover partitions that are
+// too imbalanced for greedy refinement to help (ablation 4 harness).
+func (r *Refiner) Balance(g *graph.Graph, part []int32, rand *rng.RNG) int {
+	r.setup(g, part)
+	n := g.NumVertices()
+	if cap(r.order) < n {
+		r.order = make([]int32, n)
+	}
+	r.order = r.order[:n]
+	total := 0
+	for pass := 0; pass < r.opt.Passes && r.imbalanced(); pass++ {
+		moves := r.balancePass(g, part, rand)
+		total += moves
+		if moves == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// Imbalance returns the current max subdomain-weight / average ratio; valid
+// after Refine/Balance.
+func (r *Refiner) Imbalance() float64 {
+	worst := 0.0
+	for s := 0; s < r.k; s++ {
+		if rr := vecw.MaxRatio(r.pwgts[s*r.m:(s+1)*r.m], r.avg); rr > worst {
+			worst = rr
+		}
+	}
+	return worst
+}
+
+func (r *Refiner) imbalanced() bool {
+	return vecw.AnyOver(r.pwgts, r.limit)
+}
+
+// greedyPass visits vertices in random order and applies the best
+// cut-reducing (or cut-neutral, balance-improving) legal move for each
+// boundary vertex. Returns the number of moves.
+func (r *Refiner) greedyPass(g *graph.Graph, part []int32, rand *rng.RNG) int {
+	rand.Perm(r.order)
+	m := r.m
+	moves := 0
+	for _, v := range r.order {
+		a := part[v]
+		id, ok := r.gatherExternal(g, part, v)
+		if !ok {
+			continue // interior vertex
+		}
+		vw := g.VertexWeight(v)
+		bestB := int32(-1)
+		var bestGain int64
+		bestBal := 0.0
+		for _, b := range r.touched {
+			gain := r.edw[b] - id
+			if gain < 0 || (bestB >= 0 && gain < bestGain) {
+				continue
+			}
+			if !vecw.FitsUnder(r.pwgts[int(b)*m:(int(b)+1)*m], vw, r.limit[int(b)*m:(int(b)+1)*m]) {
+				continue
+			}
+			bal := r.balanceDelta(a, b, vw)
+			if gain == 0 && bal >= 0 && bestB < 0 {
+				continue // zero-gain move must strictly improve balance
+			}
+			if bestB < 0 || gain > bestGain || (gain == bestGain && bal < bestBal) {
+				bestB, bestGain, bestBal = b, gain, bal
+			}
+		}
+		if bestB >= 0 && bestB != a {
+			r.apply(part, v, a, bestB, vw)
+			moves++
+		}
+	}
+	return moves
+}
+
+// balancePass drains overweight subdomains: every vertex in an overweight
+// subdomain may be moved — regardless of edge-cut gain — to the adjacent
+// (or, failing that, any) subdomain that can take it, preferring the
+// smallest cut damage. Returns the number of moves.
+func (r *Refiner) balancePass(g *graph.Graph, part []int32, rand *rng.RNG) int {
+	rand.Perm(r.order)
+	m := r.m
+	moves := 0
+	for _, v := range r.order {
+		a := part[v]
+		if !vecw.AnyOver(r.pwgts[int(a)*m:(int(a)+1)*m], r.limit[int(a)*m:(int(a)+1)*m]) {
+			continue
+		}
+		vw := g.VertexWeight(v)
+		id, _ := r.gatherExternal(g, part, v)
+		bestB := int32(-1)
+		var bestGain int64
+		bestBal := 0.0
+		for _, b := range r.touched {
+			if gain := r.edw[b] - id; r.tryCandidate(v, a, b, vw, gain, &bestB, &bestGain, &bestBal) {
+			}
+		}
+		if bestB < 0 {
+			// No adjacent subdomain can take v: consider all subdomains
+			// (gain is then -id: v becomes fully exposed).
+			for b := int32(0); int(b) < r.k; b++ {
+				if b == a || r.mark[b] == v {
+					continue
+				}
+				r.tryCandidate(v, a, b, vw, -id, &bestB, &bestGain, &bestBal)
+			}
+		}
+		if bestB >= 0 {
+			r.apply(part, v, a, bestB, vw)
+			moves++
+			if !vecw.AnyOver(r.pwgts[int(a)*m:(int(a)+1)*m], r.limit[int(a)*m:(int(a)+1)*m]) &&
+				!r.imbalanced() {
+				break
+			}
+		}
+	}
+	return moves
+}
+
+// tryCandidate updates the running best (b, gain) if moving v (weight vw)
+// from a to b is legal and better: balance improvement first, then gain.
+func (r *Refiner) tryCandidate(v, a, b int32, vw []int32, gain int64, bestB *int32, bestGain *int64, bestBal *float64) bool {
+	m := r.m
+	if !vecw.FitsUnder(r.pwgts[int(b)*m:(int(b)+1)*m], vw, r.limit[int(b)*m:(int(b)+1)*m]) {
+		return false
+	}
+	bal := r.balanceDelta(a, b, vw)
+	if bal >= 0 {
+		return false // must strictly improve balance in a balance pass
+	}
+	if *bestB < 0 || gain > *bestGain || (gain == *bestGain && bal < *bestBal) {
+		*bestB, *bestGain, *bestBal = b, gain, bal
+		return true
+	}
+	return false
+}
+
+// gatherExternal accumulates v's edge weight per foreign subdomain into
+// r.edw/r.touched (marker-based, O(deg)) and returns the internal degree.
+// ok is false for interior vertices (no foreign neighbors).
+func (r *Refiner) gatherExternal(g *graph.Graph, part []int32, v int32) (id int64, ok bool) {
+	for _, b := range r.touched {
+		r.mark[b] = -1
+		r.edw[b] = 0
+	}
+	r.touched = r.touched[:0]
+	a := part[v]
+	adj, wgt := g.Neighbors(v)
+	for i, u := range adj {
+		b := part[u]
+		if b == a {
+			id += int64(wgt[i])
+			continue
+		}
+		if r.mark[b] != v {
+			r.mark[b] = v
+			r.touched = append(r.touched, b)
+		}
+		r.edw[b] += int64(wgt[i])
+	}
+	return id, len(r.touched) > 0
+}
+
+// balanceDelta returns the change in Σ_c (load/avg)² over subdomains a and
+// b if v's weight vector vw moves from a to b; negative means the move
+// improves balance.
+func (r *Refiner) balanceDelta(a, b int32, vw []int32) float64 {
+	m := r.m
+	var before, after float64
+	for c := 0; c < m; c++ {
+		if r.avg[c] <= 0 {
+			continue
+		}
+		wa := float64(r.pwgts[int(a)*m+c])
+		wb := float64(r.pwgts[int(b)*m+c])
+		w := float64(vw[c])
+		before += (wa*wa + wb*wb) / (r.avg[c] * r.avg[c])
+		after += ((wa-w)*(wa-w) + (wb+w)*(wb+w)) / (r.avg[c] * r.avg[c])
+	}
+	return after - before
+}
+
+func (r *Refiner) apply(part []int32, v, a, b int32, vw []int32) {
+	m := r.m
+	vecw.Move(r.pwgts[int(a)*m:(int(a)+1)*m], r.pwgts[int(b)*m:(int(b)+1)*m], vw)
+	part[v] = b
+}

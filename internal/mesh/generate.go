@@ -1,0 +1,86 @@
+package mesh
+
+// StructuredQuad returns an nx×ny quadrilateral mesh of the unit square:
+// (nx+1)*(ny+1) nodes, nx*ny elements, with coordinates.
+func StructuredQuad(nx, ny int) *Mesh {
+	nnx, nny := nx+1, ny+1
+	m := &Mesh{Type: Quad, NumNodes: nnx * nny}
+	node := func(x, y int) int32 { return int32(y*nnx + x) }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			m.Conn = append(m.Conn, node(x, y), node(x+1, y), node(x+1, y+1), node(x, y+1))
+		}
+	}
+	m.Coords = make([]float64, 3*m.NumNodes)
+	for y := 0; y < nny; y++ {
+		for x := 0; x < nnx; x++ {
+			n := int(node(x, y))
+			m.Coords[3*n] = float64(x) / float64(nx)
+			m.Coords[3*n+1] = float64(y) / float64(ny)
+		}
+	}
+	return m
+}
+
+// StructuredTri returns an nx×ny triangle mesh (each quad split into two
+// triangles).
+func StructuredTri(nx, ny int) *Mesh {
+	q := StructuredQuad(nx, ny)
+	m := &Mesh{Type: Tri, NumNodes: q.NumNodes, Coords: q.Coords}
+	for e := 0; e < q.NumElems(); e++ {
+		n := q.Element(e)
+		m.Conn = append(m.Conn, n[0], n[1], n[2])
+		m.Conn = append(m.Conn, n[0], n[2], n[3])
+	}
+	return m
+}
+
+// StructuredHex returns an nx×ny×nz hexahedral mesh of the unit cube with
+// coordinates.
+func StructuredHex(nx, ny, nz int) *Mesh {
+	nnx, nny, nnz := nx+1, ny+1, nz+1
+	m := &Mesh{Type: Hex, NumNodes: nnx * nny * nnz}
+	node := func(x, y, z int) int32 { return int32((z*nny+y)*nnx + x) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				m.Conn = append(m.Conn,
+					node(x, y, z), node(x+1, y, z), node(x+1, y+1, z), node(x, y+1, z),
+					node(x, y, z+1), node(x+1, y, z+1), node(x+1, y+1, z+1), node(x, y+1, z+1),
+				)
+			}
+		}
+	}
+	m.Coords = make([]float64, 3*m.NumNodes)
+	for z := 0; z < nnz; z++ {
+		for y := 0; y < nny; y++ {
+			for x := 0; x < nnx; x++ {
+				n := int(node(x, y, z))
+				m.Coords[3*n] = float64(x) / float64(nx)
+				m.Coords[3*n+1] = float64(y) / float64(ny)
+				m.Coords[3*n+2] = float64(z) / float64(nz)
+			}
+		}
+	}
+	return m
+}
+
+// StructuredTet returns a tetrahedral mesh: each hex of an nx×ny×nz grid
+// split into 6 tets (the standard Kuhn/Freudenthal subdivision, which
+// produces a conforming mesh).
+func StructuredTet(nx, ny, nz int) *Mesh {
+	h := StructuredHex(nx, ny, nz)
+	m := &Mesh{Type: Tet, NumNodes: h.NumNodes, Coords: h.Coords}
+	// Kuhn subdivision: six tets around the 0-6 diagonal of each hex.
+	paths := [][3]int{
+		{1, 2, 6}, {1, 5, 6}, {2, 3, 6},
+		{3, 7, 6}, {4, 5, 6}, {4, 7, 6},
+	}
+	for e := 0; e < h.NumElems(); e++ {
+		n := h.Element(e)
+		for _, p := range paths {
+			m.Conn = append(m.Conn, n[0], n[p[0]], n[p[1]], n[p[2]])
+		}
+	}
+	return m
+}

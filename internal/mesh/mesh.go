@@ -1,0 +1,221 @@
+// Package mesh provides the finite-element mesh substrate the paper's
+// workloads come from: element meshes (triangles, quadrilaterals,
+// tetrahedra, hexahedra) and their conversion to the graphs the
+// partitioner consumes — the dual graph (elements connected through shared
+// faces; what a cell-centered simulation partitions) and the nodal graph
+// (mesh nodes connected through shared elements). These mirror the
+// MeshToDual/MeshToNodal entry points of the METIS library the paper's
+// serial baseline ships in.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ElemType enumerates supported element shapes.
+type ElemType int
+
+const (
+	Tri ElemType = iota
+	Quad
+	Tet
+	Hex
+)
+
+// nodesPer returns the nodes per element of a type.
+func (t ElemType) nodesPer() int {
+	switch t {
+	case Tri:
+		return 3
+	case Quad:
+		return 4
+	case Tet:
+		return 4
+	case Hex:
+		return 8
+	}
+	panic(fmt.Sprintf("mesh: unknown element type %d", t))
+}
+
+// String names the element type.
+func (t ElemType) String() string {
+	switch t {
+	case Tri:
+		return "tri"
+	case Quad:
+		return "quad"
+	case Tet:
+		return "tet"
+	case Hex:
+		return "hex"
+	}
+	return "unknown"
+}
+
+// Mesh is a homogeneous finite-element mesh: NumNodes nodes and a flat
+// connectivity array of nodesPer-node elements.
+type Mesh struct {
+	Type     ElemType
+	NumNodes int
+	// Conn is the flattened connectivity: element e's nodes are
+	// Conn[e*npe : (e+1)*npe] with npe = Type.nodesPer().
+	Conn []int32
+	// Coords optionally holds 3 floats per node (x, y, z); generators
+	// fill it, file readers may leave it nil.
+	Coords []float64
+}
+
+// NumElems returns the number of elements.
+func (m *Mesh) NumElems() int { return len(m.Conn) / m.Type.nodesPer() }
+
+// Element returns element e's node list (a view).
+func (m *Mesh) Element(e int) []int32 {
+	npe := m.Type.nodesPer()
+	return m.Conn[e*npe : (e+1)*npe]
+}
+
+// Validate checks connectivity indices are in range and element count is
+// integral.
+func (m *Mesh) Validate() error {
+	npe := m.Type.nodesPer()
+	if len(m.Conn)%npe != 0 {
+		return fmt.Errorf("mesh: connectivity length %d not a multiple of %d", len(m.Conn), npe)
+	}
+	for i, n := range m.Conn {
+		if n < 0 || int(n) >= m.NumNodes {
+			return fmt.Errorf("mesh: connectivity entry %d references node %d (have %d nodes)", i, n, m.NumNodes)
+		}
+	}
+	if m.Coords != nil && len(m.Coords) != 3*m.NumNodes {
+		return fmt.Errorf("mesh: len(Coords) = %d, want %d", len(m.Coords), 3*m.NumNodes)
+	}
+	return nil
+}
+
+// faces lists each element type's faces as local node indices. Faces are
+// the (d-1)-dimensional connectivity used for the dual graph: edges for
+// 2D elements, triangles/quads for 3D ones.
+func (t ElemType) faces() [][]int {
+	switch t {
+	case Tri:
+		return [][]int{{0, 1}, {1, 2}, {2, 0}}
+	case Quad:
+		return [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	case Tet:
+		return [][]int{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}
+	case Hex:
+		// Standard hex node ordering: bottom 0-3, top 4-7.
+		return [][]int{
+			{0, 1, 2, 3}, {4, 5, 6, 7},
+			{0, 1, 5, 4}, {1, 2, 6, 5},
+			{2, 3, 7, 6}, {3, 0, 4, 7},
+		}
+	}
+	panic("mesh: unknown element type")
+}
+
+// faceKey is a canonical (sorted) face identifier of up to 4 nodes.
+type faceKey [4]int32
+
+func canonicalFace(nodes []int32) faceKey {
+	var k faceKey
+	for i := range k {
+		k[i] = -1
+	}
+	copy(k[:], nodes)
+	sort.Slice(k[:len(nodes)], func(i, j int) bool { return k[i] < k[j] })
+	return k
+}
+
+// DualGraph builds the element dual graph: one vertex per element, an edge
+// between elements sharing a face. This is the graph a cell-centered
+// simulation (the paper's particle-in-mesh, crash and combustion codes)
+// hands the partitioner. Unit vertex and edge weights; overlay workloads
+// with gen.Type1/Type2 or custom weights.
+func (m *Mesh) DualGraph() (*graph.Graph, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ne := m.NumElems()
+	b := graph.NewBuilder(ne, 1)
+	owner := make(map[faceKey]int32, ne*2)
+	for e := 0; e < ne; e++ {
+		elem := m.Element(e)
+		for _, f := range m.Type.faces() {
+			nodes := make([]int32, len(f))
+			for i, li := range f {
+				nodes[i] = elem[li]
+			}
+			key := canonicalFace(nodes)
+			if other, ok := owner[key]; ok {
+				if other != int32(e) {
+					b.AddEdge(other, int32(e), 1)
+				}
+				delete(owner, key) // interior faces are shared by exactly 2
+			} else {
+				owner[key] = int32(e)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// NodalGraph builds the node graph: one vertex per mesh node, an edge
+// between nodes appearing in a common element. This is what a node-centered
+// (e.g. finite-element stiffness assembly) computation partitions.
+func (m *Mesh) NodalGraph() (*graph.Graph, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(m.NumNodes, 1)
+	seen := make(map[int64]bool)
+	npe := m.Type.nodesPer()
+	for e := 0; e < m.NumElems(); e++ {
+		elem := m.Element(e)
+		for i := 0; i < npe; i++ {
+			for j := i + 1; j < npe; j++ {
+				u, v := elem[i], elem[j]
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				key := int64(u)<<32 | int64(v)
+				if !seen[key] {
+					seen[key] = true
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// ElementCentroids returns the 3D centroid of every element; requires
+// Coords.
+func (m *Mesh) ElementCentroids() ([]float64, error) {
+	if m.Coords == nil {
+		return nil, fmt.Errorf("mesh: no coordinates")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	npe := m.Type.nodesPer()
+	out := make([]float64, 3*m.NumElems())
+	for e := 0; e < m.NumElems(); e++ {
+		elem := m.Element(e)
+		for _, n := range elem {
+			out[3*e+0] += m.Coords[3*int(n)+0]
+			out[3*e+1] += m.Coords[3*int(n)+1]
+			out[3*e+2] += m.Coords[3*int(n)+2]
+		}
+		out[3*e+0] /= float64(npe)
+		out[3*e+1] /= float64(npe)
+		out[3*e+2] /= float64(npe)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/serial"
+)
+
+func TestStructuredQuadShape(t *testing.T) {
+	m := StructuredQuad(4, 3)
+	if m.NumNodes != 20 || m.NumElems() != 12 {
+		t.Fatalf("nodes=%d elems=%d", m.NumNodes, m.NumElems())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuadDualGraphIsGrid(t *testing.T) {
+	m := StructuredQuad(5, 4)
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dual of an nx×ny quad mesh is the nx×ny grid graph:
+	// (nx-1)*ny + nx*(ny-1) edges.
+	wantEdges := 4*4 + 5*3
+	if g.NumVertices() != 20 || g.NumEdges() != wantEdges {
+		t.Fatalf("dual: %d vertices %d edges, want 20/%d", g.NumVertices(), g.NumEdges(), wantEdges)
+	}
+}
+
+func TestTriDualDegrees(t *testing.T) {
+	m := StructuredTri(4, 4)
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 32 {
+		t.Fatalf("triangles = %d, want 32", g.NumVertices())
+	}
+	// Triangles have at most 3 face neighbors.
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > 3 {
+			t.Fatalf("triangle %d has %d dual neighbors", v, g.Degree(v))
+		}
+	}
+}
+
+func TestHexDualIsGrid3D(t *testing.T) {
+	m := StructuredHex(3, 3, 3)
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 27 {
+		t.Fatalf("elements = %d", g.NumVertices())
+	}
+	// 3D grid edge count: 3 * 2*3*3 = 54.
+	if g.NumEdges() != 54 {
+		t.Fatalf("dual edges = %d, want 54", g.NumEdges())
+	}
+}
+
+func TestTetMeshConforming(t *testing.T) {
+	m := StructuredTet(3, 3, 3)
+	if m.NumElems() != 27*6 {
+		t.Fatalf("tets = %d, want 162", m.NumElems())
+	}
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A conforming tet mesh's dual is connected with degree <= 4.
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > 4 {
+			t.Fatalf("tet %d has %d dual neighbors", v, g.Degree(v))
+		}
+	}
+	if _, count := g.Components(); count != 1 {
+		t.Fatalf("tet dual has %d components; Kuhn subdivision should conform", count)
+	}
+}
+
+func TestNodalGraph(t *testing.T) {
+	m := StructuredQuad(3, 3)
+	g, err := m.NodalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 16 {
+		t.Fatalf("nodes = %d", g.NumVertices())
+	}
+	// A corner node belongs to 1 quad -> adjacent to its 3 other nodes.
+	if g.Degree(0) != 3 {
+		t.Errorf("corner degree = %d, want 3", g.Degree(0))
+	}
+	// An interior node belongs to 4 quads -> 8 distinct neighbors.
+	interior := int32(1*4 + 1)
+	if g.Degree(interior) != 8 {
+		t.Errorf("interior degree = %d, want 8", g.Degree(interior))
+	}
+}
+
+func TestElementCentroids(t *testing.T) {
+	m := StructuredQuad(2, 2)
+	c, err := m.ElementCentroids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First element spans [0,0.5]x[0,0.5]: centroid (0.25, 0.25, 0).
+	if c[0] != 0.25 || c[1] != 0.25 || c[2] != 0 {
+		t.Errorf("centroid of element 0 = (%f,%f,%f)", c[0], c[1], c[2])
+	}
+}
+
+func TestValidateCatchesBadConn(t *testing.T) {
+	m := &Mesh{Type: Tri, NumNodes: 3, Conn: []int32{0, 1, 7}}
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	m = &Mesh{Type: Tri, NumNodes: 3, Conn: []int32{0, 1}}
+	if err := m.Validate(); err == nil {
+		t.Error("ragged connectivity accepted")
+	}
+}
+
+// TestMeshToPartition is the end-to-end path a simulation takes: element
+// mesh -> dual graph -> k-way partitioning.
+func TestMeshToPartition(t *testing.T) {
+	m := StructuredTet(6, 6, 6)
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, stats, err := serial.Partition(g, 8, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := metrics.MaxImbalance(g, part, 8); imb > 1.06 {
+		t.Errorf("imbalance %.3f", imb)
+	}
+	if stats.EdgeCut <= 0 {
+		t.Error("no cut?")
+	}
+	t.Logf("partitioned %d tets: cut=%d", g.NumVertices(), stats.EdgeCut)
+}

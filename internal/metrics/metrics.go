@@ -1,0 +1,113 @@
+// Package metrics computes the partition-quality measures reported in the
+// paper: edge-cut, per-constraint load imbalance, and (as an extra
+// diagnostic) total communication volume.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/vecw"
+)
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different subdomains — the objective both papers minimize.
+func EdgeCut(g *graph.Graph, part []int32) int64 {
+	var cut int64
+	n := g.NumVertices()
+	for v := int32(0); int(v) < n; v++ {
+		adj, wgt := g.Neighbors(v)
+		pv := part[v]
+		for i, u := range adj {
+			if part[u] != pv {
+				cut += int64(wgt[i])
+			}
+		}
+	}
+	return cut / 2
+}
+
+// PartWeights returns the flattened k*m subdomain weight vectors of the
+// partitioning.
+func PartWeights(g *graph.Graph, part []int32, k int) []int64 {
+	m := g.Ncon
+	pwgts := make([]int64, k*m)
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		vecw.Add(pwgts[int(part[v])*m:(int(part[v])+1)*m], g.Vwgt[v*m:(v+1)*m])
+	}
+	return pwgts
+}
+
+// Imbalances returns, for each of the m constraints, the maximum over
+// subdomains of (subdomain weight / average subdomain weight) — the
+// "balance" series of Figures 3-5 reports the max of these.
+func Imbalances(g *graph.Graph, part []int32, k int) []float64 {
+	m := g.Ncon
+	pwgts := PartWeights(g, part, k)
+	total := g.TotalVertexWeight()
+	out := make([]float64, m)
+	for c := 0; c < m; c++ {
+		if total[c] == 0 {
+			out[c] = 1
+			continue
+		}
+		avg := float64(total[c]) / float64(k)
+		var worst float64
+		for s := 0; s < k; s++ {
+			if r := float64(pwgts[s*m+c]) / avg; r > worst {
+				worst = r
+			}
+		}
+		out[c] = worst
+	}
+	return out
+}
+
+// MaxImbalance returns the maximum imbalance over all constraints.
+func MaxImbalance(g *graph.Graph, part []int32, k int) float64 {
+	worst := 0.0
+	for _, r := range Imbalances(g, part, k) {
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// CommVolume returns the total communication volume of the partitioning:
+// for every vertex, the number of distinct foreign subdomains adjacent to
+// it. Not reported in the paper's tables but a standard sanity metric.
+func CommVolume(g *graph.Graph, part []int32, k int) int64 {
+	n := g.NumVertices()
+	seen := make([]int32, k)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var vol int64
+	for v := int32(0); int(v) < n; v++ {
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if pu := part[u]; pu != part[v] && seen[pu] != v {
+				seen[pu] = v
+				vol++
+			}
+		}
+	}
+	return vol
+}
+
+// CheckPartition verifies that part is a structurally valid k-way
+// partitioning of g: right length, labels in [0, k). It returns the first
+// violation found.
+func CheckPartition(g *graph.Graph, part []int32, k int) error {
+	if len(part) != g.NumVertices() {
+		return fmt.Errorf("metrics: len(part) = %d, want %d", len(part), g.NumVertices())
+	}
+	for v, p := range part {
+		if p < 0 || int(p) >= k {
+			return fmt.Errorf("metrics: vertex %d assigned to part %d, want [0,%d)", v, p, k)
+		}
+	}
+	return nil
+}

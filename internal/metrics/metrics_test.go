@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func path3(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3, 1)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEdgeCutKnown(t *testing.T) {
+	g := path3(t)
+	if cut := EdgeCut(g, []int32{0, 0, 0}); cut != 0 {
+		t.Errorf("uncut: %d", cut)
+	}
+	if cut := EdgeCut(g, []int32{0, 1, 1}); cut != 2 {
+		t.Errorf("cut first edge: %d, want 2", cut)
+	}
+	if cut := EdgeCut(g, []int32{0, 1, 0}); cut != 5 {
+		t.Errorf("cut both: %d, want 5", cut)
+	}
+}
+
+// TestEdgeCutCrossCheck verifies the CSR-based edge-cut against a direct
+// edge-list computation on random graphs and partitions.
+func TestEdgeCutCrossCheck(t *testing.T) {
+	r := rng.New(23)
+	err := quick.Check(func(seed uint16) bool {
+		n := 4 + int(seed)%40
+		b := graph.NewBuilder(n, 1)
+		type e struct{ u, v, w int32 }
+		var edges []e
+		seen := map[[2]int32]bool{}
+		for i := 0; i < n*2; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int32{u, v}] {
+				continue
+			}
+			seen[[2]int32{u, v}] = true
+			w := int32(1 + r.Intn(9))
+			b.AddEdge(u, v, w)
+			edges = append(edges, e{u, v, w})
+		}
+		g, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		k := 2 + r.Intn(4)
+		part := make([]int32, n)
+		for i := range part {
+			part[i] = int32(r.Intn(k))
+		}
+		var want int64
+		for _, ed := range edges {
+			if part[ed.u] != part[ed.v] {
+				want += int64(ed.w)
+			}
+		}
+		return EdgeCut(g, part) == want
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartWeightsAndImbalances(t *testing.T) {
+	b := graph.NewBuilder(4, 2)
+	b.SetVertexWeight(0, []int32{4, 1})
+	b.SetVertexWeight(1, []int32{2, 1})
+	b.SetVertexWeight(2, []int32{1, 1})
+	b.SetVertexWeight(3, []int32{1, 1})
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := []int32{0, 0, 1, 1}
+	pw := PartWeights(g, part, 2)
+	if pw[0] != 6 || pw[1] != 2 || pw[2] != 2 || pw[3] != 2 {
+		t.Fatalf("PartWeights = %v", pw)
+	}
+	imbs := Imbalances(g, part, 2)
+	// Constraint 0: totals 8, avg 4, max 6 -> 1.5. Constraint 1: balanced.
+	if imbs[0] != 1.5 || imbs[1] != 1.0 {
+		t.Errorf("Imbalances = %v, want [1.5 1]", imbs)
+	}
+	if MaxImbalance(g, part, 2) != 1.5 {
+		t.Errorf("MaxImbalance = %f", MaxImbalance(g, part, 2))
+	}
+}
+
+func TestCommVolume(t *testing.T) {
+	// Star: center 0 connected to 1,2,3, each in a different part.
+	b := graph.NewBuilder(4, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(0, 3, 1)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := []int32{0, 1, 1, 2}
+	// Vertex 0 touches parts {1,2} -> 2; vertices 1,2,3 each touch {0} -> 3.
+	if got := CommVolume(g, part, 3); got != 5 {
+		t.Errorf("CommVolume = %d, want 5", got)
+	}
+}
+
+func TestCheckPartition(t *testing.T) {
+	g := gen.Grid2D(3, 3)
+	if err := CheckPartition(g, make([]int32, 9), 2); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if err := CheckPartition(g, make([]int32, 5), 2); err == nil {
+		t.Error("short partition accepted")
+	}
+	bad := make([]int32, 9)
+	bad[4] = 7
+	if err := CheckPartition(g, bad, 2); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}

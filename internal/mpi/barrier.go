@@ -1,0 +1,79 @@
+package mpi
+
+import "sync"
+
+// cyclicBarrier is a reusable p-party barrier. It supports poisoning: when
+// a rank panics, it poisons the barrier so every waiter (current and
+// future) panics out instead of deadlocking the remaining ranks.
+type cyclicBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parties  int
+	waiting  int
+	departed int // ranks whose body returned; used to detect mismatched collectives
+	round    uint64
+	poisoned bool
+}
+
+func newCyclicBarrier(parties int) *cyclicBarrier {
+	b := &cyclicBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties have called it for the current round.
+func (b *cyclicBarrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic(barrierPoisoned{})
+	}
+	round := b.round
+	b.waiting++
+	if b.departed > 0 {
+		// A peer already returned from its body: the ranks disagree on the
+		// number of collectives. Fail loudly instead of deadlocking.
+		b.poisoned = true
+		b.cond.Broadcast()
+		panic("mpi: collective after a peer rank already returned (mismatched collective counts)")
+	}
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.round++
+		b.cond.Broadcast()
+		return
+	}
+	for b.round == round && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic(barrierPoisoned{})
+	}
+}
+
+// depart records that a rank's body returned. If peers are still waiting at
+// a barrier they can never complete, poison it.
+func (b *cyclicBarrier) depart() {
+	b.mu.Lock()
+	b.departed++
+	if b.waiting > 0 {
+		b.poisoned = true
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// poison releases all waiters with a panic; used when a rank dies.
+func (b *cyclicBarrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// barrierPoisoned is the panic payload thrown to waiters of a poisoned
+// barrier. Run's recover logic treats it like any other rank panic, but
+// reports the original failure first.
+type barrierPoisoned struct{}
+
+func (barrierPoisoned) String() string { return "mpi: peer rank failed" }

@@ -1,0 +1,32 @@
+package mpi
+
+import "testing"
+
+func BenchmarkBarrier8(b *testing.B) {
+	Run(8, Zero(), func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			c.Barrier()
+		}
+	})
+}
+
+func BenchmarkAllreduce8x64(b *testing.B) {
+	Run(8, Zero(), func(c *Comm) {
+		vals := make([]int64, 64)
+		for i := 0; i < b.N; i++ {
+			c.AllreduceSumI64(vals)
+		}
+	})
+}
+
+func BenchmarkAlltoallv8(b *testing.B) {
+	Run(8, Zero(), func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			send := make([][]int32, 8)
+			for r := range send {
+				send[r] = make([]int32, 32)
+			}
+			c.AlltoallvI32(send)
+		}
+	})
+}

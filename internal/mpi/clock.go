@@ -1,0 +1,74 @@
+package mpi
+
+import "math"
+
+// CostModel parameterizes the simulated clock: a LogGP-style model with a
+// per-message latency, a per-byte transfer cost, and a per-unit local work
+// cost. Collective costs are the textbook tree/ring formulas expressed in
+// these parameters.
+//
+// The defaults (T3E) are order-of-magnitude values for a late-90s Cray
+// T3E-900: ~50 M memory-bound graph operations/s per PE, ~10 µs MPI
+// latency, ~300 MB/s link bandwidth. The paper's claims under reproduction
+// are *relative* (speedups, efficiencies, single- vs multi-constraint
+// ratios), so only the ratio of compute to communication cost matters, not
+// the absolute calibration.
+type CostModel struct {
+	// SecPerOp is the simulated seconds per unit of local work accounted
+	// via Comm.Work.
+	SecPerOp float64
+	// Latency is the per-message software+network latency in seconds.
+	Latency float64
+	// SecPerByte is the inverse link bandwidth in seconds/byte.
+	SecPerByte float64
+}
+
+// T3E returns the default Cray T3E-like cost model.
+func T3E() CostModel {
+	return CostModel{
+		SecPerOp:   20e-9,  // ~50 M graph ops/s per PE
+		Latency:    10e-6,  // ~10 µs message latency
+		SecPerByte: 3.3e-9, // ~300 MB/s links
+	}
+}
+
+// Zero returns a cost model in which simulated time never advances; useful
+// for tests that only check collective semantics.
+func Zero() CostModel { return CostModel{} }
+
+func log2ceil(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// barrierCost: a dissemination barrier takes ceil(log2 p) rounds of one
+// small message each.
+func (m CostModel) barrierCost(p int) float64 {
+	return log2ceil(p) * m.Latency
+}
+
+// allreduceCost: recursive doubling — ceil(log2 p) rounds, each moving the
+// full vector.
+func (m CostModel) allreduceCost(p, bytes int) float64 {
+	return log2ceil(p) * (m.Latency + float64(bytes)*m.SecPerByte)
+}
+
+// allgatherCost: ring/bruck — log p latency terms plus the full gathered
+// volume over the wire.
+func (m CostModel) allgatherCost(p, totalBytes int) float64 {
+	return log2ceil(p)*m.Latency + float64(totalBytes)*m.SecPerByte
+}
+
+// alltoallCost: p-1 pairwise exchanges charged by the busiest rank's send
+// volume; latency amortized as log p rounds (Bruck-style for small
+// payloads).
+func (m CostModel) alltoallCost(p, maxRankBytes int) float64 {
+	return log2ceil(p)*m.Latency + float64(maxRankBytes)*m.SecPerByte
+}
+
+// bcastCost: binomial tree — log p rounds each carrying the payload.
+func (m CostModel) bcastCost(p, bytes int) float64 {
+	return log2ceil(p) * (m.Latency + float64(bytes)*m.SecPerByte)
+}

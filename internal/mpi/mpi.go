@@ -1,0 +1,315 @@
+// Package mpi is the message-passing substrate that stands in for the
+// 128-processor Cray T3E of the paper's experiments (see DESIGN.md,
+// "Substitutions"). There is no MPI ecosystem in pure Go, so the parallel
+// partitioner is redesigned around goroutines: every "processor" is a
+// goroutine executing the same SPMD body, and the collectives the algorithm
+// needs (Barrier, Allreduce, Allgatherv, Alltoallv, Bcast) are implemented
+// BSP-style over shared per-rank slots separated by a reusable cyclic
+// barrier.
+//
+// The substrate also carries a deterministic LogGP-style simulated clock
+// (see clock.go): ranks account their local work explicitly via Comm.Work,
+// and every collective synchronizes the clocks to the maximum participant
+// time plus a modeled communication cost. Tables 2-4 of the paper report
+// wall-clock times on the T3E; this repository reports both real wall time
+// (which on a shared-memory host conflates goroutine scheduling with p) and
+// the simulated time, whose speedup/efficiency *shape* is the
+// reproduction target.
+package mpi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// World is one SPMD execution group of size ranks.
+type World struct {
+	size    int
+	barrier *cyclicBarrier
+	slots   []any     // per-rank exchange slot, valid between barrier pairs
+	times   []float64 // per-rank simulated clocks, gathered at collectives
+	model   CostModel
+}
+
+// Comm is one rank's handle onto its World. All methods must be called
+// from the goroutine that owns the rank.
+type Comm struct {
+	w    *World
+	rank int
+	// simTime is this rank's simulated clock in seconds.
+	simTime float64
+	// CommStats counts traffic for diagnostics.
+	Stats CommStats
+}
+
+// CommStats tallies per-rank communication activity.
+type CommStats struct {
+	Collectives int
+	BytesSent   int64
+}
+
+// RunResult summarizes one SPMD execution.
+type RunResult struct {
+	// SimTime is the simulated parallel run time: the maximum over ranks
+	// of the per-rank simulated clock at exit.
+	SimTime float64
+	// WallTime is the real elapsed time of the run.
+	WallTime time.Duration
+}
+
+// Run executes body on p ranks (goroutines) and blocks until all return.
+// Each rank receives its own Comm. Panics in a rank are re-raised in the
+// caller after all other ranks have been released, so a bug in one rank
+// cannot deadlock the test suite.
+func Run(p int, model CostModel, body func(c *Comm)) RunResult {
+	if p < 1 {
+		panic("mpi: Run with p < 1")
+	}
+	w := &World{
+		size:    p,
+		barrier: newCyclicBarrier(p),
+		slots:   make([]any, p),
+		times:   make([]float64, p),
+		model:   model,
+	}
+	comms := make([]*Comm, p)
+	for r := 0; r < p; r++ {
+		comms[r] = &Comm{w: w, rank: r}
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, p)
+	start := time.Now()
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					if _, induced := e.(barrierPoisoned); !induced {
+						e = fmt.Sprintf("%v\n%s", e, debug.Stack())
+					}
+					panics[rank] = e
+					// Poison the barrier so peers blocked in collectives
+					// unwind instead of deadlocking.
+					w.barrier.poison()
+					return
+				}
+				w.barrier.depart()
+			}()
+			body(comms[rank])
+		}(r)
+	}
+	wg.Wait()
+	// Report the originating failure, not the induced barrier poisonings.
+	for r, e := range panics {
+		if _, induced := e.(barrierPoisoned); e != nil && !induced {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
+		}
+	}
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
+		}
+	}
+	res := RunResult{WallTime: time.Since(start)}
+	for _, c := range comms {
+		if c.simTime > res.SimTime {
+			res.SimTime = c.simTime
+		}
+	}
+	return res
+}
+
+// Rank returns this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.size }
+
+// SimTime returns this rank's current simulated clock in seconds.
+func (c *Comm) SimTime() float64 { return c.simTime }
+
+// Work advances this rank's simulated clock by units of abstract local
+// work (roughly: edges scanned or vertices touched). It performs no
+// synchronization.
+func (c *Comm) Work(units int) {
+	c.simTime += float64(units) * c.w.model.SecPerOp
+}
+
+// exchange is the collective core: every rank deposits contrib, all ranks
+// synchronize, read every deposit through `read`, then synchronize again so
+// slots may be reused. Simulated clocks are advanced to the group maximum
+// plus commCost seconds.
+func (c *Comm) exchange(contrib any, commCost float64, read func(slots []any)) {
+	w := c.w
+	w.slots[c.rank] = contrib
+	w.times[c.rank] = c.simTime
+	w.barrier.await()
+	read(w.slots)
+	maxT := 0.0
+	for _, t := range w.times {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	c.simTime = maxT + commCost
+	c.Stats.Collectives++
+	w.barrier.await()
+}
+
+// Barrier blocks until all ranks reach it; simulated clocks synchronize to
+// the maximum plus the barrier cost.
+func (c *Comm) Barrier() {
+	c.exchange(nil, c.w.model.barrierCost(c.w.size), func([]any) {})
+}
+
+// AllreduceSumI64 replaces vals on every rank with the element-wise sum
+// across ranks. All ranks must pass slices of equal length.
+func (c *Comm) AllreduceSumI64(vals []int64) {
+	c.allreduceI64(vals, func(dst, src []int64) {
+		for i, x := range src {
+			dst[i] += x
+		}
+	})
+}
+
+// AllreduceMaxI64 replaces vals with the element-wise maximum across ranks.
+func (c *Comm) AllreduceMaxI64(vals []int64) {
+	c.allreduceI64(vals, func(dst, src []int64) {
+		for i, x := range src {
+			if x > dst[i] {
+				dst[i] = x
+			}
+		}
+	})
+}
+
+// AllreduceMinI64 replaces vals with the element-wise minimum across ranks.
+func (c *Comm) AllreduceMinI64(vals []int64) {
+	c.allreduceI64(vals, func(dst, src []int64) {
+		for i, x := range src {
+			if x < dst[i] {
+				dst[i] = x
+			}
+		}
+	})
+}
+
+func (c *Comm) allreduceI64(vals []int64, combine func(dst, src []int64)) {
+	// Contribute a private copy: vals is mutated in place during read and
+	// other ranks must see the original contribution.
+	contrib := append([]int64(nil), vals...)
+	cost := c.w.model.allreduceCost(c.w.size, len(vals)*8)
+	c.exchange(contrib, cost, func(slots []any) {
+		copy(vals, contrib)
+		for r, s := range slots {
+			if r == c.rank {
+				continue
+			}
+			combine(vals, s.([]int64))
+		}
+	})
+	c.Stats.BytesSent += int64(len(vals) * 8)
+}
+
+// AllgathervI32 gathers every rank's local slice; the result concatenates
+// contributions in rank order, and counts[r] gives rank r's length.
+func (c *Comm) AllgathervI32(local []int32) (all []int32, counts []int) {
+	counts = make([]int, c.w.size)
+	var result []int32
+	cost := 0.0 // computed inside read once sizes are known
+	c.exchange(local, cost, func(slots []any) {
+		total := 0
+		for _, s := range slots {
+			total += len(s.([]int32))
+		}
+		result = make([]int32, 0, total)
+		for r, s := range slots {
+			sl := s.([]int32)
+			counts[r] = len(sl)
+			result = append(result, sl...)
+		}
+		c.simTime += c.w.model.allgatherCost(c.w.size, total*4)
+	})
+	c.Stats.BytesSent += int64(len(local) * 4)
+	return result, counts
+}
+
+// AllgatherI64 gathers one int64 from each rank into a slice indexed by
+// rank.
+func (c *Comm) AllgatherI64(x int64) []int64 {
+	out := make([]int64, c.w.size)
+	cost := c.w.model.allgatherCost(c.w.size, c.w.size*8)
+	c.exchange(x, cost, func(slots []any) {
+		for r, s := range slots {
+			out[r] = s.(int64)
+		}
+	})
+	c.Stats.BytesSent += 8
+	return out
+}
+
+// AlltoallvI32 sends send[r] to rank r and returns recv where recv[r] is
+// the slice this rank received from rank r. send must have length Size().
+// The returned slices alias the senders' buffers; receivers must not
+// mutate them, and senders must not reuse the buffers until the next
+// collective. (Partitioning code always allocates fresh send buffers per
+// round, which satisfies both.)
+func (c *Comm) AlltoallvI32(send [][]int32) (recv [][]int32) {
+	if len(send) != c.w.size {
+		panic("mpi: AlltoallvI32 send length != world size")
+	}
+	recv = make([][]int32, c.w.size)
+	sent := 0
+	for _, s := range send {
+		sent += len(s)
+	}
+	c.exchange(send, 0, func(slots []any) {
+		maxBytes := 0
+		for r, s := range slots {
+			their := s.([][]int32)
+			recv[r] = their[c.rank]
+			b := 0
+			for _, sl := range their {
+				b += len(sl) * 4
+			}
+			if b > maxBytes {
+				maxBytes = b
+			}
+		}
+		c.simTime += c.w.model.alltoallCost(c.w.size, maxBytes)
+	})
+	c.Stats.BytesSent += int64(sent * 4)
+	return recv
+}
+
+// BcastI32 broadcasts root's slice to every rank; non-root ranks pass nil
+// (or anything) and receive a copy. Root receives its own slice back.
+func (c *Comm) BcastI32(root int, data []int32) []int32 {
+	var out []int32
+	cost := 0.0
+	c.exchange(data, cost, func(slots []any) {
+		src := slots[root].([]int32)
+		if c.rank == root {
+			out = data
+		} else {
+			out = append([]int32(nil), src...)
+		}
+		c.simTime += c.w.model.bcastCost(c.w.size, len(src)*4)
+	})
+	if c.rank == root {
+		c.Stats.BytesSent += int64(len(data) * 4)
+	}
+	return out
+}
+
+// BcastI64Scalar broadcasts one int64 from root.
+func (c *Comm) BcastI64Scalar(root int, x int64) int64 {
+	var out int64
+	c.exchange(x, c.w.model.bcastCost(c.w.size, 8), func(slots []any) {
+		out = slots[root].(int64)
+	})
+	return out
+}

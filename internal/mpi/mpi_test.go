@@ -1,0 +1,238 @@
+package mpi
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAllreduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		Run(p, Zero(), func(c *Comm) {
+			vals := []int64{int64(c.Rank()), 1, int64(c.Rank() * c.Rank())}
+			c.AllreduceSumI64(vals)
+			var wantRank, wantSq int64
+			for r := 0; r < p; r++ {
+				wantRank += int64(r)
+				wantSq += int64(r * r)
+			}
+			if vals[0] != wantRank || vals[1] != int64(p) || vals[2] != wantSq {
+				t.Errorf("p=%d rank=%d: got %v", p, c.Rank(), vals)
+			}
+		})
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	Run(5, Zero(), func(c *Comm) {
+		mx := []int64{int64(c.Rank())}
+		c.AllreduceMaxI64(mx)
+		if mx[0] != 4 {
+			t.Errorf("max: got %d", mx[0])
+		}
+		mn := []int64{int64(c.Rank())}
+		c.AllreduceMinI64(mn)
+		if mn[0] != 0 {
+			t.Errorf("min: got %d", mn[0])
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	Run(4, Zero(), func(c *Comm) {
+		local := make([]int32, c.Rank()+1)
+		for i := range local {
+			local[i] = int32(c.Rank())
+		}
+		all, counts := c.AllgathervI32(local)
+		if len(all) != 1+2+3+4 {
+			t.Fatalf("len(all) = %d", len(all))
+		}
+		idx := 0
+		for r := 0; r < 4; r++ {
+			if counts[r] != r+1 {
+				t.Errorf("counts[%d] = %d", r, counts[r])
+			}
+			for i := 0; i < counts[r]; i++ {
+				if all[idx] != int32(r) {
+					t.Errorf("all[%d] = %d, want %d", idx, all[idx], r)
+				}
+				idx++
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const p = 6
+	Run(p, Zero(), func(c *Comm) {
+		send := make([][]int32, p)
+		for r := 0; r < p; r++ {
+			// Send r copies of my rank id to rank r.
+			send[r] = make([]int32, r)
+			for i := range send[r] {
+				send[r][i] = int32(c.Rank())
+			}
+		}
+		recv := c.AlltoallvI32(send)
+		for r := 0; r < p; r++ {
+			if len(recv[r]) != c.Rank() {
+				t.Errorf("rank %d: len(recv[%d]) = %d, want %d", c.Rank(), r, len(recv[r]), c.Rank())
+			}
+			for _, x := range recv[r] {
+				if x != int32(r) {
+					t.Errorf("rank %d: recv[%d] contains %d", c.Rank(), r, x)
+				}
+			}
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, Zero(), func(c *Comm) {
+		var data []int32
+		if c.Rank() == 2 {
+			data = []int32{10, 20, 30}
+		}
+		got := c.BcastI32(2, data)
+		if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+			t.Errorf("rank %d: got %v", c.Rank(), got)
+		}
+		x := c.BcastI64Scalar(0, int64(100+c.Rank()))
+		if x != 100 {
+			t.Errorf("rank %d: scalar bcast got %d", c.Rank(), x)
+		}
+	})
+}
+
+func TestAllgatherI64(t *testing.T) {
+	Run(3, Zero(), func(c *Comm) {
+		got := c.AllgatherI64(int64(c.Rank() * 10))
+		for r := 0; r < 3; r++ {
+			if got[r] != int64(r*10) {
+				t.Errorf("got[%d] = %d", r, got[r])
+			}
+		}
+	})
+}
+
+func TestSimClockSyncsToMax(t *testing.T) {
+	model := CostModel{SecPerOp: 1} // 1 second per op: easy arithmetic
+	res := Run(4, model, func(c *Comm) {
+		c.Work(c.Rank() * 10) // rank 3 does 30s of work
+		c.Barrier()
+		if c.SimTime() < 30 {
+			t.Errorf("rank %d: clock %f did not sync to max", c.Rank(), c.SimTime())
+		}
+	})
+	if res.SimTime < 30 || res.SimTime > 31 {
+		t.Errorf("SimTime = %f, want ~30", res.SimTime)
+	}
+}
+
+func TestSimClockCommCosts(t *testing.T) {
+	model := CostModel{Latency: 1} // pure latency; log2(8)=3 rounds
+	res := Run(8, model, func(c *Comm) {
+		c.Barrier()
+	})
+	if res.SimTime != 3 {
+		t.Errorf("SimTime = %f, want 3 (log2(8) rounds of 1s latency)", res.SimTime)
+	}
+}
+
+func TestRankPanicDoesNotDeadlock(t *testing.T) {
+	defer func() {
+		e := recover()
+		if e == nil {
+			t.Fatal("want panic to propagate")
+		}
+		if !strings.Contains(e.(string), "rank 2 panicked: boom") {
+			t.Fatalf("unexpected panic payload: %v", e)
+		}
+	}()
+	Run(4, Zero(), func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		c.Barrier() // would deadlock forever without poisoning
+		c.Barrier()
+	})
+}
+
+func TestMismatchedCollectivesDetected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for mismatched collective counts")
+		}
+	}()
+	Run(3, Zero(), func(c *Comm) {
+		if c.Rank() == 0 {
+			return // returns early; peers wait at a barrier rank 0 never joins
+		}
+		c.Barrier()
+	})
+}
+
+func TestRunIsActuallyConcurrent(t *testing.T) {
+	// All ranks must be live simultaneously for a barrier to complete.
+	var peak atomic.Int32
+	var live atomic.Int32
+	Run(8, Zero(), func(c *Comm) {
+		n := live.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		c.Barrier()
+		live.Add(-1)
+	})
+	if peak.Load() != 8 {
+		t.Errorf("peak concurrent ranks = %d, want 8", peak.Load())
+	}
+}
+
+func TestCommStatsCount(t *testing.T) {
+	Run(3, Zero(), func(c *Comm) {
+		c.Barrier()
+		c.AllreduceSumI64([]int64{1})
+		c.AllgathervI32([]int32{int32(c.Rank())})
+		if c.Stats.Collectives != 3 {
+			t.Errorf("rank %d: %d collectives recorded, want 3", c.Rank(), c.Stats.Collectives)
+		}
+		if c.Stats.BytesSent <= 0 {
+			t.Errorf("rank %d: no bytes accounted", c.Rank())
+		}
+	})
+}
+
+func TestWorkIsLocal(t *testing.T) {
+	// Work must not synchronize: ranks may call it unevenly between
+	// collectives without deadlocking or exchanging anything.
+	res := Run(4, CostModel{SecPerOp: 1}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Work(100)
+		}
+		c.Barrier()
+	})
+	if res.SimTime < 100 {
+		t.Errorf("SimTime %f should reflect rank 0's 100s of work", res.SimTime)
+	}
+}
+
+func TestEmptyCollectives(t *testing.T) {
+	Run(2, Zero(), func(c *Comm) {
+		c.AllreduceSumI64(nil)
+		all, counts := c.AllgathervI32(nil)
+		if len(all) != 0 || counts[0] != 0 || counts[1] != 0 {
+			t.Error("empty allgather mishandled")
+		}
+		recv := c.AlltoallvI32(make([][]int32, 2))
+		for _, r := range recv {
+			if len(r) != 0 {
+				t.Error("empty alltoall mishandled")
+			}
+		}
+	})
+}

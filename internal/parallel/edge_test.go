@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+)
+
+// TestManyRanksFewVertices stresses the empty-rank paths: with 4 vertices
+// per rank, coarsening leaves most ranks owning zero coarse vertices, and
+// every collective must still line up.
+func TestManyRanksFewVertices(t *testing.T) {
+	g := gen.Grid2D(8, 8) // 64 vertices
+	part, stats, err := Partition(g, 4, 16, Options{Seed: 1, Model: mpi.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckPartition(g, part, 4); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imbalance > 1.30 {
+		t.Errorf("imbalance %.3f", stats.Imbalance)
+	}
+}
+
+// TestPEqualsN puts exactly one vertex on each rank.
+func TestPEqualsN(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	part, _, err := Partition(g, 4, 36, Options{Seed: 1, Model: mpi.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckPartition(g, part, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroWeightEdges runs the whole parallel pipeline on a graph where a
+// third of the edges carry zero weight (they exist in the mesh but carry
+// no communication — the situation Type 2 would produce for phases without
+// an always-active phase 0).
+func TestZeroWeightEdges(t *testing.T) {
+	base := gen.Type1(gen.MRNGLike(10, 10, 10, 3), 2, 7)
+	g := base.Clone()
+	zero := 0
+	for i := range g.Adjwgt {
+		// Zero out edges deterministically by endpoint parity so both
+		// directions of an undirected edge agree.
+		e := g.Adjncy[i]
+		if e%3 == 0 {
+			g.Adjwgt[i] = 0
+		}
+	}
+	// Symmetrize: weight 0 iff either endpoint id ≡ 0 mod 3 — recompute
+	// per edge from both endpoints so Validate passes.
+	n := g.NumVertices()
+	for v := int32(0); int(v) < n; v++ {
+		start, end := g.Xadj[v], g.Xadj[v+1]
+		for e := start; e < end; e++ {
+			u := g.Adjncy[e]
+			if u%3 == 0 || v%3 == 0 {
+				g.Adjwgt[e] = 0
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range g.Adjwgt {
+		if w == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Fatal("construction produced no zero-weight edges")
+	}
+	part, stats, err := Partition(g, 8, 4, Options{Seed: 1, Model: mpi.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckPartition(g, part, 8); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d zero-weight edges; cut=%d imb=%.3f", zero, stats.EdgeCut, stats.Imbalance)
+}

@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/prefine"
+	"repro/internal/serial"
+)
+
+func run(t *testing.T, g *graph.Graph, k, p int, opt Options) ([]int32, Stats) {
+	t.Helper()
+	part, stats, err := Partition(g, k, p, opt)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if err := metrics.CheckPartition(g, part, k); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	return part, stats
+}
+
+func TestParallelSingleConstraintGrid(t *testing.T) {
+	g := gen.Grid2D(40, 40)
+	part, stats := run(t, g, 4, 4, Options{Seed: 1, Model: mpi.Zero()})
+	if stats.EdgeCut <= 0 || stats.EdgeCut > 200 {
+		t.Errorf("edge-cut = %d, want (0, 200]", stats.EdgeCut)
+	}
+	if imb := metrics.MaxImbalance(g, part, 4); imb > 1.10 {
+		t.Errorf("imbalance = %.3f", imb)
+	}
+	t.Logf("cut=%d imb=%.3f levels=%d", stats.EdgeCut, stats.Imbalance, stats.Levels)
+}
+
+func TestParallelMultiConstraint(t *testing.T) {
+	base := gen.MRNGLike(14, 14, 14, 7)
+	for _, m := range []int{2, 3, 5} {
+		g := gen.Type1(base, m, 42)
+		_, stats := run(t, g, 8, 8, Options{Seed: 3, Model: mpi.Zero()})
+		if stats.Imbalance > 1.15 {
+			t.Errorf("m=%d: imbalance = %.3f, want <= 1.15", m, stats.Imbalance)
+		}
+		t.Logf("m=%d: cut=%d imb=%.3f levels=%d coarsest=%d moves=%d",
+			m, stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN, stats.Moves)
+	}
+}
+
+func TestParallelType2(t *testing.T) {
+	base := gen.MRNGLike(14, 14, 14, 7)
+	g := gen.Type2(base, 3, 42)
+	_, stats := run(t, g, 8, 8, Options{Seed: 3, Model: mpi.Zero()})
+	t.Logf("type2: cut=%d imb=%.3f", stats.EdgeCut, stats.Imbalance)
+	if stats.Imbalance > 1.15 {
+		t.Errorf("imbalance = %.3f", stats.Imbalance)
+	}
+}
+
+func TestParallelMatchesSerialQuality(t *testing.T) {
+	base := gen.MRNGLike(16, 16, 16, 7)
+	g := gen.Type1(base, 3, 42)
+	_, sp := run(t, g, 16, 8, Options{Seed: 3, Model: mpi.Zero()})
+	_, ss, err := serial.Partition(g, 16, serial.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(sp.EdgeCut) / float64(ss.EdgeCut)
+	t.Logf("parallel=%d serial=%d ratio=%.3f", sp.EdgeCut, ss.EdgeCut, ratio)
+	// The paper's figures show parallel within ~±20% of serial quality.
+	if ratio > 1.5 {
+		t.Errorf("parallel cut %.2fx serial; too far from paper's parity claim", ratio)
+	}
+}
+
+func TestParallelP1EqualsSerialShape(t *testing.T) {
+	// p=1 exercises all the parallel machinery degenerately.
+	g := gen.Type1(gen.MRNGLike(10, 10, 10, 3), 2, 9)
+	_, stats := run(t, g, 4, 1, Options{Seed: 5, Model: mpi.Zero()})
+	if stats.Imbalance > 1.10 {
+		t.Errorf("p=1 imbalance = %.3f", stats.Imbalance)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	g := gen.Type1(gen.MRNGLike(10, 10, 10, 3), 2, 9)
+	p1, s1 := run(t, g, 8, 4, Options{Seed: 5, Model: mpi.Zero()})
+	p2, s2 := run(t, g, 8, 4, Options{Seed: 5, Model: mpi.Zero()})
+	if s1.EdgeCut != s2.EdgeCut {
+		t.Fatalf("same seed, different cuts: %d vs %d", s1.EdgeCut, s2.EdgeCut)
+	}
+	for v := range p1 {
+		if p1[v] != p2[v] {
+			t.Fatalf("same seed, different label at vertex %d", v)
+		}
+	}
+}
+
+func TestParallelSchemes(t *testing.T) {
+	base := gen.MRNGLike(12, 12, 12, 7)
+	g := gen.Type1(base, 3, 42)
+	for _, sch := range []prefine.Scheme{prefine.Reservation, prefine.Slice, prefine.Free} {
+		_, stats := run(t, g, 8, 8, Options{Seed: 3, Scheme: sch, Model: mpi.Zero()})
+		t.Logf("%v: cut=%d imb=%.3f", sch, stats.EdgeCut, stats.Imbalance)
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	if _, _, err := Partition(g, 0, 2, Options{}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, _, err := Partition(g, 2, 0, Options{}); err == nil {
+		t.Error("p=0: want error")
+	}
+	if _, _, err := Partition(g, 99, 2, Options{}); err == nil {
+		t.Error("k>n: want error")
+	}
+	if _, _, err := Partition(g, 2, 99, Options{}); err == nil {
+		t.Error("p>n: want error")
+	}
+}
+
+func TestParallelSimTimePositive(t *testing.T) {
+	g := gen.Type1(gen.MRNGLike(10, 10, 10, 3), 2, 9)
+	_, stats := run(t, g, 8, 4, Options{Seed: 5}) // default T3E model
+	if stats.SimTime <= 0 {
+		t.Errorf("SimTime = %f, want > 0", stats.SimTime)
+	}
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/pgraph"
+	"repro/internal/prefine"
+	"repro/internal/repart"
+	"repro/internal/rng"
+)
+
+// RepartitionStats extends the repartitioning metrics with the simulated
+// parallel time.
+type RepartitionStats struct {
+	repart.Stats
+	SimTime float64
+}
+
+// Repartition adapts an existing k-way partitioning to changed vertex
+// weights *in parallel* on p simulated processors — the dynamic
+// repartitioning workload of the paper's companion journal version
+// ("Parallel static and dynamic multi-constraint graph partitioning").
+//
+// Strategy mirrors the serial repart package: parallel diffusion first
+// (the reservation-based refiner run directly on the drifted assignment,
+// which moves little data), escalating to a full parallel partitioning
+// with overlap-maximizing relabeling when diffusion cannot restore
+// balance.
+func Repartition(g *graph.Graph, part []int32, k, p int, opt Options) ([]int32, RepartitionStats, error) {
+	if err := metrics.CheckPartition(g, part, k); err != nil {
+		return nil, RepartitionStats{}, fmt.Errorf("parallel: invalid input partition: %w", err)
+	}
+	if p < 1 || p > g.NumVertices() {
+		return nil, RepartitionStats{}, fmt.Errorf("parallel: p = %d out of range", p)
+	}
+	opt = opt.withDefaults(k)
+	tol := opt.Tol
+
+	// Phase 1: parallel diffusion.
+	diffused := make([]int32, g.NumVertices())
+	res := mpi.Run(p, opt.Model, func(c *mpi.Comm) {
+		rand := rng.New(opt.Seed).Derive(uint64(c.Rank()))
+		dg := pgraph.Distribute(c, g)
+		local := make([]int32, dg.NLocal())
+		copy(local, part[dg.First():int(dg.First())+dg.NLocal()])
+		ref := prefine.NewRefiner(dg, local, k, prefine.Options{
+			Tol: tol, Passes: opt.RefinePasses, Scheme: opt.Scheme,
+		})
+		ref.Refine(rand)
+		full, _ := c.AllgathervI32(local)
+		if c.Rank() == 0 {
+			copy(diffused, full)
+		}
+	})
+
+	stats := RepartitionStats{SimTime: res.SimTime}
+	newPart := diffused
+	method := repart.Diffusion
+	if metrics.MaxImbalance(g, diffused, k) > 1+2*tol {
+		// Phase 2: scratch-remap with the parallel partitioner.
+		fresh, ps, err := Partition(g, k, p, opt)
+		if err != nil {
+			return nil, RepartitionStats{}, err
+		}
+		remap := repart.OverlapRemap(g, part, fresh, k)
+		for v := range fresh {
+			fresh[v] = remap[fresh[v]]
+		}
+		newPart = fresh
+		method = repart.ScratchRemap
+		stats.SimTime += ps.SimTime
+	}
+
+	stats.Method = method
+	stats.EdgeCut = metrics.EdgeCut(g, newPart)
+	stats.Imbalance = metrics.MaxImbalance(g, newPart, k)
+	stats.MovedWeight = make([]int64, g.Ncon)
+	for v := 0; v < g.NumVertices(); v++ {
+		if newPart[v] != part[v] {
+			stats.MovedVertices++
+			for c, w := range g.VertexWeight(int32(v)) {
+				stats.MovedWeight[c] += int64(w)
+			}
+		}
+	}
+	if n := g.NumVertices(); n > 0 {
+		stats.MovedFraction = float64(stats.MovedVertices) / float64(n)
+	}
+	return newPart, stats, nil
+}

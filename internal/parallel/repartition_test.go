@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/repart"
+	"repro/internal/rng"
+	"repro/internal/serial"
+)
+
+func TestParallelRepartitionMildDrift(t *testing.T) {
+	base := gen.MRNGLike(12, 12, 12, 3)
+	g0 := gen.Type1(base, 2, 42)
+	part, _, err := serial.Partition(g0, 8, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mild drift: double the weights of a random ~8% of vertices.
+	r := rng.New(77)
+	vwgt := append([]int32(nil), g0.Vwgt...)
+	for v := 0; v < g0.NumVertices(); v++ {
+		if r.Intn(12) == 0 {
+			vwgt[v*2] *= 2
+			vwgt[v*2+1] *= 2
+		}
+	}
+	g := g0.Clone()
+	g.Vwgt = vwgt
+
+	newPart, stats, err := Repartition(g, part, 8, 4, Options{Seed: 2, Model: mpi.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckPartition(g, newPart, 8); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("method=%v imb=%.3f moved=%.1f%% cut=%d", stats.Method, stats.Imbalance, 100*stats.MovedFraction, stats.EdgeCut)
+	if stats.Method != repart.Diffusion {
+		t.Errorf("mild drift used %v, want diffusion", stats.Method)
+	}
+	if stats.Imbalance > 1.08 {
+		t.Errorf("imbalance %.3f", stats.Imbalance)
+	}
+	if stats.MovedFraction > 0.25 {
+		t.Errorf("diffusion moved %.1f%% of vertices; expected a small repair", 100*stats.MovedFraction)
+	}
+}
+
+func TestParallelRepartitionSevereDrift(t *testing.T) {
+	base := gen.MRNGLike(12, 12, 12, 3)
+	g0 := gen.Type1(base, 3, 42)
+	part, _, err := serial.Partition(g0, 8, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Type1(base, 3, 999) // completely new weights
+	if imb := metrics.MaxImbalance(g, part, 8); imb < 1.2 {
+		t.Skipf("drift unexpectedly mild: %.3f", imb)
+	}
+	newPart, stats, err := Repartition(g, part, 8, 4, Options{Seed: 2, Model: mpi.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckPartition(g, newPart, 8); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("method=%v imb=%.3f moved=%.1f%% cut=%d", stats.Method, stats.Imbalance, 100*stats.MovedFraction, stats.EdgeCut)
+	if stats.Imbalance > 1.08 {
+		t.Errorf("severe drift not rebalanced: %.3f", stats.Imbalance)
+	}
+}
+
+func TestParallelRepartitionRejectsBadInput(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	if _, _, err := Repartition(g, make([]int32, 3), 2, 2, Options{Model: mpi.Zero()}); err == nil {
+		t.Error("short partition accepted")
+	}
+}

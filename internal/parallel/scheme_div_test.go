@@ -1,0 +1,38 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mpi"
+	"repro/internal/prefine"
+)
+
+// TestSchemeOrdering reproduces the paper's Section 2 claims about the
+// rejected refinement designs: the static slice allocation is overly
+// restrictive (worse edge-cut than the reservation scheme, far fewer
+// moves), and unrestricted concurrent commits lose balance entirely.
+func TestSchemeOrdering(t *testing.T) {
+	base := gen.MRNGLike(25, 25, 25, 7)
+	g := gen.Type1(base, 3, 42)
+	results := map[prefine.Scheme]Stats{}
+	for _, sch := range []prefine.Scheme{prefine.Reservation, prefine.Slice, prefine.Free} {
+		_, stats := run(t, g, 32, 16, Options{Seed: 3, Scheme: sch, Model: mpi.Zero()})
+		results[sch] = stats
+		t.Logf("%v: cut=%d imb=%.4f moves=%d", sch, stats.EdgeCut, stats.Imbalance, stats.Moves)
+	}
+	if results[prefine.Slice].EdgeCut <= results[prefine.Reservation].EdgeCut {
+		t.Errorf("slice cut %d <= reservation cut %d; paper says slice restricts refinement",
+			results[prefine.Slice].EdgeCut, results[prefine.Reservation].EdgeCut)
+	}
+	if results[prefine.Slice].Moves >= results[prefine.Reservation].Moves {
+		t.Errorf("slice moves %d >= reservation moves %d", results[prefine.Slice].Moves, results[prefine.Reservation].Moves)
+	}
+	if results[prefine.Free].Imbalance <= 1.10 {
+		t.Errorf("free-commit imbalance %.3f unexpectedly small; the unprotected scheme should lose balance",
+			results[prefine.Free].Imbalance)
+	}
+	if results[prefine.Reservation].Imbalance > 1.10 {
+		t.Errorf("reservation imbalance %.3f too large", results[prefine.Reservation].Imbalance)
+	}
+}

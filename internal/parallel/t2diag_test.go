@@ -1,0 +1,39 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mpi"
+	"repro/internal/serial"
+)
+
+// TestType2FiveConstraints is a regression test for the hardest quality
+// configuration of Figures 3-5: a five-phase Type 2 problem, where most
+// edge weights are small or zero and feasible moves are scarce. The
+// gain-ordered reservation commit must keep the parallel partitioner close
+// to serial quality here.
+func TestType2FiveConstraints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: 64K vertices at p=32")
+	}
+	spec, _ := gen.MeshByName("mrng3t")
+	base := spec.Build(uint64(len(spec.Name))*7919 + 7)
+	g := gen.Type2(base, 5, 101)
+	_, ss, err := serial.Partition(g, 32, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ps, err := Partition(g, 32, 32, Options{Seed: 1, Model: mpi.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(ps.EdgeCut) / float64(ss.EdgeCut)
+	t.Logf("serial=%d parallel=%d ratio=%.3f imb=%.4f", ss.EdgeCut, ps.EdgeCut, ratio, ps.Imbalance)
+	if ratio > 1.20 {
+		t.Errorf("parallel/serial cut ratio %.3f, want <= 1.20", ratio)
+	}
+	if ps.Imbalance > 1.08 {
+		t.Errorf("imbalance %.4f, want <= 1.08", ps.Imbalance)
+	}
+}

@@ -1,0 +1,175 @@
+package pcoarsen
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/pgraph"
+	"repro/internal/rng"
+)
+
+func testGraph(m int) *graph.Graph {
+	base := gen.MRNGLike(9, 9, 9, 3)
+	if m == 1 {
+		return base
+	}
+	return gen.Type1(base, m, 7)
+}
+
+// TestMatchIsGloballyValid gathers the distributed matching and checks it
+// is an involution over adjacent pairs.
+func TestMatchIsGloballyValid(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		g := testGraph(2)
+		global := make([]int32, g.NumVertices())
+		mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) {
+			dg := pgraph.Distribute(c, g)
+			match := Match(dg, rng.New(1).Derive(uint64(c.Rank())), Options{BalancedEdge: true})
+			all, _ := c.AllgathervI32(match)
+			if c.Rank() == 0 {
+				copy(global, all)
+			}
+		})
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			u := global[v]
+			if u < 0 || int(u) >= g.NumVertices() {
+				t.Fatalf("p=%d: match[%d]=%d out of range", p, v, u)
+			}
+			if global[u] != v {
+				t.Fatalf("p=%d: not an involution at %d: match=%d, reverse=%d", p, v, u, global[u])
+			}
+			if u != v && !adjacent(g, v, u) {
+				t.Fatalf("p=%d: matched pair (%d,%d) not adjacent", p, v, u)
+			}
+		}
+	}
+}
+
+func adjacent(g *graph.Graph, v, u int32) bool {
+	adj, _ := g.Neighbors(v)
+	for _, x := range adj {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+// TestContractConservation: distributed contraction preserves total vertex
+// weight and total edge weight minus collapsed weight, like the serial one.
+func TestContractConservation(t *testing.T) {
+	g := testGraph(3)
+	for _, p := range []int{2, 4} {
+		mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) {
+			dg := pgraph.Distribute(c, g)
+			match := Match(dg, rng.New(2).Derive(uint64(c.Rank())), Options{})
+			coarse, cmap := Contract(dg, match)
+
+			ct := coarse.TotalVertexWeight()
+			want := g.TotalVertexWeight()
+			for i := range ct {
+				if ct[i] != want[i] {
+					t.Errorf("p=%d: constraint %d total %d, want %d", p, i, ct[i], want[i])
+				}
+			}
+			// cmap validity: in range of the coarse numbering.
+			cn := int32(coarse.GlobalN())
+			for v, cv := range cmap {
+				if cv < 0 || cv >= cn {
+					t.Fatalf("p=%d: cmap[%d] = %d out of [0,%d)", p, v, cv, cn)
+				}
+			}
+			// Gathered coarse graph must be structurally valid.
+			gg := coarse.Gather()
+			if c.Rank() == 0 {
+				if err := gg.Validate(); err != nil {
+					t.Errorf("p=%d: coarse graph invalid: %v", p, err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelContractMatchesSerialSemantics: project a random coarse
+// partition to the fine graph; cuts must agree (the defining property of
+// contraction).
+func TestParallelContractMatchesSerialSemantics(t *testing.T) {
+	g := testGraph(2)
+	mpi.Run(4, mpi.Zero(), func(c *mpi.Comm) {
+		dg := pgraph.Distribute(c, g)
+		match := Match(dg, rng.New(5).Derive(uint64(c.Rank())), Options{})
+		coarse, cmap := Contract(dg, match)
+
+		// Same random coarse partition on every rank.
+		r := rng.New(77)
+		cpartAll := make([]int32, coarse.GlobalN())
+		for i := range cpartAll {
+			cpartAll[i] = int32(r.Intn(3))
+		}
+		// Fine projection via cmap (local) -> gather.
+		fineLocal := make([]int32, dg.NLocal())
+		for v := range fineLocal {
+			fineLocal[v] = cpartAll[cmap[v]]
+		}
+		fineAll, _ := c.AllgathervI32(fineLocal)
+		if c.Rank() == 0 {
+			cg := coarse.Gather()
+			cc := metrics.EdgeCut(cg, cpartAll)
+			fc := metrics.EdgeCut(g, fineAll)
+			if cc != fc {
+				t.Errorf("projection changed cut: coarse %d, fine %d", cc, fc)
+			}
+		} else {
+			coarse.Gather()
+		}
+	})
+}
+
+func TestBuildHierarchyParallel(t *testing.T) {
+	g := testGraph(2)
+	mpi.Run(4, mpi.Zero(), func(c *mpi.Comm) {
+		dg := pgraph.Distribute(c, g)
+		levels := BuildHierarchy(dg, 100, rng.New(3).Derive(uint64(c.Rank())), Options{BalancedEdge: true})
+		if len(levels) < 2 {
+			t.Fatal("no coarsening")
+		}
+		for i := 1; i < len(levels); i++ {
+			if levels[i].DG.GlobalN() >= levels[i-1].DG.GlobalN() {
+				t.Errorf("level %d did not shrink", i)
+			}
+			if len(levels[i].CMap) != levels[i-1].DG.NLocal() {
+				t.Errorf("level %d CMap sized %d, want %d", i, len(levels[i].CMap), levels[i-1].DG.NLocal())
+			}
+		}
+		if last := levels[len(levels)-1].DG.GlobalN(); last > 250 {
+			t.Errorf("coarsest %d vertices, want near 100", last)
+		}
+	})
+}
+
+// TestSlowCoarsening documents the paper's observation: the parallel
+// arbitration protocol matches fewer vertices per round than serial
+// matching, so the shrink factor is milder at higher p.
+func TestSlowCoarsening(t *testing.T) {
+	g := testGraph(1)
+	shrink := func(p int) float64 {
+		var ratio float64
+		mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) {
+			dg := pgraph.Distribute(c, g)
+			match := Match(dg, rng.New(4).Derive(uint64(c.Rank())), Options{Rounds: 1})
+			coarse, _ := Contract(dg, match)
+			if c.Rank() == 0 {
+				ratio = float64(coarse.GlobalN()) / float64(g.NumVertices())
+			}
+		})
+		return ratio
+	}
+	r1, r8 := shrink(1), shrink(8)
+	t.Logf("single-round shrink: p=1 %.3f, p=8 %.3f", r1, r8)
+	if r8 < r1-0.05 {
+		t.Errorf("p=8 coarsened faster (%.3f) than p=1 (%.3f); expected slow coarsening", r8, r1)
+	}
+}

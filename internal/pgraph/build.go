@@ -1,0 +1,78 @@
+package pgraph
+
+import "repro/internal/mpi"
+
+// GhostSlot returns the ghost slot of global id gid, or -1 if gid is not a
+// ghost of this rank.
+func (dg *DGraph) GhostSlot(gid int32) int32 {
+	if dg.ghostIdx == nil {
+		dg.ghostIdx = make(map[int32]int32, len(dg.GhostGlobal))
+		for slot, g := range dg.GhostGlobal {
+			dg.ghostIdx[g] = int32(slot)
+		}
+	}
+	if slot, ok := dg.ghostIdx[gid]; ok {
+		return slot
+	}
+	return -1
+}
+
+// ExchangeGhostsVecI32 is ExchangeGhostsI32 for ncon-component vectors:
+// local has NLocal()*ncon entries, ghost NGhost()*ncon.
+func (dg *DGraph) ExchangeGhostsVecI32(local []int32, ncon int, ghost []int32) {
+	p := dg.Comm.Size()
+	send := make([][]int32, p)
+	for r := 0; r < p; r++ {
+		if len(dg.SendLists[r]) == 0 {
+			continue
+		}
+		buf := make([]int32, 0, len(dg.SendLists[r])*ncon)
+		for _, l := range dg.SendLists[r] {
+			buf = append(buf, local[int(l)*ncon:(int(l)+1)*ncon]...)
+		}
+		send[r] = buf
+	}
+	recv := dg.Comm.AlltoallvI32(send)
+	for r := 0; r < p; r++ {
+		for i, slot := range dg.RecvLists[r] {
+			copy(ghost[int(slot)*ncon:(int(slot)+1)*ncon], recv[r][i*ncon:(i+1)*ncon])
+		}
+	}
+	dg.Comm.Work(dg.NGhost() * ncon)
+}
+
+// NewFromGlobalCSR assembles a DGraph from this rank's owned share given
+// with *global* adjacency ids: xadj/adjncyGlobal/adjwgt describe the owned
+// vertices [vtxdist[rank], vtxdist[rank+1]) and vwgt their flattened weight
+// vectors. Ghost tables and exchange lists are negotiated collectively.
+func NewFromGlobalCSR(c *mpi.Comm, ncon int, vtxdist, xadj, adjncyGlobal, adjwgt, vwgt []int32) *DGraph {
+	first := vtxdist[c.Rank()]
+	last := vtxdist[c.Rank()+1]
+	nlocal := int(last - first)
+	dg := &DGraph{
+		Comm:    c,
+		Ncon:    ncon,
+		VtxDist: vtxdist,
+		Xadj:    xadj,
+		Adjwgt:  adjwgt,
+		Vwgt:    vwgt,
+		Adjncy:  make([]int32, len(adjncyGlobal)),
+	}
+	ghostIdx := make(map[int32]int32)
+	for i, gid := range adjncyGlobal {
+		if gid >= first && gid < last {
+			dg.Adjncy[i] = gid - first
+		} else {
+			slot, ok := ghostIdx[gid]
+			if !ok {
+				slot = int32(len(dg.GhostGlobal))
+				ghostIdx[gid] = slot
+				dg.GhostGlobal = append(dg.GhostGlobal, gid)
+			}
+			dg.Adjncy[i] = int32(nlocal) + slot
+		}
+	}
+	dg.ghostIdx = ghostIdx
+	dg.buildExchangeLists()
+	return dg
+}

@@ -1,0 +1,216 @@
+package pgraph
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+func testGraph() *graph.Graph {
+	return gen.Type1(gen.MRNGLike(8, 8, 8, 3), 2, 7)
+}
+
+func TestDistributePartitionsVertices(t *testing.T) {
+	g := testGraph()
+	for _, p := range []int{1, 3, 4, 7} {
+		mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) {
+			dg := Distribute(c, g)
+			if dg.GlobalN() != g.NumVertices() {
+				t.Errorf("GlobalN = %d", dg.GlobalN())
+			}
+			// Union of local ranges covers all vertices exactly once.
+			counts := []int64{int64(dg.NLocal())}
+			c.AllreduceSumI64(counts)
+			if counts[0] != int64(g.NumVertices()) {
+				t.Errorf("p=%d: owned vertices sum to %d", p, counts[0])
+			}
+			// Local CSR matches the global graph.
+			first := dg.First()
+			for v := 0; v < dg.NLocal(); v++ {
+				gv := first + int32(v)
+				adj, wgt := g.Neighbors(gv)
+				start, end := dg.Xadj[v], dg.Xadj[v+1]
+				if int(end-start) != len(adj) {
+					t.Fatalf("p=%d rank=%d: vertex %d degree %d, want %d", p, c.Rank(), gv, end-start, len(adj))
+				}
+				want := map[int32]int32{}
+				for i, u := range adj {
+					want[u] = wgt[i]
+				}
+				for e := start; e < end; e++ {
+					gu := dg.ToGlobal(dg.Adjncy[e])
+					if want[gu] != dg.Adjwgt[e] {
+						t.Fatalf("edge (%d,%d) weight %d, want %d", gv, gu, dg.Adjwgt[e], want[gu])
+					}
+				}
+				// Vertex weights.
+				w := dg.LocalVertexWeight(int32(v))
+				gw := g.VertexWeight(gv)
+				for i := range w {
+					if w[i] != gw[i] {
+						t.Fatalf("vertex %d weight mismatch", gv)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOwnerIn(t *testing.T) {
+	vd := []int32{0, 3, 3, 10} // rank 1 owns nothing
+	cases := map[int32]int{0: 0, 2: 0, 3: 2, 9: 2}
+	for gid, want := range cases {
+		if got := OwnerIn(vd, gid); got != want {
+			t.Errorf("OwnerIn(%d) = %d, want %d", gid, got, want)
+		}
+	}
+}
+
+func TestExchangeGhosts(t *testing.T) {
+	g := testGraph()
+	mpi.Run(4, mpi.Zero(), func(c *mpi.Comm) {
+		dg := Distribute(c, g)
+		// Value of each vertex = its global id; ghosts must receive the
+		// owners' values.
+		local := make([]int32, dg.NLocal())
+		for v := range local {
+			local[v] = dg.First() + int32(v)
+		}
+		ghost := make([]int32, dg.NGhost())
+		dg.ExchangeGhostsI32(local, ghost)
+		for slot, gid := range dg.GhostGlobal {
+			if ghost[slot] != gid {
+				t.Errorf("ghost %d: got %d, want %d", slot, ghost[slot], gid)
+			}
+		}
+	})
+}
+
+func TestExchangeGhostsVec(t *testing.T) {
+	g := testGraph()
+	mpi.Run(3, mpi.Zero(), func(c *mpi.Comm) {
+		dg := Distribute(c, g)
+		ghostVwgt := make([]int32, dg.NGhost()*dg.Ncon)
+		dg.ExchangeGhostsVecI32(dg.Vwgt, dg.Ncon, ghostVwgt)
+		for slot, gid := range dg.GhostGlobal {
+			want := g.VertexWeight(gid)
+			got := ghostVwgt[slot*dg.Ncon : (slot+1)*dg.Ncon]
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("ghost %d (gid %d): weights %v, want %v", slot, gid, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestFetchByGlobal(t *testing.T) {
+	g := testGraph()
+	mpi.Run(4, mpi.Zero(), func(c *mpi.Comm) {
+		dg := Distribute(c, g)
+		local := make([]int32, dg.NLocal())
+		for v := range local {
+			local[v] = (dg.First() + int32(v)) * 10
+		}
+		// Ask for a scattered set of global ids, including own.
+		gids := []int32{0, int32(g.NumVertices() - 1), int32(g.NumVertices() / 2), dg.First()}
+		got := dg.FetchByGlobal(gids, local)
+		for i, gid := range gids {
+			if got[i] != gid*10 {
+				t.Errorf("fetch gid %d: got %d, want %d", gid, got[i], gid*10)
+			}
+		}
+	})
+}
+
+func TestGatherReconstructsGraph(t *testing.T) {
+	g := testGraph()
+	mpi.Run(5, mpi.Zero(), func(c *mpi.Comm) {
+		dg := Distribute(c, g)
+		gg := dg.Gather()
+		if err := gg.Validate(); err != nil {
+			t.Fatalf("rank %d: gathered graph invalid: %v", c.Rank(), err)
+		}
+		if gg.NumVertices() != g.NumVertices() || gg.NumEdges() != g.NumEdges() {
+			t.Fatalf("gathered shape %v, want %v", gg, g)
+		}
+		tot, want := gg.TotalVertexWeight(), g.TotalVertexWeight()
+		for i := range tot {
+			if tot[i] != want[i] {
+				t.Fatalf("gathered weight totals %v, want %v", tot, want)
+			}
+		}
+		if gg.TotalEdgeWeight() != g.TotalEdgeWeight() {
+			t.Fatal("gathered edge weight differs")
+		}
+	})
+}
+
+func TestTotalVertexWeightCollective(t *testing.T) {
+	g := testGraph()
+	want := g.TotalVertexWeight()
+	mpi.Run(4, mpi.Zero(), func(c *mpi.Comm) {
+		dg := Distribute(c, g)
+		got := dg.TotalVertexWeight()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rank %d: totals %v, want %v", c.Rank(), got, want)
+			}
+		}
+	})
+}
+
+func TestGhostSlot(t *testing.T) {
+	g := testGraph()
+	mpi.Run(4, mpi.Zero(), func(c *mpi.Comm) {
+		dg := Distribute(c, g)
+		for slot, gid := range dg.GhostGlobal {
+			if got := dg.GhostSlot(gid); got != int32(slot) {
+				t.Errorf("GhostSlot(%d) = %d, want %d", gid, got, slot)
+			}
+		}
+		if dg.GhostSlot(dg.First()) != -1 {
+			t.Error("own vertex must not be a ghost")
+		}
+	})
+}
+
+// TestSendRecvListsSymmetric: what rank A sends to B must be exactly what
+// B records as receiving from A (by global id).
+func TestSendRecvListsSymmetric(t *testing.T) {
+	g := testGraph()
+	const p = 4
+	sends := make([][][]int32, p) // [rank][peer] global ids sent
+	recvs := make([][][]int32, p)
+	mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) {
+		dg := Distribute(c, g)
+		s := make([][]int32, p)
+		r := make([][]int32, p)
+		for peer := 0; peer < p; peer++ {
+			for _, l := range dg.SendLists[peer] {
+				s[peer] = append(s[peer], dg.First()+l)
+			}
+			for _, slot := range dg.RecvLists[peer] {
+				r[peer] = append(r[peer], dg.GhostGlobal[slot])
+			}
+		}
+		sends[c.Rank()] = s
+		recvs[c.Rank()] = r
+	})
+	for a := 0; a < p; a++ {
+		for bRank := 0; bRank < p; bRank++ {
+			sa := sends[a][bRank]
+			rb := recvs[bRank][a]
+			if len(sa) != len(rb) {
+				t.Fatalf("rank %d sends %d to %d, but %d expects %d", a, len(sa), bRank, bRank, len(rb))
+			}
+			for i := range sa {
+				if sa[i] != rb[i] {
+					t.Fatalf("send/recv list mismatch between %d and %d at %d", a, bRank, i)
+				}
+			}
+		}
+	}
+}

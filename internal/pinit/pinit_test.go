@@ -1,0 +1,68 @@
+package pinit
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/pgraph"
+	"repro/internal/rng"
+)
+
+func TestPartitionAgreesAcrossRanks(t *testing.T) {
+	g := gen.Type1(gen.MRNGLike(8, 8, 8, 3), 2, 7)
+	const k, p = 8, 4
+	parts := make([][]int32, p)
+	cuts := make([]int64, p)
+	mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) {
+		dg := pgraph.Distribute(c, g)
+		part, cut := Partition(dg, k, rng.New(1).Derive(uint64(c.Rank())), Options{Tol: 0.05})
+		parts[c.Rank()] = part
+		cuts[c.Rank()] = cut
+	})
+	for r := 1; r < p; r++ {
+		if cuts[r] != cuts[0] {
+			t.Fatalf("rank %d reports cut %d, rank 0 %d", r, cuts[r], cuts[0])
+		}
+		for v := range parts[0] {
+			if parts[r][v] != parts[0][v] {
+				t.Fatalf("rank %d disagrees with rank 0 at vertex %d", r, v)
+			}
+		}
+	}
+	// The winner's cut must match the labels it broadcast.
+	if got := metrics.EdgeCut(g, parts[0]); got != cuts[0] {
+		t.Errorf("broadcast cut %d, recomputed %d", cuts[0], got)
+	}
+	if err := metrics.CheckPartition(g, parts[0], k); err != nil {
+		t.Fatal(err)
+	}
+	if imb := metrics.MaxImbalance(g, parts[0], k); imb > 1.20 {
+		t.Errorf("initial imbalance %.3f", imb)
+	}
+}
+
+// TestBestOfPBeatsTypicalSingle: the best-of-p strategy should on average
+// be at least as good as a single p=1 attempt with the same master seed.
+func TestBestOfPBeatsTypicalSingle(t *testing.T) {
+	g := gen.Type1(gen.MRNGLike(8, 8, 8, 3), 2, 7)
+	const k = 8
+	cutAt := func(p int) int64 {
+		var cut int64
+		mpi.Run(p, mpi.Zero(), func(c *mpi.Comm) {
+			dg := pgraph.Distribute(c, g)
+			_, ct := Partition(dg, k, rng.New(1).Derive(uint64(c.Rank())), Options{Tol: 0.05})
+			if c.Rank() == 0 {
+				cut = ct
+			}
+		})
+		return cut
+	}
+	single := cutAt(1)
+	best8 := cutAt(8)
+	t.Logf("p=1 cut %d, best-of-8 cut %d", single, best8)
+	if best8 > single*11/10 {
+		t.Errorf("best-of-8 (%d) much worse than single attempt (%d)", best8, single)
+	}
+}

@@ -1,0 +1,41 @@
+package pqueue
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	const n = 1 << 14
+	r := rng.New(1)
+	gains := make([]int64, n)
+	for i := range gains {
+		gains[i] = int64(r.Intn(1000))
+	}
+	q := New(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := int32(0); v < n; v++ {
+			q.Push(v, gains[v])
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+	b.ReportMetric(float64(2*n), "ops/iter")
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	const n = 1 << 14
+	r := rng.New(2)
+	q := New(n)
+	for v := int32(0); v < n; v++ {
+		q.Push(v, int64(r.Intn(1000)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int32(i & (n - 1))
+		q.Update(v, int64(r.Intn(1000)))
+	}
+}

@@ -1,0 +1,146 @@
+// Package pqueue implements the max-priority queue used by Kernighan-Lin /
+// Fiduccia-Mattheyses style refinement: vertices keyed by move gain, with
+// O(log n) update of a vertex's gain while it is queued.
+//
+// It is a classic binary heap augmented with a position index so Update and
+// Delete can address arbitrary vertices, the structure METIS calls a
+// "priority queue with arbitrary updates". Gains are int64 so gain values
+// derived from int32 edge weights can never overflow.
+package pqueue
+
+// Queue is a max-priority queue over vertex ids with mutable priorities.
+// The zero value is not usable; construct with New.
+type Queue struct {
+	heap []entry
+	pos  []int32 // vertex -> index in heap, -1 if absent
+}
+
+type entry struct {
+	vtx  int32
+	gain int64
+}
+
+// New returns a queue able to hold vertex ids in [0, maxVtx).
+func New(maxVtx int) *Queue {
+	pos := make([]int32, maxVtx)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Queue{pos: pos, heap: make([]entry, 0, 64)}
+}
+
+// Len returns the number of queued vertices.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Contains reports whether vertex v is queued.
+func (q *Queue) Contains(v int32) bool { return q.pos[v] >= 0 }
+
+// Gain returns the queued gain of v; it must be queued.
+func (q *Queue) Gain(v int32) int64 { return q.heap[q.pos[v]].gain }
+
+// Reset empties the queue in O(len) without reallocating.
+func (q *Queue) Reset() {
+	for _, e := range q.heap {
+		q.pos[e.vtx] = -1
+	}
+	q.heap = q.heap[:0]
+}
+
+// Push inserts vertex v with the given gain. v must not already be queued.
+func (q *Queue) Push(v int32, gain int64) {
+	if q.pos[v] >= 0 {
+		panic("pqueue: Push of queued vertex")
+	}
+	q.heap = append(q.heap, entry{vtx: v, gain: gain})
+	q.pos[v] = int32(len(q.heap) - 1)
+	q.up(len(q.heap) - 1)
+}
+
+// Pop removes and returns the vertex with maximum gain. Ties are broken by
+// heap order (deterministic for a given insertion/update sequence).
+func (q *Queue) Pop() (v int32, gain int64) {
+	top := q.heap[0]
+	q.remove(0)
+	return top.vtx, top.gain
+}
+
+// Peek returns the maximum-gain vertex without removing it.
+func (q *Queue) Peek() (v int32, gain int64) {
+	return q.heap[0].vtx, q.heap[0].gain
+}
+
+// Update changes the gain of queued vertex v.
+func (q *Queue) Update(v int32, gain int64) {
+	i := int(q.pos[v])
+	if i < 0 {
+		panic("pqueue: Update of unqueued vertex")
+	}
+	old := q.heap[i].gain
+	q.heap[i].gain = gain
+	if gain > old {
+		q.up(i)
+	} else if gain < old {
+		q.down(i)
+	}
+}
+
+// Delete removes queued vertex v.
+func (q *Queue) Delete(v int32) {
+	i := int(q.pos[v])
+	if i < 0 {
+		panic("pqueue: Delete of unqueued vertex")
+	}
+	q.remove(i)
+}
+
+func (q *Queue) remove(i int) {
+	last := len(q.heap) - 1
+	q.pos[q.heap[i].vtx] = -1
+	if i != last {
+		moved := q.heap[last]
+		q.heap[i] = moved
+		q.pos[moved.vtx] = int32(i)
+	}
+	q.heap = q.heap[:last]
+	if i != last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *Queue) up(i int) {
+	e := q.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.heap[parent].gain >= e.gain {
+			break
+		}
+		q.heap[i] = q.heap[parent]
+		q.pos[q.heap[i].vtx] = int32(i)
+		i = parent
+	}
+	q.heap[i] = e
+	q.pos[e.vtx] = int32(i)
+}
+
+func (q *Queue) down(i int) {
+	e := q.heap[i]
+	n := len(q.heap)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if kid+1 < n && q.heap[kid+1].gain > q.heap[kid].gain {
+			kid++
+		}
+		if q.heap[kid].gain <= e.gain {
+			break
+		}
+		q.heap[i] = q.heap[kid]
+		q.pos[q.heap[i].vtx] = int32(i)
+		i = kid
+	}
+	q.heap[i] = e
+	q.pos[e.vtx] = int32(i)
+}

@@ -1,0 +1,168 @@
+package pqueue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBasicOrdering(t *testing.T) {
+	q := New(10)
+	q.Push(3, 5)
+	q.Push(7, 10)
+	q.Push(1, -2)
+	if v, g := q.Pop(); v != 7 || g != 10 {
+		t.Fatalf("Pop = (%d,%d), want (7,10)", v, g)
+	}
+	if v, g := q.Pop(); v != 3 || g != 5 {
+		t.Fatalf("Pop = (%d,%d), want (3,5)", v, g)
+	}
+	if v, g := q.Pop(); v != 1 || g != -2 {
+		t.Fatalf("Pop = (%d,%d), want (1,-2)", v, g)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestUpdateMovesBothWays(t *testing.T) {
+	q := New(5)
+	for v := int32(0); v < 5; v++ {
+		q.Push(v, int64(v))
+	}
+	q.Update(0, 100) // up
+	if v, _ := q.Peek(); v != 0 {
+		t.Fatalf("Peek = %d, want 0 after raise", v)
+	}
+	q.Update(0, -100) // down
+	if v, _ := q.Peek(); v != 4 {
+		t.Fatalf("Peek = %d, want 4 after lower", v)
+	}
+	if g := q.Gain(0); g != -100 {
+		t.Fatalf("Gain(0) = %d", g)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	q := New(5)
+	for v := int32(0); v < 5; v++ {
+		q.Push(v, int64(v))
+	}
+	q.Delete(4)
+	q.Delete(2)
+	if q.Contains(4) || q.Contains(2) {
+		t.Fatal("deleted vertices still present")
+	}
+	if v, _ := q.Pop(); v != 3 {
+		t.Fatalf("Pop = %d, want 3", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := New(4)
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Reset()
+	if q.Len() != 0 || q.Contains(1) || q.Contains(2) {
+		t.Fatal("Reset did not clear")
+	}
+	q.Push(1, 9) // must not panic after reset
+	if v, g := q.Pop(); v != 1 || g != 9 {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	q := New(3)
+	q.Push(1, 0)
+	for name, f := range map[string]func(){
+		"double push":     func() { q.Push(1, 1) },
+		"update unqueued": func() { q.Update(2, 1) },
+		"delete unqueued": func() { q.Delete(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMatchesSortedOrder drains a randomly built queue and verifies the
+// gains emerge in non-increasing order, against a sort-based oracle.
+func TestMatchesSortedOrder(t *testing.T) {
+	r := rng.New(7)
+	err := quick.Check(func(seed uint16) bool {
+		n := 1 + int(seed)%200
+		q := New(n)
+		gains := make([]int64, n)
+		for v := 0; v < n; v++ {
+			gains[v] = int64(r.Intn(50) - 25)
+			q.Push(int32(v), gains[v])
+		}
+		// Random updates.
+		for i := 0; i < n/2; i++ {
+			v := int32(r.Intn(n))
+			gains[v] = int64(r.Intn(50) - 25)
+			q.Update(v, gains[v])
+		}
+		sort.Slice(gains, func(i, j int) bool { return gains[i] > gains[j] })
+		for i := 0; i < n; i++ {
+			_, g := q.Pop()
+			if g != gains[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedOperationsKeepHeapValid(t *testing.T) {
+	r := rng.New(99)
+	const n = 300
+	q := New(n)
+	present := make(map[int32]int64)
+	for step := 0; step < 20000; step++ {
+		v := int32(r.Intn(n))
+		switch {
+		case !q.Contains(v):
+			g := int64(r.Intn(1000) - 500)
+			q.Push(v, g)
+			present[v] = g
+		case r.Bool():
+			g := int64(r.Intn(1000) - 500)
+			q.Update(v, g)
+			present[v] = g
+		default:
+			q.Delete(v)
+			delete(present, v)
+		}
+		if q.Len() != len(present) {
+			t.Fatalf("step %d: Len=%d, oracle=%d", step, q.Len(), len(present))
+		}
+	}
+	// Drain and verify the max invariant against the oracle.
+	var prev int64 = 1 << 62
+	for q.Len() > 0 {
+		v, g := q.Pop()
+		if g > prev {
+			t.Fatalf("pop order violated: %d after %d", g, prev)
+		}
+		if present[v] != g {
+			t.Fatalf("vertex %d gain %d, oracle %d", v, g, present[v])
+		}
+		delete(present, v)
+		prev = g
+	}
+	if len(present) != 0 {
+		t.Fatalf("%d vertices lost", len(present))
+	}
+}

@@ -1,0 +1,34 @@
+package prefine
+
+import "repro/internal/rng"
+
+// DebugRefine is a test-only instrumented variant of Refine that reports
+// (moves, cut-proxy) per phase via the callback on rank 0.
+func (r *Refiner) DebugRefine(rand *rng.RNG, report func(pass int, kind string, moves int64, imb float64)) int64 {
+	var totalMoves int64
+	for pass := 0; pass < r.opt.Passes; pass++ {
+		var moves int64
+		if r.imbalanced() {
+			mv := r.phase(rand, phaseBalance)
+			if report != nil {
+				report(pass, "balance", mv, r.Imbalance())
+			}
+			moves += mv
+		}
+		mv := r.phase(rand, phaseUp)
+		if report != nil {
+			report(pass, "up", mv, r.Imbalance())
+		}
+		moves += mv
+		mv = r.phase(rand, phaseDown)
+		if report != nil {
+			report(pass, "down", mv, r.Imbalance())
+		}
+		moves += mv
+		totalMoves += moves
+		if moves == 0 {
+			break
+		}
+	}
+	return totalMoves
+}

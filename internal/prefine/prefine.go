@@ -1,0 +1,695 @@
+// Package prefine implements the paper's central contribution: parallel
+// multilevel refinement for multi-constraint partitionings that is as
+// permissive as serial refinement while keeping all m constraints (nearly)
+// balanced — the two-pass reservation scheme of Section 2.
+//
+// Per refinement iteration (two sweeps, which Options.DirectionFilter can
+// restrict to "up"/"down" target subdomains — the coarse-grain
+// formulation's oscillation guard, off by default; see DESIGN.md):
+//
+//  1. Proposal pass: each rank scans its boundary vertices exactly like the
+//     serial greedy algorithm — against the current replicated subdomain
+//     weights plus its *own* tentative deltas — but records the moves in
+//     temporary structures instead of committing them.
+//  2. A global reduction sums, per (subdomain, constraint), the proposed
+//     inflow and the proposed net change.
+//  3. If committing everything would push a subdomain over its limit, each
+//     rank disallows the paper's portion — one minus the subdomain's
+//     remaining extra space divided by the total proposed inflow — of its
+//     own proposed moves into that subdomain.
+//
+// The paper selects the disallowed moves *randomly*, accepts that the
+// resulting weights can drift slightly past the limits, and relies on later
+// iterations to absorb the residual. This implementation keeps the same
+// portion but selects deterministically: each rank spends its proportional
+// share of the remaining space on its highest-gain proposals first (see
+// applyReservation). On coarse graphs — where the paper itself observes the
+// vertex granularity makes overshoot likely — random selection has high
+// weight variance and measurably worse balance/edge-cut trade-offs; the
+// gain-ordered variant guarantees no subdomain is pushed past its limit by
+// committed inflow while disallowing no more weight than the paper's rule.
+//
+// The package also implements the two rejected designs as ablations: the
+// static "slice" allocation (each rank may move at most extra/p weight into
+// a subdomain — the scheme the paper measured at up to 50% worse edge-cut)
+// and unrestricted commits (no balance protection at all).
+package prefine
+
+import (
+	"sort"
+
+	"repro/internal/pgraph"
+	"repro/internal/rng"
+	"repro/internal/vecw"
+)
+
+// Scheme selects how concurrent refinement protects balance.
+type Scheme int
+
+const (
+	// Reservation is the paper's contribution (default).
+	Reservation Scheme = iota
+	// Slice statically splits each subdomain's extra space across ranks
+	// (ablation: overly restrictive).
+	Slice
+	// SliceSmart splits each subdomain's extra space proportionally to
+	// each rank's demand — the weight of its border vertices with
+	// cut-improving moves into the subdomain. This is the "more
+	// intelligent allocation" family the paper reports investigating
+	// (allocations based on potential edge-cut improvements and border
+	// vertex weights) and still found up to 50% worse than the
+	// reservation scheme.
+	SliceSmart
+	// Free commits every proposed move (ablation: no protection).
+	Free
+)
+
+// String names the scheme for experiment output.
+func (s Scheme) String() string {
+	switch s {
+	case Reservation:
+		return "reservation"
+	case Slice:
+		return "slice"
+	case SliceSmart:
+		return "slice-smart"
+	case Free:
+		return "free"
+	}
+	return "unknown"
+}
+
+// Options configures parallel refinement.
+type Options struct {
+	Tol    float64
+	Passes int
+	Scheme Scheme
+	// Rounds splits each sweep into this many propose/reduce/commit
+	// rounds (default 3): more rounds refresh the replicated subdomain
+	// weights more often at the price of extra collectives.
+	Rounds int
+	// DirectionFilter restricts the two refinement sub-phases of each pass
+	// to higher-/lower-numbered target subdomains respectively, the
+	// oscillation guard of the coarse-grain formulation [4]. Off by
+	// default: with tentative within-rank state and pass-level rollback
+	// the guarded oscillation does not materialize, and the restriction
+	// costs ~20% edge-cut (BenchmarkAblationDirection).
+	DirectionFilter bool
+}
+
+// Refiner refines the distributed partitioning of one graph level.
+type Refiner struct {
+	dg  *pgraph.DGraph
+	k   int
+	m   int
+	opt Options
+
+	part      []int32 // owned vertices' labels
+	ghostPart []int32
+
+	pwgts []int64 // replicated k*m subdomain weights
+	limit []int64
+	avg   []float64
+
+	// scratch
+	edw     []int64
+	mark    []int32
+	touched []int32
+	order   []int32
+
+	// proposal buffers
+	propV    []int32
+	propFrom []int32
+	propTo   []int32
+	propGain []int64
+}
+
+// proposed move bookkeeping sizes: inflow and net deltas are k*m each.
+
+// NewRefiner wraps the distributed graph and the rank's current labels
+// (length NLocal). Collective: computes global subdomain weights.
+func NewRefiner(dg *pgraph.DGraph, part []int32, k int, opt Options) *Refiner {
+	if opt.Tol <= 0 {
+		opt.Tol = 0.05
+	}
+	if opt.Passes <= 0 {
+		opt.Passes = 10
+	}
+	m := dg.Ncon
+	r := &Refiner{
+		dg: dg, k: k, m: m, opt: opt,
+		part:      part,
+		ghostPart: make([]int32, dg.NGhost()),
+		pwgts:     make([]int64, k*m),
+		limit:     make([]int64, k*m),
+		avg:       make([]float64, m),
+		edw:       make([]int64, k),
+		mark:      make([]int32, k),
+		touched:   make([]int32, 0, k),
+		order:     make([]int32, dg.NLocal()),
+	}
+	for i := range r.mark {
+		r.mark[i] = -1
+	}
+	for v := 0; v < dg.NLocal(); v++ {
+		vecw.Add(r.pwgts[int(part[v])*m:(int(part[v])+1)*m], dg.Vwgt[v*m:(v+1)*m])
+	}
+	dg.Comm.AllreduceSumI64(r.pwgts)
+	total := dg.TotalVertexWeight()
+	for c := 0; c < m; c++ {
+		r.avg[c] = float64(total[c]) / float64(k)
+		lim := vecw.Limit(total[c], k, opt.Tol)
+		for s := 0; s < k; s++ {
+			r.limit[s*m+c] = lim
+		}
+	}
+	dg.ExchangeGhostsI32(part, r.ghostPart)
+	return r
+}
+
+// Part returns the rank's current labels (aliases the slice passed in).
+func (r *Refiner) Part() []int32 { return r.part }
+
+// Imbalance returns the current global max imbalance (replicated state, no
+// communication).
+func (r *Refiner) Imbalance() float64 {
+	worst := 0.0
+	for s := 0; s < r.k; s++ {
+		if x := vecw.MaxRatio(r.pwgts[s*r.m:(s+1)*r.m], r.avg); x > worst {
+			worst = x
+		}
+	}
+	return worst
+}
+
+func (r *Refiner) imbalanced() bool { return vecw.AnyOver(r.pwgts, r.limit) }
+
+// Refine runs refinement iterations until the edge-cut stops improving (at
+// balance) or the pass budget is exhausted. Collective. Returns total
+// global moves.
+func (r *Refiner) Refine(rand *rng.RNG) int64 {
+	var totalMoves int64
+	prevCut := r.globalCut()
+	stale := 0
+	var snapPart []int32
+	var snapPwgts []int64
+	for pass := 0; pass < r.opt.Passes; pass++ {
+		// Snapshot balanced states: concurrent stale gains can make a pass
+		// a net loss, and unlike the serial FM there is no per-move
+		// rollback — so roll back whole passes that hurt a balanced
+		// partitioning. (A pass starting imbalanced is kept regardless:
+		// its job is balance, which is worth edge-cut.)
+		startBalanced := !r.imbalanced()
+		if startBalanced {
+			snapPart = append(snapPart[:0], r.part...)
+			snapPwgts = append(snapPwgts[:0], r.pwgts...)
+		}
+		var moves int64
+		// Balance phases repeat (each bounded by the fair-share quota)
+		// until the constraints are back under their limits or progress
+		// stops; refinement on an imbalanced partitioning just fights the
+		// balancer.
+		for i := 0; i < 3 && r.imbalanced(); i++ {
+			mv := r.phase(rand, phaseBalance)
+			moves += mv
+			if mv == 0 {
+				break
+			}
+		}
+		moves += r.phase(rand, phaseUp)
+		moves += r.phase(rand, phaseDown)
+		totalMoves += moves
+		cut := r.globalCut()
+		if moves == 0 {
+			break
+		}
+		if cut >= prevCut && !r.imbalanced() {
+			if startBalanced && cut > prevCut {
+				// Net loss on a balanced partitioning: revert the pass.
+				copy(r.part, snapPart)
+				copy(r.pwgts, snapPwgts)
+				r.dg.ExchangeGhostsI32(r.part, r.ghostPart)
+				break
+			}
+			stale++
+			if stale >= 2 {
+				break
+			}
+		} else {
+			stale = 0
+		}
+		if cut < prevCut {
+			prevCut = cut
+		}
+	}
+	return totalMoves
+}
+
+// globalCut returns the current edge-cut (collective). Each rank counts its
+// owned endpoints' cut edge weight; every cut edge is counted exactly twice
+// across the world (once per endpoint, regardless of ownership).
+func (r *Refiner) globalCut() int64 {
+	dg := r.dg
+	nlocal := dg.NLocal()
+	var local int64
+	for v := 0; v < nlocal; v++ {
+		a := r.part[v]
+		start, end := dg.Xadj[v], dg.Xadj[v+1]
+		for e := start; e < end; e++ {
+			u := dg.Adjncy[e]
+			var b int32
+			if int(u) < nlocal {
+				b = r.part[u]
+			} else {
+				b = r.ghostPart[int(u)-nlocal]
+			}
+			if b != a {
+				local += int64(dg.Adjwgt[e])
+			}
+		}
+	}
+	dg.Comm.Work(int(dg.Xadj[nlocal]))
+	buf := []int64{local}
+	dg.Comm.AllreduceSumI64(buf)
+	return buf[0] / 2
+}
+
+type phaseKind int
+
+const (
+	phaseUp      phaseKind = iota // only moves to higher-numbered subdomains
+	phaseDown                     // only moves to lower-numbered subdomains
+	phaseBalance                  // cut-damage-minimizing moves out of overweight subdomains
+)
+
+// phase runs one full sweep over the owned vertices as a sequence of
+// propose/reduce/commit rounds (Options.Rounds chunks of the random visit
+// order) and returns the global number of committed moves. Chunking
+// matters for many-constraint problems: a move into a full subdomain only
+// becomes legal after another rank's outflow from it commits, so shorter
+// rounds let such exchange chains form across ranks within one sweep.
+func (r *Refiner) phase(rand *rng.RNG, kind phaseKind) int64 {
+	rand.Perm(r.order)
+	rounds := r.opt.Rounds
+	if rounds <= 0 {
+		// Exchange chains across ranks only matter when feasible moves are
+		// scarce — many constraints hovering at their limits. Below four
+		// constraints a single update per sweep matches serial quality, so
+		// the extra collectives are not worth their latency. The rejected
+		// schemes (slice, free) are always modeled at the paper's
+		// one-update-per-sweep granularity.
+		if r.opt.Scheme == Reservation && r.m >= 4 {
+			rounds = 3
+		} else {
+			rounds = 1
+		}
+	}
+	var total int64
+	n := len(r.order)
+	for i := 0; i < rounds; i++ {
+		lo, hi := i*n/rounds, (i+1)*n/rounds
+		total += r.round(rand, kind, r.order[lo:hi])
+	}
+	return total
+}
+
+// round is one propose/reduce/commit cycle over the given vertices.
+func (r *Refiner) round(rand *rng.RNG, kind phaseKind, verts []int32) int64 {
+	dg := r.dg
+	m := r.m
+	k := r.k
+
+	r.propV = r.propV[:0]
+	r.propTo = r.propTo[:0]
+	r.propFrom = r.propFrom[:0]
+	r.propGain = r.propGain[:0]
+	ldelta := make([]int64, k*m) // this rank's tentative net change
+	inflow := make([]int64, k*m) // this rank's proposed inflow
+
+	// Static slice allocation for the ablation schemes: each rank may claim
+	// a pre-agreed share of every subdomain's remaining space — an equal
+	// 1/p share (Slice), or a share proportional to the rank's demand
+	// (SliceSmart), which costs one extra reduction per phase.
+	var slice []int64
+	switch r.opt.Scheme {
+	case Slice:
+		slice = make([]int64, k*m)
+		p := int64(dg.Comm.Size())
+		for i := range slice {
+			if extra := r.limit[i] - r.pwgts[i]; extra > 0 {
+				slice[i] = extra / p
+			}
+		}
+	case SliceSmart:
+		slice = r.smartSlices()
+	}
+
+	// Balance-phase fair-share quota: if every rank independently drained a
+	// whole subdomain's excess the group would overshoot by p, flipping the
+	// imbalance elsewhere, so each rank only proposes its 1/p share (plus
+	// one vertex of slack) of any (subdomain, constraint) excess per phase.
+	var quota []int64
+	if kind == phaseBalance {
+		quota = make([]int64, k*m)
+		p := int64(dg.Comm.Size())
+		for i := range quota {
+			if excess := r.pwgts[i] - r.limit[i]; excess > 0 {
+				quota[i] = excess/p + 1
+			}
+		}
+	}
+
+	work := 0
+	for _, v := range verts {
+		a := r.part[v]
+		if kind == phaseBalance {
+			// Only drain subdomains still over limit, within this rank's
+			// fair-share quota for at least one violated constraint.
+			hasQuota := false
+			for c := 0; c < m; c++ {
+				if quota[int(a)*m+c] > 0 && r.pwgts[int(a)*m+c]+ldelta[int(a)*m+c] > r.limit[int(a)*m+c] {
+					hasQuota = true
+					break
+				}
+			}
+			if !hasQuota {
+				continue
+			}
+		}
+		id, boundary := r.gatherExternal(v)
+		work += dg.Degree(int(v))
+		if !boundary && kind != phaseBalance {
+			continue
+		}
+		vw := dg.LocalVertexWeight(v)
+		bestB := int32(-1)
+		var bestGain int64
+		bestBal := 0.0
+		for _, b := range r.touched {
+			gain := r.edw[b] - id
+			if kind != phaseBalance && gain <= 0 {
+				// Unlike the serial greedy pass, zero-gain balance-improving
+				// moves are not worth proposing here: their realized gain
+				// under concurrent remote moves has negative expectation and
+				// they churn endlessly on workloads with zero-weight edges
+				// (Type 2). The balance phase owns balance-improving moves.
+				continue
+			}
+			if !r.acceptable(kind, a, b, vw, gain, ldelta, slice) {
+				continue
+			}
+			bal := r.balanceDelta(a, b, vw)
+			if kind == phaseBalance && bal >= 0 {
+				continue
+			}
+			if bestB < 0 || gain > bestGain || (gain == bestGain && bal < bestBal) {
+				bestB, bestGain, bestBal = b, gain, bal
+			}
+		}
+		if bestB < 0 && kind == phaseBalance {
+			// Overweight subdomain with no adjacent relief: consider all.
+			for b := int32(0); int(b) < k; b++ {
+				if b == a || r.mark[b] == v {
+					continue
+				}
+				gain := -id
+				if !r.acceptable(kind, a, b, vw, gain, ldelta, slice) {
+					continue
+				}
+				if bal := r.balanceDelta(a, b, vw); bal < 0 && (bestB < 0 || bal < bestBal) {
+					bestB, bestGain, bestBal = b, gain, bal
+				}
+			}
+		}
+		if bestB < 0 {
+			continue
+		}
+		// Apply tentatively: within this rank subsequent gain computations
+		// see the move ("only temporary data structures are updated" —
+		// remote ranks still see the phase-start state). Disallowed moves
+		// are rolled back after the reduction.
+		r.propV = append(r.propV, v)
+		r.propFrom = append(r.propFrom, a)
+		r.propTo = append(r.propTo, bestB)
+		r.propGain = append(r.propGain, bestGain)
+		r.part[v] = bestB
+		vecw.Sub(ldelta[int(a)*m:(int(a)+1)*m], vw)
+		vecw.Add(ldelta[int(bestB)*m:(int(bestB)+1)*m], vw)
+		vecw.Add(inflow[int(bestB)*m:(int(bestB)+1)*m], vw)
+		if slice != nil {
+			// Charge the claimed space against this rank's slice.
+			for c := 0; c < m; c++ {
+				slice[int(bestB)*m+c] -= int64(vw[c])
+			}
+		}
+		if kind == phaseBalance {
+			for c := 0; c < m; c++ {
+				quota[int(a)*m+c] -= int64(vw[c])
+			}
+		}
+	}
+	dg.Comm.Work(work)
+
+	// Global reduction: proposed inflow per (subdomain, constraint).
+	globalInflow := append([]int64(nil), inflow...)
+	dg.Comm.AllreduceSumI64(globalInflow)
+
+	// Reservation: each rank must disallow the portion of its proposed
+	// moves into would-be-overweight subdomains that exceeds the
+	// subdomain's remaining extra space. The paper selects the disallowed
+	// moves randomly and notes poor selections are corrected later; we
+	// disallow the *lowest-gain* moves within a budget proportional to
+	// this rank's share of the proposed inflow — same disallowed portion,
+	// deterministic selection, much lower weight-overshoot variance on
+	// coarse graphs where individual vertices are heavy.
+	disallow := make([]bool, len(r.propV))
+	if r.opt.Scheme == Reservation {
+		r.applyReservation(globalInflow, inflow, disallow)
+	}
+
+	// Commit pass: roll the disallowed tentative moves back; the survivors
+	// are already applied.
+	committed := make([]int64, k*m)
+	var moves int64
+	for i, v := range r.propV {
+		a, b := r.propFrom[i], r.propTo[i]
+		vw := dg.LocalVertexWeight(v)
+		if disallow[i] {
+			r.part[v] = a
+			continue
+		}
+		vecw.Sub(committed[int(a)*m:(int(a)+1)*m], vw)
+		vecw.Add(committed[int(b)*m:(int(b)+1)*m], vw)
+		moves++
+	}
+	dg.Comm.AllreduceSumI64(committed)
+	for i := range r.pwgts {
+		r.pwgts[i] += committed[i]
+	}
+	dg.ExchangeGhostsI32(r.part, r.ghostPart)
+
+	mv := []int64{moves}
+	dg.Comm.AllreduceSumI64(mv)
+	return mv[0]
+}
+
+// smartSlices allocates each subdomain's extra space across ranks
+// proportionally to demand: this rank's demand for subdomain b is the
+// summed weight of its border vertices whose best cut-improving move
+// targets b. One extra all-reduce per phase. This reproduces the
+// "intelligent allocation" family of schemes the paper investigated and
+// rejected.
+func (r *Refiner) smartSlices() []int64 {
+	dg := r.dg
+	m := r.m
+	k := r.k
+	demand := make([]int64, k*m)
+	nlocal := dg.NLocal()
+	for v := int32(0); int(v) < nlocal; v++ {
+		id, boundary := r.gatherExternal(v)
+		if !boundary {
+			continue
+		}
+		a := r.part[v]
+		bestB := int32(-1)
+		var bestGain int64
+		for _, b := range r.touched {
+			if b == a {
+				continue
+			}
+			if gain := r.edw[b] - id; gain > 0 && (bestB < 0 || gain > bestGain) {
+				bestB, bestGain = b, gain
+			}
+		}
+		if bestB >= 0 {
+			vecw.Add(demand[int(bestB)*m:(int(bestB)+1)*m], dg.LocalVertexWeight(v))
+		}
+	}
+	dg.Comm.Work(int(dg.Xadj[nlocal]))
+	totalDemand := append([]int64(nil), demand...)
+	dg.Comm.AllreduceSumI64(totalDemand)
+
+	slice := make([]int64, k*m)
+	for i := range slice {
+		extra := r.limit[i] - r.pwgts[i]
+		if extra <= 0 || totalDemand[i] == 0 {
+			continue
+		}
+		if demand[i] >= totalDemand[i] {
+			slice[i] = extra
+		} else {
+			slice[i] = extra * demand[i] / totalDemand[i]
+		}
+	}
+	return slice
+}
+
+// applyReservation marks the proposals this rank must disallow: for every
+// (subdomain b, constraint c) where committing all proposals would exceed
+// the limit, the rank may only land its proportional share of the extra
+// space — budget[c] = extra[c] * ownInflow[c] / globalInflow[c] — and it
+// spends that budget on its highest-gain proposals into b first.
+func (r *Refiner) applyReservation(globalInflow, ownInflow []int64, disallow []bool) {
+	m := r.m
+	k := r.k
+	// Group this rank's proposal indices by target subdomain.
+	byTarget := make([][]int, k)
+	for i, b := range r.propTo {
+		byTarget[b] = append(byTarget[b], i)
+	}
+	budget := make([]int64, m)
+	for b := 0; b < k; b++ {
+		if len(byTarget[b]) == 0 {
+			continue
+		}
+		capped := false
+		for c := 0; c < m; c++ {
+			i := b*m + c
+			budget[c] = 1 << 62
+			if globalInflow[i] == 0 || r.pwgts[i]+globalInflow[i] <= r.limit[i] {
+				continue
+			}
+			extra := r.limit[i] - r.pwgts[i]
+			if extra < 0 {
+				extra = 0
+			}
+			budget[c] = extra * ownInflow[i] / globalInflow[i]
+			capped = true
+		}
+		if !capped {
+			continue
+		}
+		idx := byTarget[b]
+		sort.Slice(idx, func(x, y int) bool { return r.propGain[idx[x]] > r.propGain[idx[y]] })
+		for _, i := range idx {
+			vw := r.dg.LocalVertexWeight(r.propV[i])
+			fits := true
+			for c := 0; c < m; c++ {
+				if int64(vw[c]) > budget[c] {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				disallow[i] = true
+				continue
+			}
+			for c := 0; c < m; c++ {
+				budget[c] -= int64(vw[c])
+			}
+		}
+	}
+	r.dg.Comm.Work(len(r.propV))
+}
+
+// acceptable applies the phase's direction filter and the tentative
+// balance check for a candidate move of vertex weight vw from a to b.
+func (r *Refiner) acceptable(kind phaseKind, a, b int32, vw []int32, gain int64, ldelta, slice []int64) bool {
+	m := r.m
+	switch kind {
+	case phaseUp:
+		if gain < 0 || (r.opt.DirectionFilter && b <= a) {
+			return false
+		}
+	case phaseDown:
+		if gain < 0 || (r.opt.DirectionFilter && b >= a) {
+			return false
+		}
+	case phaseBalance:
+		// any direction, any gain
+	}
+	switch r.opt.Scheme {
+	case Slice, SliceSmart:
+		// May only claim space from this rank's pre-agreed slice.
+		for c := 0; c < m; c++ {
+			if int64(vw[c]) > slice[int(b)*m+c] {
+				return false
+			}
+		}
+		return true
+	default:
+		// Tentative local view: replicated weights plus this rank's own
+		// pending deltas must stay within limits. (Other ranks' concurrent
+		// proposals are invisible — that is exactly the relaxation the
+		// reservation pass repairs.)
+		for c := 0; c < m; c++ {
+			i := int(b)*m + c
+			if r.pwgts[i]+ldelta[i]+int64(vw[c]) > r.limit[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// gatherExternal accumulates the edge weight from owned vertex v to each
+// foreign subdomain (using ghost labels for remote neighbors); returns the
+// internal degree and whether v is a boundary vertex.
+func (r *Refiner) gatherExternal(v int32) (id int64, boundary bool) {
+	dg := r.dg
+	for _, b := range r.touched {
+		r.mark[b] = -1
+		r.edw[b] = 0
+	}
+	r.touched = r.touched[:0]
+	a := r.part[v]
+	nlocal := dg.NLocal()
+	start, end := dg.Xadj[v], dg.Xadj[v+1]
+	for e := start; e < end; e++ {
+		u := dg.Adjncy[e]
+		var b int32
+		if int(u) < nlocal {
+			b = r.part[u]
+		} else {
+			b = r.ghostPart[int(u)-nlocal]
+		}
+		if b == a {
+			id += int64(dg.Adjwgt[e])
+			continue
+		}
+		if r.mark[b] != v {
+			r.mark[b] = v
+			r.touched = append(r.touched, b)
+		}
+		r.edw[b] += int64(dg.Adjwgt[e])
+	}
+	return id, len(r.touched) > 0
+}
+
+// balanceDelta mirrors the serial refiner: change in Σ_c (load/avg)² over
+// subdomains a and b when vw moves from a to b (negative = improves).
+func (r *Refiner) balanceDelta(a, b int32, vw []int32) float64 {
+	m := r.m
+	var before, after float64
+	for c := 0; c < m; c++ {
+		if r.avg[c] <= 0 {
+			continue
+		}
+		wa := float64(r.pwgts[int(a)*m+c])
+		wb := float64(r.pwgts[int(b)*m+c])
+		w := float64(vw[c])
+		before += (wa*wa + wb*wb) / (r.avg[c] * r.avg[c])
+		after += ((wa-w)*(wa-w) + (wb+w)*(wb+w)) / (r.avg[c] * r.avg[c])
+	}
+	return after - before
+}

@@ -1,0 +1,126 @@
+// Package rcb implements recursive coordinate bisection, the classic
+// geometric partitioner that multilevel graph partitioning displaced. It
+// serves as a baseline: fast and perfectly balanced in the *total* weight,
+// but blind to the graph (higher edge-cuts) and to individual constraints
+// (it balances the combined weight, so multi-constraint balance is
+// accidental at best) — exactly the contrast that motivates the paper's
+// formulation.
+package rcb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Partition splits n points (3 coordinates each, e.g. mesh element
+// centroids) into k parts by recursive coordinate bisection. Vertex
+// weights, if g is non-nil, weight the median split by the vertices'
+// combined (summed over constraints) weight; a nil graph means unit
+// weights. Returns a label per point.
+func Partition(coords []float64, g *graph.Graph, k int) ([]int32, error) {
+	if len(coords)%3 != 0 {
+		return nil, fmt.Errorf("rcb: coords length %d not a multiple of 3", len(coords))
+	}
+	n := len(coords) / 3
+	if k < 1 {
+		return nil, fmt.Errorf("rcb: k = %d", k)
+	}
+	if k > n && n > 0 {
+		return nil, fmt.Errorf("rcb: k = %d exceeds %d points", k, n)
+	}
+	w := make([]int64, n)
+	if g != nil {
+		if g.NumVertices() != n {
+			return nil, fmt.Errorf("rcb: graph has %d vertices, coords describe %d points", g.NumVertices(), n)
+		}
+		for v := 0; v < n; v++ {
+			var s int64 = 1
+			for _, x := range g.VertexWeight(int32(v)) {
+				s += int64(x)
+			}
+			w[v] = s
+		}
+	} else {
+		for v := range w {
+			w[v] = 1
+		}
+	}
+	part := make([]int32, n)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	recurse(coords, w, idx, k, 0, part)
+	return part, nil
+}
+
+// recurse assigns labels [base, base+k) to the points in idx.
+func recurse(coords []float64, w []int64, idx []int32, k int, base int32, part []int32) {
+	if k <= 1 {
+		for _, v := range idx {
+			part[v] = base
+		}
+		return
+	}
+	k0 := (k + 1) / 2
+	k1 := k - k0
+
+	// Split along the axis with the largest extent.
+	axis := widestAxis(coords, idx)
+	sort.Slice(idx, func(i, j int) bool {
+		return coords[3*int(idx[i])+axis] < coords[3*int(idx[j])+axis]
+	})
+
+	// Weighted split point: prefix holding fraction k0/k of the weight.
+	var total int64
+	for _, v := range idx {
+		total += w[v]
+	}
+	target := total * int64(k0) / int64(k)
+	var acc int64
+	split := 0
+	for split = 0; split < len(idx)-1; split++ {
+		acc += w[idx[split]]
+		if acc >= target {
+			split++
+			break
+		}
+	}
+	if split == 0 {
+		split = 1
+	}
+	if split >= len(idx) {
+		split = len(idx) - 1
+	}
+	left := append([]int32(nil), idx[:split]...)
+	right := append([]int32(nil), idx[split:]...)
+	recurse(coords, w, left, k0, base, part)
+	recurse(coords, w, right, k1, base+int32(k0), part)
+}
+
+func widestAxis(coords []float64, idx []int32) int {
+	var lo, hi [3]float64
+	for a := 0; a < 3; a++ {
+		lo[a], hi[a] = coords[3*int(idx[0])+a], coords[3*int(idx[0])+a]
+	}
+	for _, v := range idx {
+		for a := 0; a < 3; a++ {
+			c := coords[3*int(v)+a]
+			if c < lo[a] {
+				lo[a] = c
+			}
+			if c > hi[a] {
+				hi[a] = c
+			}
+		}
+	}
+	best, bestExt := 0, hi[0]-lo[0]
+	for a := 1; a < 3; a++ {
+		if ext := hi[a] - lo[a]; ext > bestExt {
+			best, bestExt = a, ext
+		}
+	}
+	return best
+}

@@ -1,0 +1,106 @@
+package rcb
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/serial"
+)
+
+func TestRCBBalancesUnitWeights(t *testing.T) {
+	m := mesh.StructuredQuad(16, 16)
+	coords, err := m.ElementCentroids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Partition(coords, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	for _, p := range part {
+		if p < 0 || p >= 8 {
+			t.Fatalf("label %d out of range", p)
+		}
+		counts[p]++
+	}
+	for s, c := range counts {
+		if c < 28 || c > 36 { // 256/8 = 32 ± ~12%
+			t.Errorf("part %d holds %d elements, want ~32", s, c)
+		}
+	}
+}
+
+func TestRCBGeometricLocality(t *testing.T) {
+	// On a structured mesh RCB should produce a decent (if not optimal)
+	// cut: within 4x of the multilevel partitioner.
+	m := mesh.StructuredQuad(24, 24)
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords, err := m.ElementCentroids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Partition(coords, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcbCut := metrics.EdgeCut(g, part)
+	mlPart, _, err := serial.Partition(g, 8, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlCut := metrics.EdgeCut(g, mlPart)
+	t.Logf("rcb cut=%d, multilevel cut=%d", rcbCut, mlCut)
+	if rcbCut > 4*mlCut {
+		t.Errorf("RCB cut %d absurdly worse than multilevel %d", rcbCut, mlCut)
+	}
+}
+
+// TestRCBFailsMultiConstraint documents why the paper exists: RCB balances
+// the combined weight but not the individual constraints.
+func TestRCBFailsMultiConstraint(t *testing.T) {
+	m := mesh.StructuredHex(12, 12, 12)
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := gen.Type2(g, 3, 42) // 3-phase weights on the dual
+	coords, err := m.ElementCentroids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Partition(coords, g2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcbImb := metrics.MaxImbalance(g2, part, 8)
+	mlPart, _, err := serial.Partition(g2, 8, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlImb := metrics.MaxImbalance(g2, mlPart, 8)
+	t.Logf("worst-phase imbalance: rcb=%.3f multilevel=%.3f", rcbImb, mlImb)
+	if mlImb > 1.06 {
+		t.Errorf("multilevel should balance all phases, got %.3f", mlImb)
+	}
+	if rcbImb < mlImb {
+		t.Errorf("RCB unexpectedly balanced the phases better (%.3f < %.3f)", rcbImb, mlImb)
+	}
+}
+
+func TestRCBErrors(t *testing.T) {
+	if _, err := Partition([]float64{1, 2}, nil, 2); err == nil {
+		t.Error("ragged coords accepted")
+	}
+	if _, err := Partition(make([]float64, 9), nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Partition(make([]float64, 9), nil, 5); err == nil {
+		t.Error("k>n accepted")
+	}
+}

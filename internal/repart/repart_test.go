@@ -1,0 +1,221 @@
+package repart
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/serial"
+)
+
+// driftedProblem builds a mesh, partitions it for its initial Type 1
+// weights, then returns the SAME partition against *completely new*
+// weights (a different workload seed) — a severe drift, typically far
+// beyond the ~20% imbalance the paper says in-place refinement can repair.
+func driftedProblem(t *testing.T, m, k int) (g *graph.Graph, part []int32) {
+	t.Helper()
+	base := gen.MRNGLike(12, 12, 12, 3)
+	g0 := gen.Type1(base, m, 42)
+	part, _, err := serial.Partition(g0, k, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = gen.Type1(base, m, 999) // new weights, old partition
+	return g, part
+}
+
+// mildDrift doubles the weights of a random ~8% of vertices — the kind of
+// local adaptation diffusion is meant for.
+func mildDrift(t *testing.T, m, k int) (g *graph.Graph, part []int32) {
+	t.Helper()
+	base := gen.MRNGLike(12, 12, 12, 3)
+	g0 := gen.Type1(base, m, 42)
+	part, _, err := serial.Partition(g0, k, serial.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	vwgt := append([]int32(nil), g0.Vwgt...)
+	for v := 0; v < g0.NumVertices(); v++ {
+		if r.Intn(12) == 0 {
+			for c := 0; c < m; c++ {
+				vwgt[v*m+c] *= 2
+			}
+		}
+	}
+	g = &graph.Graph{Ncon: m, Xadj: g0.Xadj, Adjncy: g0.Adjncy, Adjwgt: g0.Adjwgt, Vwgt: vwgt}
+	return g, part
+}
+
+func TestDiffusionRebalances(t *testing.T) {
+	g, part := mildDrift(t, 3, 8)
+	before := metrics.MaxImbalance(g, part, 8)
+	if before <= 1.05 {
+		t.Skipf("drift did not unbalance (%.3f)", before)
+	}
+	newPart, stats, err := Repartition(g, part, 8, Options{Seed: 2, Method: Diffusion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("imbalance %.3f -> %.3f, moved %.1f%% of vertices, cut=%d",
+		before, stats.Imbalance, 100*stats.MovedFraction, stats.EdgeCut)
+	if stats.Imbalance > 1.07 {
+		t.Errorf("diffusion left imbalance %.3f", stats.Imbalance)
+	}
+	if err := metrics.CheckPartition(g, newPart, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Input must be untouched.
+	for v := range part {
+		if part[v] != newPart[v] {
+			return // at least one move happened and `part` retains old labels
+		}
+	}
+}
+
+func TestDiffusionMovesLessThanScratch(t *testing.T) {
+	g, part := driftedProblem(t, 2, 8)
+	_, dStats, err := Repartition(g, part, 8, Options{Seed: 2, Method: Diffusion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sStats, err := Repartition(g, part, 8, Options{Seed: 2, Method: ScratchRemap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("diffusion: moved %.1f%% cut=%d | scratch-remap: moved %.1f%% cut=%d",
+		100*dStats.MovedFraction, dStats.EdgeCut, 100*sStats.MovedFraction, sStats.EdgeCut)
+	if dStats.MovedFraction >= sStats.MovedFraction {
+		t.Errorf("diffusion moved more (%.3f) than scratch-remap (%.3f)",
+			dStats.MovedFraction, sStats.MovedFraction)
+	}
+	if sStats.Imbalance > 1.06 {
+		t.Errorf("scratch-remap imbalance %.3f", sStats.Imbalance)
+	}
+}
+
+func TestScratchRemapBeatsUnremapped(t *testing.T) {
+	g, part := driftedProblem(t, 2, 8)
+	fresh, _, err := serial.Partition(g, 8, serial.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawMoved := 0
+	for v := range fresh {
+		if fresh[v] != part[v] {
+			rawMoved++
+		}
+	}
+	_, stats, err := Repartition(g, part, 8, Options{Seed: 2, Method: ScratchRemap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unremapped scratch moves %d, remapped moves %d", rawMoved, stats.MovedVertices)
+	if stats.MovedVertices > rawMoved {
+		t.Errorf("remapping increased migration: %d > %d", stats.MovedVertices, rawMoved)
+	}
+}
+
+func TestAutoSwitches(t *testing.T) {
+	g, part := mildDrift(t, 2, 8)
+	// Mild drift -> diffusion.
+	_, stats, err := Repartition(g, part, 8, Options{Seed: 2, Method: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != Diffusion {
+		t.Errorf("mild drift chose %v, want diffusion", stats.Method)
+	}
+	// Catastrophic imbalance -> scratch-remap: all vertices in part 0.
+	allZero := make([]int32, g.NumVertices())
+	_, stats, err = Repartition(g, allZero, 8, Options{Seed: 2, Method: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != ScratchRemap {
+		t.Errorf("catastrophic imbalance chose %v, want scratch-remap", stats.Method)
+	}
+	if stats.Imbalance > 1.06 {
+		t.Errorf("auto repartition left imbalance %.3f", stats.Imbalance)
+	}
+}
+
+// TestSevereDriftNeedsScratchRemap documents the paper's recovery boundary:
+// after a severe weight drift, in-place diffusion cannot restore balance
+// but scratch-remap can.
+func TestSevereDriftNeedsScratchRemap(t *testing.T) {
+	g, part := driftedProblem(t, 3, 8)
+	before := metrics.MaxImbalance(g, part, 8)
+	if before < 1.3 {
+		t.Skipf("drift unexpectedly mild (%.3f)", before)
+	}
+	_, d, err := Repartition(g, part, 8, Options{Seed: 2, Method: Diffusion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s, err := Repartition(g, part, 8, Options{Seed: 2, Method: ScratchRemap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("drift %.3f: diffusion -> %.3f, scratch-remap -> %.3f", before, d.Imbalance, s.Imbalance)
+	if s.Imbalance > 1.06 {
+		t.Errorf("scratch-remap should always rebalance, got %.3f", s.Imbalance)
+	}
+	if d.Imbalance >= before {
+		t.Errorf("diffusion made balance worse: %.3f -> %.3f", before, d.Imbalance)
+	}
+}
+
+func TestOverlapRemapIdentity(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	part := make([]int32, 64)
+	for v := range part {
+		part[v] = int32(v / 16)
+	}
+	remap := OverlapRemap(g, part, part, 4)
+	for i, r := range remap {
+		if r != int32(i) {
+			t.Fatalf("identity partition remapped %d -> %d", i, r)
+		}
+	}
+}
+
+func TestOverlapRemapPermutation(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	old := make([]int32, 64)
+	newP := make([]int32, 64)
+	perm := []int32{2, 0, 3, 1}
+	for v := range old {
+		old[v] = int32(v / 16)
+		newP[v] = perm[old[v]]
+	}
+	remap := OverlapRemap(g, old, newP, 4)
+	// remap must undo the permutation: remap[perm[x]] == x.
+	for x := int32(0); x < 4; x++ {
+		if remap[perm[x]] != x {
+			t.Fatalf("remap did not undo the permutation: %v", remap)
+		}
+	}
+	// And remap must be a bijection.
+	seen := make([]bool, 4)
+	for _, r := range remap {
+		if seen[r] {
+			t.Fatal("remap is not a bijection")
+		}
+		seen[r] = true
+	}
+}
+
+func TestRepartitionRejectsBadInput(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	if _, _, err := Repartition(g, make([]int32, 3), 2, Options{}); err == nil {
+		t.Error("short partition accepted")
+	}
+	bad := make([]int32, 16)
+	bad[0] = 9
+	if _, _, err := Repartition(g, bad, 2, Options{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}

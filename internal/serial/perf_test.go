@@ -1,0 +1,24 @@
+package serial
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+)
+
+func TestPerfLarge(t *testing.T) {
+	t0 := time.Now()
+	base := gen.MRNGLike(49, 49, 49, 7)
+	t.Logf("gen: %v n=%d m=%d", time.Since(t0), base.NumVertices(), base.NumEdges())
+	g := gen.Type1(base, 3, 42)
+	t0 = time.Now()
+	part, stats, err := Partition(g, 64, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("partition: %v cut=%d imb=%.3f levels=%d coarsest=%d moves=%d (coarsen=%v init=%v uncoarsen=%v)",
+		time.Since(t0), stats.EdgeCut, metrics.MaxImbalance(g, part, 64), stats.Levels, stats.CoarsestN, stats.Moves,
+		stats.CoarsenTime, stats.InitTime, stats.UncoarsenTime)
+}

@@ -1,0 +1,170 @@
+// Package serial is the serial multilevel multi-constraint k-way graph
+// partitioner of SC'98 — the algorithm implemented in MeTiS that the
+// parallel paper normalizes every result against.
+//
+// The three phases of the multilevel paradigm (paper Figure 1):
+//
+//  1. Coarsening: heavy-edge matching with the balanced-edge tie-break,
+//     applied until the graph is small (internal/coarsen).
+//  2. Initial partitioning: multi-constraint recursive bisection of the
+//     coarsest graph (internal/initpart).
+//  3. Uncoarsening: the partitioning is projected level by level back to
+//     the input graph, refined at each level by multi-constraint greedy
+//     k-way refinement (internal/kwayrefine).
+package serial
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coarsen"
+	"repro/internal/graph"
+	"repro/internal/initpart"
+	"repro/internal/kwayrefine"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Options configures the serial partitioner. The zero value selects the
+// paper's defaults (5% tolerance, balanced-edge matching on).
+type Options struct {
+	// Seed drives all randomized decisions; a fixed seed reproduces the
+	// partitioning exactly.
+	Seed uint64
+	// Tol is the load-imbalance tolerance for every constraint (paper: 5%).
+	Tol float64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices; 0 selects max(30*k, 2000) capped at the input size.
+	CoarsenTo int
+	// InitTrials is the number of seeded attempts per bisection during
+	// initial partitioning (0 = default 4).
+	InitTrials int
+	// RefinePasses bounds refinement iterations per level (0 = default 8).
+	RefinePasses int
+	// NoBalancedEdge disables the SC'98 balanced-edge matching tie-break
+	// (ablation 2).
+	NoBalancedEdge bool
+}
+
+func (o Options) withDefaults(k int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 0.05
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 30 * k
+		if o.CoarsenTo < 2000 {
+			o.CoarsenTo = 2000
+		}
+	}
+	return o
+}
+
+// Stats reports what the partitioner did and what it produced.
+type Stats struct {
+	Levels        int     // multilevel hierarchy depth (including input)
+	CoarsestN     int     // vertex count of the coarsest graph
+	EdgeCut       int64   // final edge-cut
+	Imbalance     float64 // final max per-constraint imbalance
+	Moves         int     // total refinement moves during uncoarsening
+	Restarts      int     // extra seeded attempts taken to reach balance
+	CoarsenTime   time.Duration
+	InitTime      time.Duration
+	UncoarsenTime time.Duration
+}
+
+// maxRestarts bounds the seeded retries Partition may take when a run ends
+// badly imbalanced. The paper observes that an initial partitioning more
+// than ~20% imbalanced is unlikely to be repaired by multilevel refinement;
+// on rare seeds the recursive bisection produces exactly that, and a
+// restart from a derived seed is the robust (and cheap, since it is rare)
+// way out.
+const maxRestarts = 2
+
+// Partition computes a k-way multi-constraint partitioning of g and
+// returns the subdomain label per vertex. The partitioning targets equal
+// per-constraint weight across the k subdomains within opt.Tol. If a run
+// converges with a badly imbalanced result, it is retried from derived
+// seeds (see Stats.Restarts).
+func Partition(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
+	part, stats, err := partitionOnce(g, k, opt)
+	if err != nil {
+		return part, stats, err
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 0.05
+	}
+	for attempt := 1; attempt <= maxRestarts && stats.Imbalance > 1+2*tol; attempt++ {
+		retryOpt := opt
+		retryOpt.Seed = opt.Seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
+		p2, s2, err2 := partitionOnce(g, k, retryOpt)
+		if err2 != nil {
+			break
+		}
+		if s2.Imbalance < stats.Imbalance || (s2.Imbalance <= 1+tol && s2.EdgeCut < stats.EdgeCut) {
+			part, stats = p2, s2
+		}
+		stats.Restarts = attempt
+	}
+	return part, stats, nil
+}
+
+func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
+	if k < 1 {
+		return nil, Stats{}, fmt.Errorf("serial: k = %d, want >= 1", k)
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return []int32{}, Stats{}, nil
+	}
+	if k == 1 {
+		return make([]int32, n), Stats{Levels: 1, CoarsestN: n}, nil
+	}
+	if k > n {
+		return nil, Stats{}, fmt.Errorf("serial: k = %d exceeds vertex count %d", k, n)
+	}
+	opt = opt.withDefaults(k)
+	rand := rng.New(opt.Seed)
+	var stats Stats
+
+	// Phase 1: coarsening.
+	t0 := time.Now()
+	levels := coarsen.BuildHierarchy(g, opt.CoarsenTo, rand, coarsen.Options{
+		BalancedEdge: !opt.NoBalancedEdge,
+	})
+	stats.CoarsenTime = time.Since(t0)
+	stats.Levels = len(levels)
+	coarsest := levels[len(levels)-1].Graph
+	stats.CoarsestN = coarsest.NumVertices()
+
+	// Phase 2: initial partitioning of the coarsest graph.
+	t0 = time.Now()
+	part := initpart.RecursiveBisect(coarsest, k, rand, initpart.Options{
+		Tol:    opt.Tol,
+		Trials: opt.InitTrials,
+	})
+	stats.InitTime = time.Since(t0)
+
+	// Phase 3: uncoarsening with refinement at every level.
+	t0 = time.Now()
+	refiner := kwayrefine.NewRefiner(k, g.Ncon, kwayrefine.Options{
+		Tol:    opt.Tol,
+		Passes: opt.RefinePasses,
+	})
+	stats.Moves += refiner.Refine(coarsest, part, rand)
+	for lvl := len(levels) - 1; lvl > 0; lvl-- {
+		finer := levels[lvl-1].Graph
+		cmap := levels[lvl].CMap
+		fpart := make([]int32, finer.NumVertices())
+		for v := range fpart {
+			fpart[v] = part[cmap[v]]
+		}
+		part = fpart
+		stats.Moves += refiner.Refine(finer, part, rand)
+	}
+	stats.UncoarsenTime = time.Since(t0)
+
+	stats.EdgeCut = metrics.EdgeCut(g, part)
+	stats.Imbalance = metrics.MaxImbalance(g, part, k)
+	return part, stats, nil
+}

@@ -1,0 +1,105 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func partitionOrFatal(t *testing.T, g *graph.Graph, k int, opt Options) ([]int32, Stats) {
+	t.Helper()
+	part, stats, err := Partition(g, k, opt)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if err := metrics.CheckPartition(g, part, k); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	return part, stats
+}
+
+func TestPartitionGridSingleConstraint(t *testing.T) {
+	g := gen.Grid2D(40, 40)
+	part, stats := partitionOrFatal(t, g, 4, Options{Seed: 1})
+	if stats.EdgeCut <= 0 {
+		t.Fatalf("edge-cut = %d, want > 0 for a connected grid", stats.EdgeCut)
+	}
+	// A 40x40 grid split 4 ways has an ideal cut of 80 (two straight
+	// lines); accept anything within 2x of ideal.
+	if stats.EdgeCut > 160 {
+		t.Errorf("edge-cut = %d, want <= 160", stats.EdgeCut)
+	}
+	if imb := metrics.MaxImbalance(g, part, 4); imb > 1.06 {
+		t.Errorf("imbalance = %.3f, want <= 1.06", imb)
+	}
+}
+
+func TestPartitionMultiConstraintType1(t *testing.T) {
+	base := gen.MRNGLike(14, 14, 14, 7)
+	for _, m := range []int{2, 3, 4} {
+		g := gen.Type1(base, m, 42)
+		part, stats := partitionOrFatal(t, g, 8, Options{Seed: 3})
+		imb := metrics.MaxImbalance(g, part, 8)
+		if imb > 1.15 {
+			t.Errorf("m=%d: imbalance = %.3f, want <= 1.15", m, imb)
+		}
+		if stats.EdgeCut <= 0 {
+			t.Errorf("m=%d: edge-cut = %d, want > 0", m, stats.EdgeCut)
+		}
+		t.Logf("m=%d: cut=%d imb=%.3f levels=%d coarsest=%d", m, stats.EdgeCut, imb, stats.Levels, stats.CoarsestN)
+	}
+}
+
+func TestPartitionMultiConstraintType2(t *testing.T) {
+	base := gen.MRNGLike(14, 14, 14, 7)
+	g := gen.Type2(base, 3, 42)
+	part, stats := partitionOrFatal(t, g, 8, Options{Seed: 3})
+	imb := metrics.MaxImbalance(g, part, 8)
+	t.Logf("type2 m=3: cut=%d imb=%.3f", stats.EdgeCut, imb)
+	if imb > 1.2 {
+		t.Errorf("imbalance = %.3f, want <= 1.2", imb)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := gen.Type1(gen.MRNGLike(10, 10, 10, 3), 2, 9)
+	p1, s1, _ := Partition(g, 8, Options{Seed: 5})
+	p2, s2, _ := Partition(g, 8, Options{Seed: 5})
+	if s1.EdgeCut != s2.EdgeCut {
+		t.Fatalf("same seed, different cuts: %d vs %d", s1.EdgeCut, s2.EdgeCut)
+	}
+	for v := range p1 {
+		if p1[v] != p2[v] {
+			t.Fatalf("same seed, different partition at vertex %d", v)
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	if _, _, err := Partition(g, 0, Options{}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, _, err := Partition(g, 17, Options{}); err == nil {
+		t.Error("k>n: want error")
+	}
+	part, _, err := Partition(g, 1, Options{})
+	if err != nil {
+		t.Fatalf("k=1: %v", err)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("k=1: all vertices must land in part 0")
+		}
+	}
+	// k == n: every vertex its own part must be representable.
+	part, _, err = Partition(g, 16, Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("k=n: %v", err)
+	}
+	if err := metrics.CheckPartition(g, part, 16); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package vecw implements the small amount of vector arithmetic needed for
+// multi-constraint weights.
+//
+// In the multi-constraint formulation (SC'98) every vertex carries a weight
+// vector of m components, one per computational phase, and a k-way
+// partitioning must keep each of the m components balanced across the k
+// subdomains simultaneously. Subdomain weights are therefore m-vectors of
+// 64-bit sums, stored flattened as []int64 of length k*m with subdomain s's
+// vector occupying [s*m : (s+1)*m]. Vertex weights are m-vectors of int32
+// stored flattened as []int32 of length n*m.
+package vecw
+
+// Add adds the vertex-weight vector w (length m) into dst (length m).
+func Add(dst []int64, w []int32) {
+	for i, x := range w {
+		dst[i] += int64(x)
+	}
+}
+
+// Sub subtracts the vertex-weight vector w (length m) from dst (length m).
+func Sub(dst []int64, w []int32) {
+	for i, x := range w {
+		dst[i] -= int64(x)
+	}
+}
+
+// Move transfers the vertex-weight vector w from the subdomain vector `from`
+// to the subdomain vector `to`.
+func Move(from, to []int64, w []int32) {
+	for i, x := range w {
+		from[i] -= int64(x)
+		to[i] += int64(x)
+	}
+}
+
+// MaxRatio returns the maximum over constraints of part[i]/avg[i], the
+// quantity the paper calls "imbalance" for one subdomain: the subdomain
+// weight divided by the average subdomain weight. avg must be positive in
+// every component; components with avg[i]==0 are skipped (a constraint no
+// vertex carries cannot be unbalanced).
+func MaxRatio(part []int64, avg []float64) float64 {
+	worst := 0.0
+	for i, w := range part {
+		if avg[i] <= 0 {
+			continue
+		}
+		if r := float64(w) / avg[i]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// FitsUnder reports whether adding w to cur keeps every component at or
+// below the corresponding limit.
+func FitsUnder(cur []int64, w []int32, limit []int64) bool {
+	for i, x := range w {
+		if cur[i]+int64(x) > limit[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyOver reports whether any component of cur exceeds its limit.
+func AnyOver(cur, limit []int64) bool {
+	for i, c := range cur {
+		if c > limit[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Totals sums the n flattened m-component vertex weights in vwgt and returns
+// the m-component total.
+func Totals(vwgt []int32, m int) []int64 {
+	tot := make([]int64, m)
+	if m == 0 {
+		return tot
+	}
+	for i, x := range vwgt {
+		tot[i%m] += int64(x)
+	}
+	return tot
+}
+
+// Limit returns the per-subdomain upper bound for one constraint:
+// (1+tol)*total/k, with a floor of ceil(total/k)+1. The floor matters for
+// constraints whose per-subdomain average is small (few heavy vertices, or
+// a rarely-active phase at large k): plain integer truncation of the
+// tolerance bound can land at or below the exact average, leaving zero
+// slack — which silently freezes every refinement move that touches the
+// constraint. At least one weight unit of headroom above the average is
+// always granted; for large averages the tolerance term dominates.
+func Limit(total int64, k int, tol float64) int64 {
+	lim := int64((1 + tol) * float64(total) / float64(k))
+	minLim := (total+int64(k)-1)/int64(k) + 1 // ceil(average) + 1
+	if lim < minLim {
+		lim = minLim
+	}
+	return lim
+}
+
+// Limits applies Limit to each of the m constraints. A k-way partitioning
+// is balanced within tolerance tol iff every subdomain weight vector is
+// componentwise at or below these limits.
+func Limits(total []int64, k int, tol float64) []int64 {
+	lim := make([]int64, len(total))
+	for i, t := range total {
+		lim[i] = Limit(t, k, tol)
+	}
+	return lim
+}
+
+// Averages returns total[i]/k as float64 for each constraint.
+func Averages(total []int64, k int) []float64 {
+	avg := make([]float64, len(total))
+	for i, t := range total {
+		avg[i] = float64(t) / float64(k)
+	}
+	return avg
+}
+
+// Imbalance returns the maximum over all k subdomains and all m constraints
+// of (subdomain weight)/(average subdomain weight) — the paper's balance
+// metric. pwgts is the flattened k*m subdomain weight array.
+func Imbalance(pwgts []int64, k, m int, total []int64) float64 {
+	avg := Averages(total, k)
+	worst := 0.0
+	for s := 0; s < k; s++ {
+		if r := MaxRatio(pwgts[s*m:(s+1)*m], avg); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Jaggedness returns max_i(v[i]) * m / sum_i(v[i]) for a combined weight
+// vector, the quantity minimized by the SC'98 "balanced edge" matching
+// tie-break: a perfectly flat vector scores 1, a vector concentrated in one
+// component scores m. Returns 1 for an all-zero vector.
+func Jaggedness(v []int64) float64 {
+	var sum, max int64
+	for _, x := range v {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(v)) / float64(sum)
+}
+
+// JaggednessI32 is Jaggedness for an int32 vector (vertex weights).
+func JaggednessI32(v []int32) float64 {
+	var sum, max int64
+	for _, x := range v {
+		sum += int64(x)
+		if int64(x) > max {
+			max = int64(x)
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(v)) / float64(sum)
+}

@@ -1,0 +1,124 @@
+package vecw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubMoveInverse(t *testing.T) {
+	err := quick.Check(func(a, b, c int32) bool {
+		dst := []int64{int64(a), int64(b)}
+		orig := append([]int64(nil), dst...)
+		w := []int32{c, c / 2}
+		Add(dst, w)
+		Sub(dst, w)
+		return dst[0] == orig[0] && dst[1] == orig[1]
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveConservesTotal(t *testing.T) {
+	err := quick.Check(func(a, b int32, w uint8) bool {
+		from := []int64{int64(a), 100}
+		to := []int64{int64(b), 200}
+		total := from[0] + to[0]
+		Move(from, to, []int32{int32(w), 0})
+		return from[0]+to[0] == total && from[1] == 100 && to[1] == 200
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRatio(t *testing.T) {
+	part := []int64{50, 200}
+	avg := []float64{100, 100}
+	if got := MaxRatio(part, avg); got != 2.0 {
+		t.Errorf("MaxRatio = %f, want 2.0", got)
+	}
+	// Zero-average constraints are skipped.
+	if got := MaxRatio([]int64{5}, []float64{0}); got != 0 {
+		t.Errorf("MaxRatio with zero avg = %f, want 0", got)
+	}
+}
+
+func TestFitsUnder(t *testing.T) {
+	cur := []int64{8, 5}
+	limit := []int64{10, 10}
+	if !FitsUnder(cur, []int32{2, 5}, limit) {
+		t.Error("exact fit should pass")
+	}
+	if FitsUnder(cur, []int32{3, 0}, limit) {
+		t.Error("overflow in component 0 should fail")
+	}
+}
+
+func TestAnyOver(t *testing.T) {
+	if AnyOver([]int64{1, 2}, []int64{1, 2}) {
+		t.Error("at-limit is not over")
+	}
+	if !AnyOver([]int64{1, 3}, []int64{1, 2}) {
+		t.Error("component 1 is over")
+	}
+}
+
+func TestTotalsAndLimitsAndAverages(t *testing.T) {
+	vwgt := []int32{1, 10, 2, 20, 3, 30} // 3 vertices, m=2
+	tot := Totals(vwgt, 2)
+	if tot[0] != 6 || tot[1] != 60 {
+		t.Fatalf("Totals = %v", tot)
+	}
+	lim := Limits(tot, 3, 0.05)
+	// Constraint 0 has average 2: the tolerance bound truncates to 2 (no
+	// slack), so the ceil(avg)+1 floor takes over. Constraint 1's
+	// tolerance bound (21) already grants a unit of slack.
+	if lim[0] != 3 || lim[1] != 21 {
+		t.Errorf("Limits = %v, want [3 21]", lim)
+	}
+	avg := Averages(tot, 3)
+	if avg[0] != 2 || avg[1] != 20 {
+		t.Errorf("Averages = %v", avg)
+	}
+	if lim := Limits([]int64{0}, 4, 0.05); lim[0] != 1 {
+		t.Errorf("zero-total limit = %d, want clamped to 1", lim[0])
+	}
+	// Large averages: tolerance dominates, floor is inactive.
+	if got := Limit(1_000_000, 10, 0.05); got != 105000 {
+		t.Errorf("Limit(1e6,10) = %d, want 105000", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// k=2, m=1: weights 6 and 4, avg 5 -> imbalance 1.2
+	pwgts := []int64{6, 4}
+	if got := Imbalance(pwgts, 2, 1, []int64{10}); got != 1.2 {
+		t.Errorf("Imbalance = %f, want 1.2", got)
+	}
+}
+
+func TestJaggedness(t *testing.T) {
+	if j := Jaggedness([]int64{5, 5, 5}); j != 1 {
+		t.Errorf("flat vector jaggedness = %f, want 1", j)
+	}
+	if j := Jaggedness([]int64{9, 0, 0}); j != 3 {
+		t.Errorf("concentrated vector jaggedness = %f, want 3", j)
+	}
+	if j := Jaggedness([]int64{0, 0}); j != 1 {
+		t.Errorf("zero vector jaggedness = %f, want 1", j)
+	}
+	if j := JaggednessI32([]int32{9, 0, 0}); j != 3 {
+		t.Errorf("JaggednessI32 = %f, want 3", j)
+	}
+}
+
+func TestJaggednessBounds(t *testing.T) {
+	err := quick.Check(func(a, b, c uint8) bool {
+		j := Jaggedness([]int64{int64(a), int64(b), int64(c)})
+		return j >= 1-1e-9 && j <= 3+1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeSerialRoundTrip(t *testing.T) {
+	g := Type1Workload(Mesh3D(12, 12, 12, 7), 2, 42)
+	part, stats, err := Serial(g, 8, SerialOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EdgeCut(g, part); got != stats.EdgeCut {
+		t.Errorf("EdgeCut = %d, stats say %d", got, stats.EdgeCut)
+	}
+	if imb := MaxImbalance(g, part, 8); imb > 1.06 {
+		t.Errorf("imbalance = %.3f", imb)
+	}
+	if CommVolume(g, part, 8) <= 0 {
+		t.Error("communication volume should be positive for a cut partitioning")
+	}
+	imbs := Imbalances(g, part, 8)
+	if len(imbs) != 2 {
+		t.Fatalf("Imbalances returned %d entries, want 2", len(imbs))
+	}
+}
+
+func TestFacadeParallel(t *testing.T) {
+	g := Type2Workload(Mesh3D(12, 12, 12, 7), 3, 42)
+	part, stats, err := Parallel(g, 8, 4, ParallelOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimTime <= 0 {
+		t.Error("SimTime should be positive under the default T3E model")
+	}
+	if imb := MaxImbalance(g, part, 8); imb > 1.08 {
+		t.Errorf("imbalance = %.3f", imb)
+	}
+}
+
+func TestFacadeBuilderAndIO(t *testing.T) {
+	b := NewBuilder(4, 2)
+	b.SetVertexWeight(0, []int32{3, 1})
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 0, 1)
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 4 || g2.NumEdges() != 4 || g2.Ncon != 2 {
+		t.Fatalf("round trip mismatch: %v", g2)
+	}
+	if g2.VertexWeight(0)[0] != 3 || g2.VertexWeight(0)[1] != 1 {
+		t.Errorf("vertex weight lost in round trip: %v", g2.VertexWeight(0))
+	}
+}
+
+func TestFacadeRegions(t *testing.T) {
+	g := Grid2D(20, 20)
+	labels := Regions(g, 4, 7)
+	seen := map[int32]int{}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("region label %d out of range", l)
+		}
+		seen[l]++
+	}
+	if len(seen) != 4 {
+		t.Errorf("expected 4 non-empty regions, got %d", len(seen))
+	}
+}
+
+func TestFacadeSchemeNames(t *testing.T) {
+	if Reservation.String() != "reservation" || Slice.String() != "slice" || Free.String() != "free" {
+		t.Error("scheme names changed")
+	}
+}
+
+func TestFacadeMeshAndRCB(t *testing.T) {
+	m := StructuredTet(4, 4, 4)
+	g, err := m.DualGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords, err := m.ElementCentroids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := RCB(coords, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != g.NumVertices() {
+		t.Fatalf("RCB labels %d, graph %d", len(part), g.NumVertices())
+	}
+	// Multilevel on the same dual graph must balance.
+	mlPart, _, err := Serial(g, 4, SerialOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := MaxImbalance(g, mlPart, 4); imb > 1.06 {
+		t.Errorf("imbalance %.3f", imb)
+	}
+}

@@ -1,0 +1,83 @@
+// Command mcvet runs the project's custom static checks (package
+// repro/internal/analysis) over the whole module: determinism escapes
+// (math/rand outside internal/rng, unsorted map iteration in partitioning
+// hot packages), narrow weight accumulators, and MPI collectives inside
+// rank-dependent conditionals.
+//
+// Usage:
+//
+//	go run ./cmd/mcvet ./...
+//
+// The package-pattern argument is accepted for familiarity but mcvet always
+// analyzes the entire module containing the working directory (the checks
+// are whole-module by nature: the collective check needs the full call
+// graph). Exit status: 0 = clean, 1 = findings, 2 = analysis failure.
+//
+// Findings are suppressed with a comment on the same line or the line
+// above:
+//
+//	//mcvet:ignore <check>[,<check>...] — justification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		noTests = flag.Bool("notests", false, "skip _test.go files")
+		verbose = flag.Bool("v", false, "print per-package type-check diagnostics")
+		list    = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcvet:", err)
+		os.Exit(2)
+	}
+	findings, mod, err := analysis.Run(root, analysis.LoadOptions{Tests: !*noTests}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcvet:", err)
+		os.Exit(2)
+	}
+
+	// Type errors in base (non-test) packages mean the analysis itself is
+	// unsound — surface them loudly rather than silently missing findings.
+	badLoad := false
+	for _, pkg := range mod.Pkgs {
+		if len(pkg.TypeErrs) == 0 {
+			continue
+		}
+		if pkg.Kind == analysis.KindBase {
+			badLoad = true
+		}
+		if *verbose || pkg.Kind == analysis.KindBase {
+			for _, e := range pkg.TypeErrs {
+				fmt.Fprintf(os.Stderr, "mcvet: %s: type error: %v\n", pkg.ImportPath, e)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	switch {
+	case badLoad:
+		os.Exit(2)
+	case len(findings) > 0:
+		fmt.Fprintf(os.Stderr, "mcvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package partition_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	partition "repro"
+)
+
+// The determinism contract (DESIGN.md): every randomized decision flows
+// from internal/rng seeded by Options.Seed, so a fixed (graph, k, seed) —
+// and for the parallel path a fixed p — must reproduce the partition
+// vector byte for byte, run after run, serial and parallel alike. These
+// golden tests run each partitioner twice in the same process and compare
+// the raw label bytes; any map-iteration or scheduling order leaking into
+// the output shows up as a diff here (and the repeated-run CI jobs catch
+// cross-process divergence).
+
+func partBytes(t *testing.T, part []int32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, part); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func determinismGraph() *partition.Graph {
+	g := partition.Mesh3D(12, 12, 12, 5)
+	return partition.Type1Workload(g, 3, 42)
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	g := determinismGraph()
+	const k = 8
+	opt := partition.SerialOptions{Seed: 12345}
+
+	p1, s1, err := partition.Serial(g, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, s2, err := partition.Serial(g, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(partBytes(t, p1), partBytes(t, p2)) {
+		t.Error("serial: same graph and seed produced different partition vectors")
+	}
+	if s1.EdgeCut != s2.EdgeCut {
+		t.Errorf("serial: cuts differ: %d vs %d", s1.EdgeCut, s2.EdgeCut)
+	}
+	if c := partition.EdgeCut(g, p1); c != s1.EdgeCut {
+		t.Errorf("serial: stats cut %d, recomputed %d", s1.EdgeCut, c)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	g := determinismGraph()
+	const k, p = 8, 4
+	opt := partition.ParallelOptions{Seed: 12345}
+
+	p1, s1, err := partition.Parallel(g, k, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, s2, err := partition.Parallel(g, k, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(partBytes(t, p1), partBytes(t, p2)) {
+		t.Error("parallel: same graph, seed and p produced different partition vectors")
+	}
+	if s1.EdgeCut != s2.EdgeCut {
+		t.Errorf("parallel: cuts differ: %d vs %d", s1.EdgeCut, s2.EdgeCut)
+	}
+	if c := partition.EdgeCut(g, p1); c != s1.EdgeCut {
+		t.Errorf("parallel: stats cut %d, recomputed %d", s1.EdgeCut, c)
+	}
+}

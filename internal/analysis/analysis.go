@@ -1,0 +1,205 @@
+// Package analysis implements mcvet, the project's static analyzer. It
+// walks the whole module with go/parser + go/types (standard library only,
+// like the rest of the repository) and reports constructions that the
+// compiler accepts but that break the two properties the reproduction's
+// credibility rests on — determinism (identical seeds must yield identical
+// partitions) and safety of the SPMD substrate:
+//
+//   - mathrand: math/rand imported outside internal/rng. The partitioner's
+//     determinism contract routes every random decision through the seeded,
+//     version-stable generator in internal/rng; math/rand's sequence may
+//     change between Go releases and its global functions are seeded per
+//     process.
+//   - maprange: iteration over a map in a partitioning hot package without
+//     an adjacent sort. Map iteration order is randomized per run, so any
+//     order-dependent use leaks nondeterminism into partition vectors.
+//   - weightint: vertex/edge weights accumulated into an int or int32
+//     scalar inside a loop. Per-vertex weights are int32 by convention, but
+//     aggregates over many vertices/edges must be int64 (a 7.5M-vertex
+//     graph with 20-unit weights already overflows int32).
+//   - collective: an mpi.Comm collective (or any module function that
+//     transitively performs one) called lexically inside a rank-dependent
+//     conditional. In an SPMD body every rank must reach every collective:
+//     a collective guarded by Rank() is a deadlock by construction.
+//
+// Any finding can be suppressed with a comment on the same line or the
+// line above:
+//
+//	//mcvet:ignore <check>[,<check>...] — reason
+//
+// A bare `//mcvet:ignore` suppresses every check on that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a check.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+}
+
+// A Check inspects a loaded module and reports findings.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(m *Module, r *Reporter)
+}
+
+// Checks returns the full mcvet check suite.
+func Checks() []*Check {
+	return []*Check{
+		{
+			Name: "mathrand",
+			Doc:  "math/rand imported outside internal/rng (determinism escape hatch)",
+			Run:  checkMathRand,
+		},
+		{
+			Name: "maprange",
+			Doc:  "map iteration in a partitioning hot package without an adjacent sort",
+			Run:  checkMapRange,
+		},
+		{
+			Name: "weightint",
+			Doc:  "vertex/edge weight accumulated into an int/int32 scalar in a loop (aggregates must be int64)",
+			Run:  checkWeightInt,
+		},
+		{
+			Name: "collective",
+			Doc:  "MPI collective called inside a rank-dependent conditional (deadlock by construction)",
+			Run:  checkCollective,
+		},
+	}
+}
+
+// Reporter collects findings, applying //mcvet:ignore suppressions and
+// deduplicating diagnostics that several units report for the same line
+// (base and test-augmented packages share files).
+type Reporter struct {
+	fset       *token.FileSet
+	suppressed map[suppressKey]bool
+	seen       map[string]bool
+	findings   []Finding
+}
+
+type suppressKey struct {
+	file  string
+	line  int
+	check string // "" = all checks
+}
+
+// NewReporter builds a reporter over the module, scanning every file's
+// comments for //mcvet:ignore directives.
+func NewReporter(m *Module) *Reporter {
+	r := &Reporter{
+		fset:       m.Fset,
+		suppressed: make(map[suppressKey]bool),
+		seen:       make(map[string]bool),
+	}
+	files := make(map[*ast.File]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			if files[f] {
+				continue
+			}
+			files[f] = true
+			r.scanIgnores(f)
+		}
+	}
+	return r
+}
+
+func (r *Reporter) scanIgnores(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(strings.TrimSpace(text), "mcvet:ignore")
+			if text == strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) {
+				continue // no mcvet:ignore prefix
+			}
+			pos := r.fset.Position(c.Pos())
+			// Everything up to an optional "—"/"--" separator is the check
+			// list; the rest is the human justification.
+			list := text
+			for _, sep := range []string{"—", "--", " - "} {
+				if i := strings.Index(list, sep); i >= 0 {
+					list = list[:i]
+				}
+			}
+			list = strings.TrimSpace(list)
+			if list == "" {
+				r.suppressed[suppressKey{pos.Filename, pos.Line, ""}] = true
+				continue
+			}
+			for _, name := range strings.Split(list, ",") {
+				name = strings.TrimSpace(name)
+				if name != "" {
+					r.suppressed[suppressKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+}
+
+// Report records a finding unless suppressed by an //mcvet:ignore on the
+// finding's line or the line above.
+func (r *Reporter) Report(pos token.Pos, check, format string, args ...any) {
+	p := r.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if r.suppressed[suppressKey{p.Filename, line, check}] ||
+			r.suppressed[suppressKey{p.Filename, line, ""}] {
+			return
+		}
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%s:%d:%d:%s:%s", p.Filename, p.Line, p.Column, check, msg)
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.findings = append(r.findings, Finding{Pos: p, Check: check, Message: msg})
+}
+
+// Findings returns the collected findings sorted by position.
+func (r *Reporter) Findings() []Finding {
+	sort.Slice(r.findings, func(i, j int) bool {
+		a, b := r.findings[i].Pos, r.findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return r.findings[i].Check < r.findings[j].Check
+	})
+	return r.findings
+}
+
+// Run loads the module at root and runs the given checks (nil = all).
+func Run(root string, opt LoadOptions, checks []*Check) ([]Finding, *Module, error) {
+	m, err := Load(root, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if checks == nil {
+		checks = Checks()
+	}
+	r := NewReporter(m)
+	for _, c := range checks {
+		c.Run(m, r)
+	}
+	return r.Findings(), m, nil
+}

@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a synthetic module in a temp dir. Keys are
+// slash-separated paths relative to the module root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module testmod\n\ngo 1.22\n"
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runOn loads the module and returns findings as "rel/path.go:line:col [check]".
+func runOn(t *testing.T, root string, opt LoadOptions, checks []*Check) []string {
+	t.Helper()
+	findings, mod, err := Run(root, opt, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, e := range pkg.TypeErrs {
+			t.Errorf("unexpected type error in %s: %v", pkg.ImportPath, e)
+		}
+	}
+	out := make([]string, 0, len(findings))
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		out = append(out, fmt.Sprintf("%s:%d:%d [%s]", filepath.ToSlash(rel), f.Pos.Line, f.Pos.Column, f.Check))
+	}
+	return out
+}
+
+func named(t *testing.T, names ...string) []*Check {
+	t.Helper()
+	var out []*Check
+	for _, name := range names {
+		found := false
+		for _, c := range Checks() {
+			if c.Name == name {
+				out = append(out, c)
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no check named %q", name)
+		}
+	}
+	return out
+}
+
+func TestChecksTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		files  map[string]string
+		checks []string
+		opt    LoadOptions
+		want   []string
+	}{
+		{
+			name:   "mathrand flagged outside rng, exempt inside, suppressible",
+			checks: []string{"mathrand"},
+			files: map[string]string{
+				"internal/foo/foo.go": `package foo
+
+import "math/rand"
+
+var _ = rand.Int
+`,
+				"internal/rng/rng.go": `package rng
+
+import "math/rand"
+
+var _ = rand.Int
+`,
+				"internal/sup/sup.go": `package sup
+
+//mcvet:ignore mathrand — test fixture exercising suppression
+import "math/rand"
+
+var _ = rand.Int
+`,
+				"internal/sup2/sup2.go": `package sup2
+
+//mcvet:ignore maprange — names a different check, must not suppress
+import "math/rand"
+
+var _ = rand.Int
+`,
+			},
+			want: []string{
+				"internal/foo/foo.go:3:8 [mathrand]",
+				"internal/sup2/sup2.go:4:8 [mathrand]",
+			},
+		},
+		{
+			name:   "maprange only in hot packages and only without adjacent sort",
+			checks: []string{"maprange"},
+			files: map[string]string{
+				"internal/coarsen/coarsen.go": `package coarsen
+
+import "sort"
+
+func Bad(m map[int]int) int {
+	total := 0
+	for k := range m {
+		total += k
+	}
+	return total
+}
+
+func Good(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+`,
+				"internal/cold/cold.go": `package cold
+
+func AlsoFine(m map[int]int) int {
+	total := 0
+	for k := range m {
+		total += k
+	}
+	return total
+}
+`,
+			},
+			want: []string{
+				"internal/coarsen/coarsen.go:7:2 [maprange]",
+			},
+		},
+		{
+			name:   "weightint flags narrow scalar accumulators in loops",
+			checks: []string{"weightint"},
+			files: map[string]string{
+				"internal/foo/foo.go": `package foo
+
+func Sum32(adjwgt []int32) int32 {
+	var total int32
+	for i := range adjwgt {
+		total += adjwgt[i]
+	}
+	return total
+}
+
+func Sum64(adjwgt []int32) int64 {
+	var total int64
+	for i := range adjwgt {
+		total += int64(adjwgt[i])
+	}
+	return total
+}
+
+func NotALoop(adjwgt []int32) int32 {
+	var total int32
+	total += adjwgt[0]
+	return total
+}
+
+func SliceElem(dst []int32, adjwgt []int32) {
+	for i := range adjwgt {
+		dst[0] += adjwgt[i]
+	}
+}
+`,
+			},
+			want: []string{
+				"internal/foo/foo.go:6:3 [weightint]",
+			},
+		},
+		{
+			name:   "collective flags direct and transitive calls under rank conditionals",
+			checks: []string{"collective"},
+			files: map[string]string{
+				"internal/mpi/mpi.go": `package mpi
+
+type Comm struct{ rank int }
+
+func (c *Comm) Rank() int { return c.rank }
+
+func (c *Comm) Barrier() {}
+`,
+				"internal/par/par.go": `package par
+
+import "testmod/internal/mpi"
+
+func Direct(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier()
+	}
+}
+
+func wrapper(c *mpi.Comm) {
+	c.Barrier()
+}
+
+func Transitive(c *mpi.Comm) {
+	r := c.Rank()
+	if r == 0 {
+		wrapper(c)
+	}
+}
+
+func Fine(c *mpi.Comm) {
+	c.Barrier()
+	if c.Rank() == 0 {
+		_ = 1
+	}
+}
+`,
+			},
+			want: []string{
+				"internal/par/par.go:7:3 [collective]",
+				"internal/par/par.go:18:3 [collective]",
+			},
+		},
+		{
+			name:   "test files analyzed as their own unit",
+			checks: []string{"maprange"},
+			opt:    LoadOptions{Tests: true},
+			files: map[string]string{
+				"internal/coarsen/coarsen.go": `package coarsen
+
+func Placeholder() {}
+`,
+				"internal/coarsen/extra_test.go": `package coarsen
+
+func sink(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+`,
+			},
+			want: []string{
+				"internal/coarsen/extra_test.go:5:2 [maprange]",
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := writeModule(t, tc.files)
+			got := runOn(t, root, tc.opt, named(t, tc.checks...))
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings:\n  got  %q\n  want %q", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("finding %d: got %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCollectiveMessageNamesCallee(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/mpi/mpi.go": `package mpi
+
+type Comm struct{ rank int }
+
+func (c *Comm) Rank() int { return c.rank }
+
+func (c *Comm) Barrier() {}
+`,
+		"internal/par/par.go": `package par
+
+import "testmod/internal/mpi"
+
+func Direct(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier()
+	}
+}
+`,
+	})
+	findings, _, err := Run(root, LoadOptions{}, named(t, "collective"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if want := "(*testmod/internal/mpi.Comm).Barrier"; !strings.Contains(findings[0].Message, want) {
+		t.Errorf("message %q does not name the collective %q", findings[0].Message, want)
+	}
+}
+
+func TestNoTestsSkipsTestFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/coarsen/coarsen.go": `package coarsen
+
+func Placeholder() {}
+`,
+		"internal/coarsen/extra_test.go": `package coarsen
+
+func sink(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+`,
+	})
+	if got := runOn(t, root, LoadOptions{Tests: false}, named(t, "maprange")); len(got) != 0 {
+		t.Errorf("Tests:false still reported from test files: %q", got)
+	}
+}
+
+func TestBareIgnoreSuppressesEverything(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/foo/foo.go": `package foo
+
+import "math/rand" //mcvet:ignore
+
+var _ = rand.Int
+`,
+	})
+	if got := runOn(t, root, LoadOptions{}, named(t, "mathrand")); len(got) != 0 {
+		t.Errorf("bare //mcvet:ignore did not suppress: %q", got)
+	}
+}
+
+func TestLoadModuleShape(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": `package a
+
+const A = 1
+`,
+		"b/b.go": `package b
+
+import "testmod/a"
+
+const B = a.A + 1
+`,
+		"b/b_ext_test.go": `package b_test
+
+import "testmod/b"
+
+var _ = b.B
+`,
+	})
+	m, err := Load(root, LoadOptions{Tests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Path != "testmod" {
+		t.Errorf("module path %q, want testmod", m.Path)
+	}
+	var kinds []string
+	for _, pkg := range m.Pkgs {
+		kinds = append(kinds, fmt.Sprintf("%s/%d", pkg.ImportPath, pkg.Kind))
+		for _, e := range pkg.TypeErrs {
+			t.Errorf("%s: type error: %v", pkg.ImportPath, e)
+		}
+	}
+	// Base units in dependency order (a before its importer b), then the
+	// external test unit.
+	want := []string{"testmod/a/0", "testmod/b/0", "testmod/b/2"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Errorf("units %v, want %v", kinds, want)
+	}
+}

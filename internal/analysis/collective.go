@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkCollective reports calls to MPI collectives made lexically inside a
+// rank-dependent conditional. The mpi substrate's collectives (Barrier,
+// Allreduce*, Allgatherv, Alltoallv, Bcast*, and anything built on them)
+// synchronize all ranks of the world: if one rank skips a collective that
+// the others enter, the barrier never fills and the SPMD body deadlocks by
+// construction. The check computes the set of collective functions
+// transitively — any module function whose body (statically) calls a
+// collective is itself collective — so wrappers like
+// pgraph.ExchangeGhostsI32 or prefine.Refine are flagged just like a bare
+// Barrier.
+//
+// A conditional is rank-dependent when its condition mentions a Comm.Rank()
+// call, or a local variable directly assigned from one (one level of data
+// flow; deeper derivations need a manual //mcvet:ignore or, better, a
+// restructure).
+func checkCollective(m *Module, r *Reporter) {
+	mpiPath := m.Path + "/internal/mpi"
+
+	// Index every function declaration in the module.
+	type declInfo struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+	}
+	decls := make(map[*types.Func]declInfo)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = declInfo{pkg, fd}
+				}
+			}
+		}
+	}
+
+	collective := make(map[*types.Func]bool)
+	isBase := func(obj *types.Func) bool {
+		return isCommMethod(obj, mpiPath) && isCollectiveName(obj.Name())
+	}
+
+	// Fixpoint: seed with the Comm collectives, then propagate callee →
+	// caller over the static call graph until stable.
+	for {
+		changed := false
+		for obj, di := range decls {
+			if collective[obj] {
+				continue
+			}
+			mark := false
+			ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(di.pkg, call); callee != nil && (collective[callee] || isBase(callee)) {
+					mark = true
+				}
+				return !mark
+			})
+			if mark {
+				collective[obj] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for obj, di := range decls {
+		_ = obj
+		checkCollectiveDecl(m, r, di.pkg, di.decl, mpiPath, func(callee *types.Func) bool {
+			return collective[callee] || isBase(callee)
+		})
+	}
+}
+
+// checkCollectiveDecl walks one function body tracking how many enclosing
+// rank-dependent conditionals surround each statement, and reports any
+// collective call at depth > 0.
+func checkCollectiveDecl(m *Module, r *Reporter, pkg *Package, decl *ast.FuncDecl, mpiPath string, isCollective func(*types.Func) bool) {
+	rankVars := rankDerivedVars(pkg, decl, mpiPath)
+	rankDep := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		dep := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
+					if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && isCommMethod(obj, mpiPath) {
+						dep = true
+					}
+				}
+			case *ast.Ident:
+				if obj := pkg.Info.Uses[n]; obj != nil && rankVars[obj] {
+					dep = true
+				}
+			}
+			return !dep
+		})
+		return dep
+	}
+
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// The closure may execute on a different rank schedule (or not
+			// at all); restart the lexical analysis inside it.
+			walk(n.Body, 0)
+			return
+		case *ast.IfStmt:
+			walk(n.Init, depth)
+			walk(n.Cond, depth)
+			d := depth
+			if rankDep(n.Cond) {
+				d++
+			}
+			walk(n.Body, d)
+			walk(n.Else, d)
+			return
+		case *ast.SwitchStmt:
+			walk(n.Init, depth)
+			walk(n.Tag, depth)
+			tagDep := rankDep(n.Tag)
+			for _, s := range n.Body.List {
+				cc := s.(*ast.CaseClause)
+				d := depth
+				if tagDep {
+					d++
+				} else {
+					for _, e := range cc.List {
+						if rankDep(e) {
+							d++
+							break
+						}
+					}
+				}
+				for _, body := range cc.Body {
+					walk(body, d)
+				}
+			}
+			return
+		case *ast.ForStmt:
+			walk(n.Init, depth)
+			walk(n.Cond, depth)
+			walk(n.Post, depth)
+			d := depth
+			if rankDep(n.Cond) {
+				d++
+			}
+			walk(n.Body, d)
+			return
+		case *ast.CallExpr:
+			if depth > 0 {
+				if callee := calleeFunc(pkg, n); callee != nil && isCollective(callee) {
+					r.Report(n.Pos(), "collective",
+						"collective %s called inside a rank-dependent conditional: ranks that skip it deadlock the world", callee.FullName())
+				}
+			}
+		}
+		// Generic descent over direct children at the current depth.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			if child != nil {
+				walk(child, depth)
+			}
+			return false
+		})
+	}
+	walk(decl.Body, 0)
+}
+
+// rankDerivedVars collects local objects assigned (anywhere in decl) from
+// an expression containing a Comm.Rank() call.
+func rankDerivedVars(pkg *Package, decl *ast.FuncDecl, mpiPath string) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	containsRank := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
+					if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && isCommMethod(obj, mpiPath) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	markIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			fromRank := false
+			for _, rhs := range n.Rhs {
+				if containsRank(rhs) {
+					fromRank = true
+					break
+				}
+			}
+			if fromRank {
+				for _, lhs := range n.Lhs {
+					markIdent(lhs)
+				}
+			}
+		case *ast.ValueSpec:
+			fromRank := false
+			for _, rhs := range n.Values {
+				if containsRank(rhs) {
+					fromRank = true
+					break
+				}
+			}
+			if fromRank {
+				for _, name := range n.Names {
+					markIdent(name)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls (function values, interface methods the checker cannot see).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isCommMethod reports whether obj is a method on the Comm type of the
+// module's mpi package.
+func isCommMethod(obj *types.Func, mpiPath string) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Name() == "Comm" && tn.Pkg() != nil && tn.Pkg().Path() == mpiPath
+}
+
+// isCollectiveName reports whether a Comm method name denotes a collective.
+func isCollectiveName(name string) bool {
+	if name == "Barrier" || name == "exchange" {
+		return true
+	}
+	for _, prefix := range []string{"Allreduce", "allreduce", "Allgather", "Alltoall", "Bcast"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PkgKind distinguishes the three compilation units a directory can yield,
+// mirroring how `go test` builds them.
+type PkgKind int
+
+const (
+	// KindBase is the package proper (non-test files).
+	KindBase PkgKind = iota
+	// KindTestInternal is the package recompiled with its in-package
+	// _test.go files. Findings are reported only from the test files (the
+	// base files are reported by the KindBase unit).
+	KindTestInternal
+	// KindTestExternal is the separate <pkg>_test package.
+	KindTestExternal
+)
+
+// Package is one type-checked analysis unit.
+type Package struct {
+	// ImportPath is the canonical module import path of the directory
+	// (shared by all three unit kinds of that directory).
+	ImportPath string
+	Kind       PkgKind
+	Name       string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrs holds type-checking errors; non-empty means Info may be
+	// incomplete and findings may be missed.
+	TypeErrs []error
+	// report marks the files findings may be reported from (nil = all).
+	report map[*ast.File]bool
+}
+
+// Reportable returns whether findings in f belong to this unit.
+func (p *Package) Reportable(f *ast.File) bool {
+	return p.report == nil || p.report[f]
+}
+
+// Module is a fully loaded, type-checked Go module.
+type Module struct {
+	Root string // directory containing go.mod
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	// Pkgs lists all units: base packages in dependency order, then test
+	// units.
+	Pkgs []*Package
+}
+
+// LoadOptions controls module loading.
+type LoadOptions struct {
+	// Tests includes _test.go files (as separate analysis units).
+	Tests bool
+	// BuildTags are extra build tags honored when selecting files
+	// (e.g. "mcdebug").
+	BuildTags []string
+}
+
+// dirFiles is the parsed content of one package directory, split into the
+// three unit kinds.
+type dirFiles struct {
+	dir                  string
+	base, testIn, testEx []*ast.File
+	nameBase, nameIn     string
+	nameEx               string
+}
+
+// Load parses and type-checks every package of the module rooted at root
+// (the directory containing go.mod, or any directory below it). Only the
+// standard library and the module itself may be imported: the loader
+// resolves module-internal imports from its own in-progress results and
+// everything else through the compiler's source importer, so it needs no
+// export data and no third-party dependencies.
+func Load(root string, opt LoadOptions) (*Module, error) {
+	root, err := findModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+
+	ctx := build.Default
+	ctx.BuildTags = append(ctx.BuildTags, opt.BuildTags...)
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var parsed []*dirFiles
+	for _, dir := range dirs {
+		df, err := parseDir(m.Fset, &ctx, dir, opt.Tests)
+		if err != nil {
+			return nil, err
+		}
+		if df != nil {
+			parsed = append(parsed, df)
+		}
+	}
+
+	// Topologically sort the base units by their module-internal imports so
+	// each unit's dependencies are type-checked first.
+	base := make(map[string]*dirFiles)
+	for _, df := range parsed {
+		if len(df.base) > 0 {
+			base[m.importPath(df.dir)] = df
+		}
+	}
+	order, err := topoOrder(m, base)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		std:    importer.ForCompiler(m.Fset, "source", nil),
+		module: m,
+		loaded: make(map[string]*types.Package),
+	}
+	for _, path := range order {
+		df := base[path]
+		pkg := m.typeCheck(imp, path, df.nameBase, df.dir, KindBase, df.base)
+		imp.loaded[path] = pkg.Types
+	}
+	if opt.Tests {
+		for _, df := range parsed {
+			path := m.importPath(df.dir)
+			basePkg := imp.loaded[path]
+			if len(df.testIn) > 0 {
+				// Recompile the package with its internal test files; report
+				// findings only from the test files.
+				files := append(append([]*ast.File(nil), df.base...), df.testIn...)
+				pkg := m.typeCheck(imp, path, df.nameIn, df.dir, KindTestInternal, files)
+				pkg.report = make(map[*ast.File]bool, len(df.testIn))
+				for _, f := range df.testIn {
+					pkg.report[f] = true
+				}
+				// The external test package must see the test-augmented
+				// package, like `go test` compiles it.
+				imp.loaded[path] = pkg.Types
+			}
+			if len(df.testEx) > 0 {
+				m.typeCheck(imp, path, df.nameEx, df.dir, KindTestExternal, df.testEx)
+			}
+			imp.loaded[path] = basePkg
+		}
+	}
+	return m, nil
+}
+
+// typeCheck runs the type checker over one unit, collecting rather than
+// failing on errors, and appends the unit to m.Pkgs.
+func (m *Module) typeCheck(imp types.Importer, path, name, dir string, kind PkgKind, files []*ast.File) *Package {
+	pkg := &Package{ImportPath: path, Kind: kind, Name: name, Dir: dir, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, m.Fset, files, info)
+	pkg.Types, pkg.Info = tpkg, info
+	m.Pkgs = append(m.Pkgs, pkg)
+	return pkg
+}
+
+// parseDir parses one directory's files into the three unit kinds; returns
+// nil if the directory holds no matching Go files.
+func parseDir(fset *token.FileSet, ctx *build.Context, dir string, tests bool) (*dirFiles, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	df := &dirFiles{dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !tests {
+			continue
+		}
+		if ok, err := ctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		switch {
+		case !isTest:
+			df.base = append(df.base, f)
+			df.nameBase = f.Name.Name
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			df.testEx = append(df.testEx, f)
+			df.nameEx = f.Name.Name
+		default:
+			df.testIn = append(df.testIn, f)
+			df.nameIn = f.Name.Name
+		}
+	}
+	if len(df.base)+len(df.testIn)+len(df.testEx) == 0 {
+		return nil, nil
+	}
+	return df, nil
+}
+
+// moduleImporter resolves module-internal imports from the loader's own
+// results and everything else (the standard library) from source.
+type moduleImporter struct {
+	std    types.Importer
+	module *Module
+	loaded map[string]*types.Package
+}
+
+func (imp *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == imp.module.Path || strings.HasPrefix(path, imp.module.Path+"/") {
+		if p := imp.loaded[path]; p != nil {
+			return p, nil
+		}
+		return nil, fmt.Errorf("analysis: module package %q not loaded (import cycle or missing directory?)", path)
+	}
+	if from, ok := imp.std.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, imp.module.Root, 0)
+	}
+	return imp.std.Import(path)
+}
+
+// importPath maps a directory inside the module to its import path.
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// BasePackages returns the non-test units in dependency order.
+func (m *Module) BasePackages() []*Package {
+	var out []*Package
+	for _, p := range m.Pkgs {
+		if p.Kind == KindBase {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// packageDirs lists candidate package directories under root, skipping
+// hidden directories, testdata, and vendor trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// topoOrder sorts base package paths so imports precede importers.
+func topoOrder(m *Module, base map[string]*dirFiles) ([]string, error) {
+	deps := make(map[string][]string, len(base))
+	for path, df := range base {
+		seen := map[string]bool{}
+		for _, f := range df.base {
+			for _, spec := range f.Imports {
+				ip, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, inModule := base[ip]; inModule && !seen[ip] {
+					seen[ip] = true
+					deps[path] = append(deps[path], ip)
+				}
+			}
+		}
+		sort.Strings(deps[path])
+	}
+	paths := make([]string, 0, len(base))
+	for path := range base {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on stack
+		black = 2 // done
+	)
+	state := make(map[string]int, len(base))
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		state[path] = gray
+		for _, dep := range deps[path] {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		order = append(order, path)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPackages are the partitioning packages where iteration order reaches
+// partition vectors: a nondeterministically ordered loop in one of these
+// changes matchings, move order, and ultimately the output labels.
+var hotPackages = []string{
+	"internal/coarsen",
+	"internal/kwayrefine",
+	"internal/initpart",
+	"internal/prefine",
+	"internal/pcoarsen",
+	"internal/parallel",
+}
+
+// adjacentLines is how far (in lines) from the range statement a sort call
+// still counts as establishing a deterministic order. The canonical safe
+// pattern — collect keys, sort, iterate — keeps the sort within a line or
+// two of the loop.
+const adjacentLines = 3
+
+// checkMapRange reports `range` over a map type in a hot package unless a
+// sort call appears adjacent to the loop (inside its body, or within
+// adjacentLines before/after it). Go randomizes map iteration order per
+// run, so any map-ordered computation in these packages breaks the
+// fixed-seed reproducibility the experiments depend on.
+func checkMapRange(m *Module, r *Reporter) {
+	hot := make(map[string]bool, len(hotPackages))
+	for _, p := range hotPackages {
+		hot[m.Path+"/"+p] = true
+	}
+	for _, pkg := range m.Pkgs {
+		if !hot[pkg.ImportPath] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if !pkg.Reportable(f) {
+				continue
+			}
+			// Collect the lines of every ordering call in the file first,
+			// then test each map range for one nearby.
+			var sortLines []int
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isSortCall(pkg, call) {
+					sortLines = append(sortLines, m.Fset.Position(call.Pos()).Line)
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pkg, rs.X) {
+					return true
+				}
+				start := m.Fset.Position(rs.Pos()).Line
+				end := m.Fset.Position(rs.End()).Line
+				for _, line := range sortLines {
+					if line >= start-adjacentLines && line <= end+adjacentLines {
+						return true
+					}
+				}
+				r.Report(rs.Pos(), "maprange",
+					"iteration over a map in hot package %s without an adjacent sort: map order is nondeterministic and leaks into partitions", pkg.Types.Name())
+				return true
+			})
+		}
+	}
+}
+
+// isMapType reports whether expr has map type (directly or through a named
+// type).
+func isMapType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isSortCall reports whether call invokes an ordering function from the
+// sort or slices packages (sort.Search and friends do not count: they do
+// not establish iteration order).
+func isSortCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Search", "SearchInts", "SearchFloat64s", "SearchStrings", "Find":
+			return false
+		}
+		return true
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

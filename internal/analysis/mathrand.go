@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// checkMathRand reports imports of math/rand (and math/rand/v2) anywhere
+// except internal/rng, the single sanctioned entropy source. The rng
+// package wraps its own splitmix64/xoshiro generator precisely because
+// math/rand's sequence is not stable across Go releases; importing it
+// elsewhere reopens that hole.
+func checkMathRand(m *Module, r *Reporter) {
+	exempt := m.Path + "/internal/rng"
+	for _, pkg := range m.Pkgs {
+		if pkg.ImportPath == exempt {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if !pkg.Reportable(f) {
+				continue
+			}
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || strings.HasPrefix(path, "math/rand/") {
+					r.Report(spec.Pos(), "mathrand",
+						"import of %q outside internal/rng: all randomness must go through the deterministic internal/rng generator", path)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkWeightInt reports vertex/edge weight values accumulated into an int
+// or int32 *scalar* inside a loop. The repository convention (documented in
+// internal/graph) is: per-vertex and per-edge weights are int32, but any
+// aggregate over many vertices or edges is int64 — a Type 1 workload on the
+// paper's 7.5M-vertex mrng4 already sums past 2^31. Merging into int32
+// slice elements (e.g. coarse vertex weights during contraction) is the
+// convention's sanctioned narrow case and is not flagged; only scalar
+// accumulators are.
+func checkWeightInt(m *Module, r *Reporter) {
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			if !pkg.Reportable(f) {
+				continue
+			}
+			checkWeightIntFile(m, r, pkg, f)
+		}
+	}
+}
+
+func checkWeightIntFile(m *Module, r *Reporter, pkg *Package, f *ast.File) {
+	// Walk with an explicit loop-depth counter: only accumulation *inside a
+	// loop* aggregates over many items.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.FuncLit:
+			loopDepth = 0 // the closure may run outside the loop
+		case *ast.AssignStmt:
+			if loopDepth > 0 {
+				checkWeightAssign(r, pkg, n)
+			}
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == nil || child == n {
+				return child == n
+			}
+			walk(child, loopDepth)
+			return false
+		})
+	}
+	walk(f, 0)
+}
+
+// checkWeightAssign flags `acc += w` / `acc = acc + w` where acc is a
+// narrow integer scalar and w mentions a weight source.
+func checkWeightAssign(r *Reporter, pkg *Package, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		return
+	}
+	var added ast.Expr
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		added = as.Rhs[0]
+	case token.ASSIGN:
+		// acc = acc + w  or  acc = w + acc
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return
+		}
+		if x, ok := bin.X.(*ast.Ident); ok && x.Name == lhs.Name {
+			added = bin.Y
+		} else if y, ok := bin.Y.(*ast.Ident); ok && y.Name == lhs.Name {
+			added = bin.X
+		} else {
+			return
+		}
+	default:
+		return
+	}
+	obj := pkg.Info.Uses[lhs]
+	if obj == nil {
+		obj = pkg.Info.Defs[lhs]
+	}
+	if obj == nil {
+		return
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch basic.Kind() {
+	case types.Int, types.Int32, types.Uint, types.Uint32:
+	default:
+		return
+	}
+	if !mentionsWeight(added) {
+		return
+	}
+	r.Report(as.Pos(), "weightint",
+		"weight accumulated into %s scalar %q inside a loop: weight aggregates must be int64", basic.Name(), lhs.Name)
+}
+
+// mentionsWeight reports whether the expression references an identifier or
+// field whose name marks it as a vertex/edge weight (the Vwgt/Adjwgt/wgt
+// naming convention used throughout the module).
+func mentionsWeight(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		default:
+			return true
+		}
+		lower := strings.ToLower(name)
+		if strings.Contains(lower, "wgt") || strings.Contains(lower, "weight") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,35 @@
+//go:build mcdebug
+
+package check
+
+import (
+	"repro/internal/graph"
+)
+
+// Enabled reports whether the runtime invariant checks are compiled in.
+// It is a build-time constant so `if check.Enabled { ... }` blocks are
+// dead-code-eliminated entirely in release builds.
+const Enabled = true
+
+// Graph panics if g violates the CSR structural invariants.
+func Graph(where string, g *graph.Graph) {
+	if err := VerifyGraph(g); err != nil {
+		panic("mcdebug: " + where + ": " + err.Error())
+	}
+}
+
+// Coarsening panics if coarse is not a contraction of fine under cmap.
+func Coarsening(where string, fine, coarse *graph.Graph, cmap []int32) {
+	if err := VerifyCoarsening(fine, coarse, cmap); err != nil {
+		panic("mcdebug: " + where + ": " + err.Error())
+	}
+}
+
+// Partition panics if part is not a valid k-way partitioning of g, or if
+// the supplied incremental aggregates (wantCut when >= 0, wantPwgts when
+// non-nil) disagree with a from-scratch recomputation.
+func Partition(where string, g *graph.Graph, part []int32, k int, wantCut int64, wantPwgts []int64) {
+	if err := VerifyPartition(g, part, k, wantCut, wantPwgts); err != nil {
+		panic("mcdebug: " + where + ": " + err.Error())
+	}
+}

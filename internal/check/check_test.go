@@ -1,0 +1,118 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coarsen"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := gen.Type1(gen.MRNGLike(8, 8, 8, 3), 2, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generator produced invalid graph: %v", err)
+	}
+	return g
+}
+
+func TestVerifyCoarseningAcceptsRealContraction(t *testing.T) {
+	g := testGraph(t)
+	levels := coarsen.BuildHierarchy(g, 100, rng.New(1), coarsen.Options{})
+	if len(levels) < 2 {
+		t.Fatal("no coarsening happened")
+	}
+	for lvl := 1; lvl < len(levels); lvl++ {
+		fine, coarse, cmap := levels[lvl-1].Graph, levels[lvl].Graph, levels[lvl].CMap
+		if err := VerifyCoarsening(fine, coarse, cmap); err != nil {
+			t.Errorf("level %d: %v", lvl, err)
+		}
+	}
+}
+
+func TestVerifyCoarseningCatches(t *testing.T) {
+	g := testGraph(t)
+	levels := coarsen.BuildHierarchy(g, 100, rng.New(1), coarsen.Options{})
+	fine, coarse, cmap := levels[0].Graph, levels[1].Graph, levels[1].CMap
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(coarse *graph.Graph, cmap []int32)
+		want   string
+	}{
+		{
+			name:   "short cmap",
+			mutate: func(_ *graph.Graph, cmap []int32) {},
+			want:   "len(cmap)",
+		},
+		{
+			name:   "cmap out of range",
+			mutate: func(coarse *graph.Graph, cmap []int32) { cmap[0] = int32(coarse.NumVertices()) },
+			want:   "out of",
+		},
+		{
+			name:   "vertex weight not conserved",
+			mutate: func(coarse *graph.Graph, _ []int32) { coarse.Vwgt[0]++ },
+			want:   "weight",
+		},
+		{
+			name: "edge weight not conserved",
+			// +2 because TotalEdgeWeight halves the directed sum: a lone +1
+			// vanishes in the truncation.
+			mutate: func(coarse *graph.Graph, _ []int32) { coarse.Adjwgt[0] += 2 },
+			want:   "edge weight not conserved",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cc := *coarse
+			cc.Vwgt = append([]int32(nil), coarse.Vwgt...)
+			cc.Adjwgt = append([]int32(nil), coarse.Adjwgt...)
+			cm := append([]int32(nil), cmap...)
+			if tc.name == "short cmap" {
+				cm = cm[:len(cm)-1]
+			}
+			tc.mutate(&cc, cm)
+			err := VerifyCoarsening(fine, &cc, cm)
+			if err == nil {
+				t.Fatal("mutated contraction passed verification")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyPartition(t *testing.T) {
+	g := testGraph(t)
+	const k = 4
+	part := make([]int32, g.NumVertices())
+	for v := range part {
+		part[v] = int32(v % k)
+	}
+	cut := metrics.EdgeCut(g, part)
+	pwgts := metrics.PartWeights(g, part, k)
+
+	if err := VerifyPartition(g, part, k, cut, pwgts); err != nil {
+		t.Errorf("consistent aggregates rejected: %v", err)
+	}
+	if err := VerifyPartition(g, part, k, -1, nil); err != nil {
+		t.Errorf("aggregate checks not skippable: %v", err)
+	}
+	if err := VerifyPartition(g, part, k, cut+1, pwgts); err == nil {
+		t.Error("stale incremental cut passed verification")
+	}
+	bad := append([]int64(nil), pwgts...)
+	bad[0]++
+	if err := VerifyPartition(g, part, k, cut, bad); err == nil {
+		t.Error("stale subdomain weights passed verification")
+	}
+	part[0] = k
+	if err := VerifyPartition(g, part, k, -1, nil); err == nil {
+		t.Error("out-of-range label passed verification")
+	}
+}

@@ -1,0 +1,113 @@
+// Package check is the runtime invariant checker for the multilevel
+// pipelines. The exported Graph/Coarsening/Partition helpers are no-ops
+// unless the build carries the mcdebug tag (go test -tags mcdebug); with
+// the tag they verify, at every level boundary of the serial and parallel
+// partitioners, the structural invariants the algorithms rely on and panic
+// with a located message on the first violation.
+//
+// The Verify* functions hold the actual logic and are plain functions
+// returning errors, so they are unit-testable (and usable by tests) in any
+// build configuration. Callers in hot paths must gate both the wrappers
+// and any argument preparation on check.Enabled so release builds
+// dead-code-eliminate the whole block:
+//
+//	if check.Enabled {
+//		check.Coarsening("coarsen: level 3", fine, coarse, cmap)
+//	}
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// VerifyGraph checks the structural CSR invariants: monotone xadj,
+// in-range neighbor indices, no self-loops, symmetric adjacency with equal
+// weights, non-negative weights.
+func VerifyGraph(g *graph.Graph) error {
+	return g.Validate()
+}
+
+// VerifyCoarsening checks that coarse is a contraction of fine under cmap:
+// cmap is a total onto map into the coarse vertex range, every coarse
+// vertex weight vector is the sum of its fine preimage's vectors, and
+// total edge weight is conserved (fine total = coarse total + weight
+// collapsed inside coarse vertices).
+func VerifyCoarsening(fine, coarse *graph.Graph, cmap []int32) error {
+	nf, nc := fine.NumVertices(), coarse.NumVertices()
+	m := fine.Ncon
+	if coarse.Ncon != m {
+		return fmt.Errorf("check: coarse has %d constraints, fine has %d", coarse.Ncon, m)
+	}
+	if len(cmap) != nf {
+		return fmt.Errorf("check: len(cmap) = %d, want %d fine vertices", len(cmap), nf)
+	}
+
+	// Vertex weight conservation per coarse vertex, and cmap range. Sums are
+	// int64: a coarse vertex may aggregate arbitrarily many int32 weights.
+	sums := make([]int64, nc*m)
+	for v := 0; v < nf; v++ {
+		cv := cmap[v]
+		if cv < 0 || int(cv) >= nc {
+			return fmt.Errorf("check: cmap[%d] = %d out of [0,%d)", v, cv, nc)
+		}
+		for c := 0; c < m; c++ {
+			sums[int(cv)*m+c] += int64(fine.Vwgt[v*m+c])
+		}
+	}
+	for cv := 0; cv < nc; cv++ {
+		for c := 0; c < m; c++ {
+			if got, want := int64(coarse.Vwgt[cv*m+c]), sums[cv*m+c]; got != want {
+				return fmt.Errorf("check: coarse vertex %d constraint %d weight %d, want sum of fine weights %d", cv, c, got, want)
+			}
+		}
+	}
+
+	// Edge weight conservation: each fine edge either survives (merged into
+	// a coarse edge) or collapses inside a coarse vertex.
+	var collapsed2 int64 // twice the collapsed weight (both directions)
+	for v := int32(0); int(v) < nf; v++ {
+		adj, wgt := fine.Neighbors(v)
+		for i, u := range adj {
+			if cmap[v] == cmap[u] {
+				collapsed2 += int64(wgt[i])
+			}
+		}
+	}
+	ft, ct := fine.TotalEdgeWeight(), coarse.TotalEdgeWeight()
+	if ft != ct+collapsed2/2 {
+		return fmt.Errorf("check: edge weight not conserved: fine %d, coarse %d + collapsed %d", ft, ct, collapsed2/2)
+	}
+	return nil
+}
+
+// VerifyPartition checks that part is a valid k-way partitioning of g and,
+// when the caller supplies them, that the partitioner's incrementally
+// maintained aggregates agree with a from-scratch recomputation: wantCut
+// (ignored when < 0) against metrics.EdgeCut, and wantPwgts (ignored when
+// nil, else length k*Ncon) against metrics.PartWeights.
+func VerifyPartition(g *graph.Graph, part []int32, k int, wantCut int64, wantPwgts []int64) error {
+	if err := metrics.CheckPartition(g, part, k); err != nil {
+		return err
+	}
+	if wantCut >= 0 {
+		if cut := metrics.EdgeCut(g, part); cut != wantCut {
+			return fmt.Errorf("check: incremental cut %d, scratch recomputation %d", wantCut, cut)
+		}
+	}
+	if wantPwgts != nil {
+		pwgts := metrics.PartWeights(g, part, k)
+		if len(wantPwgts) != len(pwgts) {
+			return fmt.Errorf("check: len(pwgts) = %d, want %d", len(wantPwgts), len(pwgts))
+		}
+		for i := range pwgts {
+			if pwgts[i] != wantPwgts[i] {
+				return fmt.Errorf("check: subdomain %d constraint %d weight %d, scratch recomputation %d",
+					i/g.Ncon, i%g.Ncon, wantPwgts[i], pwgts[i])
+			}
+		}
+	}
+	return nil
+}

@@ -7,7 +7,9 @@
 package kwayrefine
 
 import (
+	"repro/internal/check"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/vecw"
 )
@@ -40,6 +42,11 @@ type Refiner struct {
 	pwgts []int64 // k*m
 	limit []int64 // k*m
 	avg   []float64
+	// cut is maintained incrementally (each applied move subtracts its
+	// gain). It is seeded by a from-scratch scan only under the mcdebug
+	// build tag, where check.Partition compares it against a scratch
+	// recomputation after every Refine; release builds never read it.
+	cut int64
 	// per-vertex scratch for external-degree accumulation
 	edw     []int64
 	mark    []int32
@@ -81,6 +88,20 @@ func (r *Refiner) setup(g *graph.Graph, part []int32) {
 	for i := range r.mark {
 		r.mark[i] = -1
 	}
+	if check.Enabled {
+		r.cut = metrics.EdgeCut(g, part)
+	}
+}
+
+// Cut returns the edge-cut as maintained incrementally across moves. Only
+// meaningful under the mcdebug build tag (setup seeds it from scratch);
+// release builds never seed it.
+func (r *Refiner) Cut() int64 { return r.cut }
+
+// PartWeights returns a copy of the current k*m subdomain weight vectors;
+// valid after Refine/Balance.
+func (r *Refiner) PartWeights() []int64 {
+	return append([]int64(nil), r.pwgts...)
 }
 
 // Refine runs greedy refinement passes (preceded by balancing passes when
@@ -179,7 +200,7 @@ func (r *Refiner) greedyPass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 			}
 		}
 		if bestB >= 0 && bestB != a {
-			r.apply(part, v, a, bestB, vw)
+			r.apply(part, v, a, bestB, vw, bestGain)
 			moves++
 		}
 	}
@@ -219,7 +240,7 @@ func (r *Refiner) balancePass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 			}
 		}
 		if bestB >= 0 {
-			r.apply(part, v, a, bestB, vw)
+			r.apply(part, v, a, bestB, vw, bestGain)
 			moves++
 			if !vecw.AnyOver(r.pwgts[int(a)*m:(int(a)+1)*m], r.limit[int(a)*m:(int(a)+1)*m]) &&
 				!r.imbalanced() {
@@ -293,8 +314,10 @@ func (r *Refiner) balanceDelta(a, b int32, vw []int32) float64 {
 	return after - before
 }
 
-func (r *Refiner) apply(part []int32, v, a, b int32, vw []int32) {
+// apply commits the move of v (weight vw, cut reduction gain) from a to b.
+func (r *Refiner) apply(part []int32, v, a, b int32, vw []int32, gain int64) {
 	m := r.m
 	vecw.Move(r.pwgts[int(a)*m:(int(a)+1)*m], r.pwgts[int(b)*m:(int(b)+1)*m], vw)
 	part[v] = b
+	r.cut -= gain
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
@@ -184,6 +185,22 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 	})
 	coarsest := levels[len(levels)-1].DG
 
+	if check.Enabled {
+		// Gather every level onto all ranks and verify the contraction
+		// chain. All the calls below are collective, but the guard is a
+		// build-time constant, so every rank takes the same path.
+		check.Graph("parallel: input", g)
+		finerG := levels[0].DG.Gather()
+		for lvl := 1; lvl < len(levels); lvl++ {
+			coarseG := levels[lvl].DG.Gather()
+			cmapAll, _ := c.AllgathervI32(levels[lvl].CMap)
+			check.Graph(fmt.Sprintf("parallel: coarse level %d", lvl), coarseG)
+			check.Coarsening(fmt.Sprintf("parallel: contraction %d->%d", lvl-1, lvl),
+				finerG, coarseG, cmapAll)
+			finerG = coarseG
+		}
+	}
+
 	// Initial partitioning on the gathered coarsest graph.
 	partAll, initCut := pinit.Partition(coarsest, k, rand, pinit.Options{
 		Tol:    opt.Tol,
@@ -203,6 +220,9 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 	}
 	ref := prefine.NewRefiner(coarsest, part, k, ropt)
 	moves += ref.Refine(rand)
+	if check.Enabled {
+		checkParallelPartition(c, "parallel: coarsest refinement", coarsest, ref, k)
+	}
 	for lvl := len(levels) - 1; lvl > 0; lvl-- {
 		coarseDG := levels[lvl].DG
 		finer := levels[lvl-1].DG
@@ -210,9 +230,15 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 		part = coarseDG.FetchByGlobal(cmap, part)
 		ref = prefine.NewRefiner(finer, part, k, ropt)
 		moves += ref.Refine(rand)
+		if check.Enabled {
+			checkParallelPartition(c, fmt.Sprintf("parallel: refinement at level %d", lvl-1), finer, ref, k)
+		}
 	}
 
 	full, _ := c.AllgathervI32(part)
+	if check.Enabled {
+		check.Partition("parallel: final", g, full, k, -1, nil)
+	}
 	return rankOut{
 		part:       full,
 		levels:     len(levels),
@@ -220,4 +246,16 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 		initCut:    initCut,
 		localMoves: moves,
 	}
+}
+
+// checkParallelPartition verifies, under the mcdebug build tag, one level's
+// refined distributed partitioning against a from-scratch recomputation on
+// the gathered graph: the replicated incremental subdomain weights must
+// match metrics.PartWeights, and the ghost-label-based GlobalCut must match
+// metrics.EdgeCut. Collective (Gather, AllgathervI32, GlobalCut); callers
+// gate on the build-time constant check.Enabled so all ranks participate.
+func checkParallelPartition(c *mpi.Comm, where string, dg *pgraph.DGraph, ref *prefine.Refiner, k int) {
+	full := dg.Gather()
+	partAll, _ := c.AllgathervI32(ref.Part())
+	check.Partition(where, full, partAll, k, ref.GlobalCut(), ref.PartWeights())
 }

@@ -170,6 +170,16 @@ func NewRefiner(dg *pgraph.DGraph, part []int32, k int, opt Options) *Refiner {
 // Part returns the rank's current labels (aliases the slice passed in).
 func (r *Refiner) Part() []int32 { return r.part }
 
+// GlobalCut returns the current global edge-cut, recomputed from the owned
+// labels and ghost labels. Collective: every rank must call it.
+func (r *Refiner) GlobalCut() int64 { return r.globalCut() }
+
+// PartWeights returns a copy of the replicated k*m global subdomain weight
+// vectors as maintained incrementally by the commit reductions.
+func (r *Refiner) PartWeights() []int64 {
+	return append([]int64(nil), r.pwgts...)
+}
+
 // Imbalance returns the current global max imbalance (replicated state, no
 // communication).
 func (r *Refiner) Imbalance() float64 {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/coarsen"
 	"repro/internal/graph"
 	"repro/internal/initpart"
@@ -137,6 +138,15 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 	coarsest := levels[len(levels)-1].Graph
 	stats.CoarsestN = coarsest.NumVertices()
 
+	if check.Enabled {
+		check.Graph("serial: input", g)
+		for lvl := 1; lvl < len(levels); lvl++ {
+			check.Graph(fmt.Sprintf("serial: coarse level %d", lvl), levels[lvl].Graph)
+			check.Coarsening(fmt.Sprintf("serial: contraction %d->%d", lvl-1, lvl),
+				levels[lvl-1].Graph, levels[lvl].Graph, levels[lvl].CMap)
+		}
+	}
+
 	// Phase 2: initial partitioning of the coarsest graph.
 	t0 = time.Now()
 	part := initpart.RecursiveBisect(coarsest, k, rand, initpart.Options{
@@ -152,6 +162,10 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 		Passes: opt.RefinePasses,
 	})
 	stats.Moves += refiner.Refine(coarsest, part, rand)
+	if check.Enabled {
+		check.Partition("serial: coarsest refinement", coarsest, part, k,
+			refiner.Cut(), refiner.PartWeights())
+	}
 	for lvl := len(levels) - 1; lvl > 0; lvl-- {
 		finer := levels[lvl-1].Graph
 		cmap := levels[lvl].CMap
@@ -161,6 +175,10 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 		}
 		part = fpart
 		stats.Moves += refiner.Refine(finer, part, rand)
+		if check.Enabled {
+			check.Partition(fmt.Sprintf("serial: refinement at level %d", lvl-1),
+				finer, part, k, refiner.Cut(), refiner.PartWeights())
+		}
 	}
 	stats.UncoarsenTime = time.Since(t0)
 

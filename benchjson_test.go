@@ -1,0 +1,93 @@
+package partition
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkBench2 is the machine-readable benchmark harness for the
+// service PR: serial and p=4 parallel wall times and edge cuts on the
+// tiny mrng-like meshes, written to BENCH_2.json so successive PRs can
+// diff headline numbers without re-parsing `go test -bench` output.
+//
+//	go test -bench=Bench2 -benchtime=1x .
+//
+// The committed BENCH_2.json is the output of one such run; wall times
+// are machine-dependent, cuts are deterministic (fixed seed).
+func BenchmarkBench2(b *testing.B) {
+	type row struct {
+		Mesh         string  `json:"mesh"`
+		N            int     `json:"n"`
+		Edges        int     `json:"edges"`
+		K            int     `json:"k"`
+		Seed         uint64  `json:"seed"`
+		SerialWallMS float64 `json:"serial_wall_ms"`
+		SerialCut    int64   `json:"serial_cut"`
+		P4WallMS     float64 `json:"p4_wall_ms"`
+		P4Cut        int64   `json:"p4_cut"`
+		P4SimTimeS   float64 `json:"p4_simtime_s"`
+	}
+	const (
+		k    = 8
+		seed = 1
+	)
+	meshes := []string{"mrng1t", "mrng2t", "mrng3t"}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range meshes {
+			spec, ok := gen.MeshByName(name)
+			if !ok {
+				b.Fatalf("unknown mesh %q", name)
+			}
+			g := spec.Build(seed*7919 + 7)
+			t0 := time.Now()
+			sPart, _, err := Serial(g, k, SerialOptions{Seed: seed, Tol: 0.05})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sWall := time.Since(t0)
+			t0 = time.Now()
+			pPart, pStats, err := Parallel(g, k, 4, ParallelOptions{Seed: seed, Tol: 0.05})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pWall := time.Since(t0)
+			rows = append(rows, row{
+				Mesh: name, N: g.NumVertices(), Edges: g.NumEdges(),
+				K: k, Seed: seed,
+				SerialWallMS: float64(sWall.Microseconds()) / 1000,
+				SerialCut:    EdgeCut(g, sPart),
+				P4WallMS:     float64(pWall.Microseconds()) / 1000,
+				P4Cut:        EdgeCut(g, pPart),
+				P4SimTimeS:   pStats.SimTime,
+			})
+		}
+	}
+	var serialMS, p4MS float64
+	for _, r := range rows {
+		serialMS += r.SerialWallMS
+		p4MS += r.P4WallMS
+	}
+	b.ReportMetric(serialMS, "serial-ms")
+	b.ReportMetric(p4MS, "p4-ms")
+
+	out := struct {
+		GeneratedBy string `json:"generated_by"`
+		Rows        []row  `json:"rows"`
+	}{
+		GeneratedBy: "go test -bench=Bench2 -benchtime=1x .",
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_2.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -15,6 +15,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,11 @@ import (
 	partition "repro"
 	"repro/internal/gen"
 )
+
+// exitDeadline is the exit status when -timeout fires: distinct from 1
+// (input/algorithm error) and 2 (bad flags) so scripts can tell "graph too
+// hard for the budget" from "request was wrong".
+const exitDeadline = 3
 
 func main() {
 	var (
@@ -35,8 +42,16 @@ func main() {
 		tol       = flag.Float64("tol", 0.05, "load imbalance tolerance")
 		scheme    = flag.String("scheme", "reservation", "parallel refinement scheme: reservation|slice|free")
 		outFile   = flag.String("out", "", "write one subdomain label per line to this file")
+		timeout   = flag.Duration("timeout", 0, "abort partitioning after this long (0 = no limit); exits with status 3")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	g, err := loadGraph(*graphFile, *mesh, *workload, *m, *seed)
 	if err != nil {
@@ -48,7 +63,7 @@ func main() {
 	var part []int32
 	if *p == 0 {
 		var stats partition.SerialStats
-		part, stats, err = partition.Serial(g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol})
+		part, stats, err = partition.SerialContext(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol})
 		if err == nil {
 			fmt.Printf("serial: cut=%d imbalance=%.4f levels=%d coarsest=%d (coarsen %v, init %v, uncoarsen %v)\n",
 				stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN,
@@ -68,7 +83,7 @@ func main() {
 			os.Exit(2)
 		}
 		var stats partition.ParallelStats
-		part, stats, err = partition.Parallel(g, *k, *p, partition.ParallelOptions{
+		part, stats, err = partition.ParallelContext(ctx, g, *k, *p, partition.ParallelOptions{
 			Seed: *seed, Tol: *tol, Scheme: sch,
 		})
 		if err == nil {
@@ -78,6 +93,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcpart:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "mcpart: -timeout %v exceeded\n", *timeout)
+			os.Exit(exitDeadline)
+		}
 		os.Exit(1)
 	}
 

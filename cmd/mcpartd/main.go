@@ -1,0 +1,95 @@
+// Command mcpartd serves the multi-constraint partitioner over HTTP:
+// partition-as-a-service on top of the same library the mcpart CLI uses.
+//
+// Usage:
+//
+//	mcpartd -addr :8080 -workers 4 -queue 16 -cache 128
+//
+// Endpoints:
+//
+//	POST /v1/partition  submit a job (inline METIS graph or named mesh)
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition
+//
+// A full queue answers 429 with a Retry-After header; results are cached
+// by content address (graph hash + parameter tuple), so resubmitting an
+// identical request is served without recomputation. SIGINT/SIGTERM
+// trigger a graceful shutdown that drains in-flight jobs. See the README
+// for request examples and internal/service for the implementation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent partition jobs (0 = service default)")
+		queue    = flag.Int("queue", 0, "admission queue depth; overflow answers 429 (0 = 4x workers)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = default 128, negative disables)")
+		maxBody  = flag.Int64("max-body", 0, "request body byte limit (0 = default 64 MiB)")
+		maxVerts = flag.Int("max-vertices", 0, "largest accepted graph, in vertices (0 = default)")
+		maxEdges = flag.Int("max-edges", 0, "largest accepted graph, in edges (0 = default)")
+		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = service default 60s)")
+		maxTime  = flag.Duration("max-timeout", 0, "largest per-job deadline a client may request (0 = default 10m)")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining connections")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "mcpartd: unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	s := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		MaxBodyBytes:   *maxBody,
+		MaxVertices:    *maxVerts,
+		MaxEdges:       *maxEdges,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mcpartd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("mcpartd: %v received, draining", sig)
+	case err := <-errc:
+		log.Fatalf("mcpartd: %v", err)
+	}
+
+	// Stop accepting connections, let in-flight handlers (and therefore
+	// their queued jobs) finish, then drain the worker pool.
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mcpartd: shutdown: %v", err)
+	}
+	s.Close()
+	log.Printf("mcpartd: drained, exiting")
+}

@@ -28,6 +28,11 @@ type Options struct {
 	// This is METIS's guard against coarsening collapsing too much weight
 	// into single unsplittable vertices.
 	MaxVertexWeight int64
+	// Stop, when non-nil, is polled by BuildHierarchy at every level
+	// boundary; once it returns true the hierarchy is abandoned and
+	// BuildHierarchy returns nil. It is how context cancellation reaches
+	// the coarsening loop without the package importing context.
+	Stop func() bool
 }
 
 // Match computes a heavy-edge matching of g. The result maps every vertex v
@@ -223,11 +228,15 @@ type Level struct {
 // BuildHierarchy coarsens g until it has at most coarsenTo vertices or
 // coarsening stalls (shrink factor worse than 0.95 per level, the
 // slow-coarsening cutoff). The returned slice starts with the input graph
-// (CMap nil) and ends with the coarsest graph.
+// (CMap nil) and ends with the coarsest graph. If opt.Stop fires at a
+// level boundary the partial hierarchy is abandoned and nil is returned.
 func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) []Level {
 	levels := []Level{{Graph: g}}
 	cur := g
 	for cur.NumVertices() > coarsenTo {
+		if opt.Stop != nil && opt.Stop() {
+			return nil
+		}
 		// Cap coarse vertex weight at ~1/coarsenTo of the heaviest
 		// constraint total so initial partitioning always has room to
 		// balance (METIS's rule of thumb).

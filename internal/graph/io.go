@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -47,10 +48,36 @@ func WriteMETIS(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// Limits bounds what ReadMETISLimited will accept from an untrusted
+// input. Zero fields mean "no limit beyond the structural maxima" (vertex
+// ids must fit int32 and n*ncon must be addressable).
+type Limits struct {
+	// MaxVertices rejects graphs whose header declares more vertices.
+	MaxVertices int
+	// MaxEdges rejects graphs whose header declares more undirected edges,
+	// and also caps the number of adjacency entries actually parsed (so a
+	// lying header cannot make memory grow past ~2x the declared size).
+	MaxEdges int
+}
+
+// maxNcon bounds the per-vertex constraint count a file may declare. The
+// paper's workloads use m <= 5; three orders of magnitude of headroom
+// keeps the bound irrelevant for real inputs while stopping a hostile
+// header from driving the n*ncon weight allocation on its own.
+const maxNcon = 1024
+
 // ReadMETIS parses a graph in the METIS 4.0 file format as produced by
 // WriteMETIS. It accepts fmt codes 0 (no weights), 1 (edge weights),
 // 10 (vertex weights), and 11 (both); missing weights default to 1.
 func ReadMETIS(r io.Reader) (*Graph, error) {
+	return ReadMETISLimited(r, Limits{})
+}
+
+// ReadMETISLimited is ReadMETIS for untrusted input: malformed or hostile
+// bytes produce an error, never a panic, and lim caps the declared graph
+// size before any size-proportional allocation happens. Servers parsing
+// client-supplied graphs should use this entry point.
+func ReadMETISLimited(r io.Reader, lim Limits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 
@@ -63,11 +90,11 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: malformed header %q", header)
 	}
 	n, err := strconv.Atoi(fields[0])
-	if err != nil {
+	if err != nil || n < 0 {
 		return nil, fmt.Errorf("graph: bad vertex count %q", fields[0])
 	}
 	m, err := strconv.Atoi(fields[1])
-	if err != nil {
+	if err != nil || m < 0 {
 		return nil, fmt.Errorf("graph: bad edge count %q", fields[1])
 	}
 	format := "0"
@@ -79,12 +106,28 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	ncon := 1
 	if len(fields) >= 4 {
 		ncon, err = strconv.Atoi(fields[3])
-		if err != nil || ncon < 1 {
+		if err != nil || ncon < 1 || ncon > maxNcon {
 			return nil, fmt.Errorf("graph: bad ncon %q", fields[3])
 		}
 	}
+	// Vertex ids are int32 and the flattened weight vector is indexed by
+	// n*ncon ints; reject headers whose declared sizes cannot be
+	// represented before allocating anything proportional to them.
+	if n > math.MaxInt32 || int64(n)*int64(ncon) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: declared size n=%d ncon=%d exceeds int32 indexing", n, ncon)
+	}
+	if m > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: declared edge count %d exceeds int32 indexing", m)
+	}
+	if lim.MaxVertices > 0 && n > lim.MaxVertices {
+		return nil, fmt.Errorf("graph: %d vertices exceeds the limit of %d", n, lim.MaxVertices)
+	}
+	if lim.MaxEdges > 0 && m > lim.MaxEdges {
+		return nil, fmt.Errorf("graph: %d edges exceeds the limit of %d", m, lim.MaxEdges)
+	}
 
 	b := NewBuilder(n, ncon)
+	added := 0
 	vwgt := make([]int32, ncon)
 	for v := 0; v < n; v++ {
 		line, err := nextDataLine(sc)
@@ -112,6 +155,9 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: vertex %d: bad neighbor %q", v+1, toks[i])
 			}
+			if u < 1 || u > int64(n) {
+				return nil, fmt.Errorf("graph: vertex %d: neighbor %d out of range [1,%d]", v+1, u, n)
+			}
 			i++
 			w := int64(1)
 			if hasEWgt {
@@ -128,6 +174,10 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			// once, from the lower-numbered endpoint, halving the weight
 			// double-count the Builder would otherwise apply.
 			if int64(v) < u-1 {
+				added++
+				if lim.MaxEdges > 0 && added > 2*lim.MaxEdges {
+					return nil, fmt.Errorf("graph: adjacency entries exceed twice the %d-edge limit", lim.MaxEdges)
+				}
 				b.AddEdge(int32(v), int32(u-1), int32(w))
 			}
 		}

@@ -22,6 +22,11 @@ type Options struct {
 	// paper notes the iteration count is upper bounded but stops early at
 	// a local minimum.
 	Passes int
+	// Stop, when non-nil, is polled at every pass boundary; once it
+	// returns true Refine/Balance return early with the moves made so
+	// far. The partitioning is always left in a consistent (if less
+	// refined) state, so cancellation mid-uncoarsening is safe.
+	Stop func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +122,9 @@ func (r *Refiner) Refine(g *graph.Graph, part []int32, rand *rng.RNG) int {
 
 	totalMoves := 0
 	for pass := 0; pass < r.opt.Passes; pass++ {
+		if r.opt.Stop != nil && r.opt.Stop() {
+			break
+		}
 		moves := 0
 		if r.imbalanced() {
 			moves += r.balancePass(g, part, rand)
@@ -141,6 +149,9 @@ func (r *Refiner) Balance(g *graph.Graph, part []int32, rand *rng.RNG) int {
 	r.order = r.order[:n]
 	total := 0
 	for pass := 0; pass < r.opt.Passes && r.imbalanced(); pass++ {
+		if r.opt.Stop != nil && r.opt.Stop() {
+			break
+		}
 		moves := r.balancePass(g, part, rand)
 		total += moves
 		if moves == 0 {

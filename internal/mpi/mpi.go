@@ -305,6 +305,26 @@ func (c *Comm) BcastI32(root int, data []int32) []int32 {
 	return out
 }
 
+// AgreeAbort is the collective cancellation vote: every rank contributes
+// whether it has locally observed an abort request (typically ctx.Err() !=
+// nil) and all ranks receive the OR across the world. Cancellation signals
+// arrive asynchronously, so individual ranks can disagree about whether a
+// context is done at any instant; deciding to unwind on a *voted* value
+// keeps the SPMD body uniform — either every rank keeps going or every
+// rank returns at the same point — which is what keeps teardown from
+// poisoning the barrier (see DESIGN.md, "Cancellation contract").
+func (c *Comm) AgreeAbort(abort bool) bool {
+	out := false
+	c.exchange(abort, c.w.model.allreduceCost(c.w.size, 1), func(slots []any) {
+		for _, s := range slots {
+			if s.(bool) {
+				out = true
+			}
+		}
+	})
+	return out
+}
+
 // BcastI64Scalar broadcasts one int64 from root.
 func (c *Comm) BcastI64Scalar(root int, x int64) int64 {
 	var out int64

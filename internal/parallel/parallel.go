@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -93,7 +94,18 @@ const maxRestarts = 2
 // simulated processors and returns the global part labels. Runs that end
 // badly imbalanced are retried from derived seeds (up to maxRestarts).
 func Partition(g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
-	part, stats, err := partitionOnce(g, k, p, opt)
+	return PartitionCtx(context.Background(), g, k, p, opt)
+}
+
+// PartitionCtx is Partition with cooperative cancellation. Each simulated
+// rank polls ctx at level boundaries and refinement passes, but never acts
+// on its local observation alone: the decision to abort is taken by a
+// collective vote (mpi.Comm.AgreeAbort), so all p ranks unwind at the same
+// collective boundary and the SPMD teardown cannot poison the barrier (see
+// DESIGN.md, "Cancellation contract"). On cancellation the goroutine world
+// is drained cleanly and an error wrapping ctx.Err() is returned.
+func PartitionCtx(ctx context.Context, g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
+	part, stats, err := partitionOnce(ctx, g, k, p, opt)
 	if err != nil {
 		return part, stats, err
 	}
@@ -104,7 +116,7 @@ func Partition(g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
 	for attempt := 1; attempt <= maxRestarts && stats.Imbalance > 1+2*tol; attempt++ {
 		retryOpt := opt
 		retryOpt.Seed = opt.Seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
-		p2, s2, err2 := partitionOnce(g, k, p, retryOpt)
+		p2, s2, err2 := partitionOnce(ctx, g, k, p, retryOpt)
 		if err2 != nil {
 			break
 		}
@@ -122,7 +134,7 @@ func Partition(g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
 	return part, stats, nil
 }
 
-func partitionOnce(g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
+func partitionOnce(ctx context.Context, g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
 	n := g.NumVertices()
 	if k < 1 {
 		return nil, Stats{}, fmt.Errorf("parallel: k = %d, want >= 1", k)
@@ -148,10 +160,17 @@ func partitionOnce(g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error
 	perRank := make([]rankOut, p)
 
 	res := mpi.Run(p, opt.Model, func(c *mpi.Comm) {
-		out := spmdBody(c, g, k, opt)
+		out := spmdBody(ctx, c, g, k, opt)
 		perRank[c.Rank()] = out
 	})
 
+	if perRank[0].aborted {
+		// Every rank returned aborted (the vote is collective), the world
+		// has drained, and mpi.Run has returned: teardown is complete.
+		stats.SimTime = res.SimTime
+		stats.WallTime = res.WallTime
+		return nil, stats, fmt.Errorf("parallel: aborted: %w", ctx.Err())
+	}
 	copy(final, perRank[0].part)
 	stats.Levels = perRank[0].levels
 	stats.CoarsestN = perRank[0].coarsestN
@@ -172,17 +191,34 @@ type rankOut struct {
 	coarsestN  int
 	initCut    int64
 	localMoves int64
+	// aborted is set when the ranks collectively voted to abandon the run
+	// (context cancellation); identical on every rank by construction.
+	aborted bool
 }
 
 // spmdBody is the program every simulated processor executes.
-func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
+func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 	rand := rng.New(opt.Seed).Derive(uint64(c.Rank()))
+	// stop is the collective cancellation vote: every call site is reached
+	// by all ranks in lockstep, and the voted result is identical on every
+	// rank, so either all ranks continue or all return together. A context
+	// that can never fire (Done() == nil, e.g. context.Background) skips
+	// the vote machinery entirely, so non-cancellable runs pay no extra
+	// collectives and their simulated times are unchanged.
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = func() bool { return c.AgreeAbort(ctx.Err() != nil) }
+	}
 
 	// Distribute and coarsen.
 	dg := pgraph.Distribute(c, g)
 	levels := pcoarsen.BuildHierarchy(dg, opt.CoarsenTo, rand, pcoarsen.Options{
 		BalancedEdge: !opt.NoBalancedEdge,
+		Stop:         stop,
 	})
+	if levels == nil {
+		return rankOut{aborted: true}
+	}
 	coarsest := levels[len(levels)-1].DG
 
 	if check.Enabled {
@@ -202,6 +238,9 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 	}
 
 	// Initial partitioning on the gathered coarsest graph.
+	if stop != nil && stop() {
+		return rankOut{aborted: true}
+	}
 	partAll, initCut := pinit.Partition(coarsest, k, rand, pinit.Options{
 		Tol:    opt.Tol,
 		Trials: opt.InitTrials,
@@ -217,6 +256,7 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 		Tol: opt.Tol, Passes: opt.RefinePasses, Scheme: opt.Scheme,
 		Rounds:          opt.RefineRounds,
 		DirectionFilter: opt.DirectionFilter,
+		Stop:            stop,
 	}
 	ref := prefine.NewRefiner(coarsest, part, k, ropt)
 	moves += ref.Refine(rand)
@@ -224,6 +264,9 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 		checkParallelPartition(c, "parallel: coarsest refinement", coarsest, ref, k)
 	}
 	for lvl := len(levels) - 1; lvl > 0; lvl-- {
+		if stop != nil && stop() {
+			return rankOut{aborted: true}
+		}
 		coarseDG := levels[lvl].DG
 		finer := levels[lvl-1].DG
 		cmap := levels[lvl].CMap
@@ -233,6 +276,11 @@ func spmdBody(c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
 		if check.Enabled {
 			checkParallelPartition(c, fmt.Sprintf("parallel: refinement at level %d", lvl-1), finer, ref, k)
 		}
+	}
+	// A vote that fired inside the last level's refinement left the run
+	// unfinished; surface the abort instead of an under-refined success.
+	if stop != nil && stop() {
+		return rankOut{aborted: true}
 	}
 
 	full, _ := c.AllgathervI32(part)

@@ -41,6 +41,13 @@ type Options struct {
 	MaxVertexWeight int64
 	// Rounds is the number of proposal rounds per matching (default 4).
 	Rounds int
+	// Stop, when non-nil, is polled by BuildHierarchy at every level
+	// boundary; once it returns true the hierarchy is abandoned and
+	// BuildHierarchy returns nil on every rank. The callback MUST be
+	// collective and return the same value on all ranks (wire it to
+	// mpi.Comm.AgreeAbort): a rank-divergent answer would desynchronize
+	// the ranks' collective schedules and poison the barrier.
+	Stop func() bool
 }
 
 // Level is one rung of the distributed multilevel hierarchy.
@@ -433,12 +440,16 @@ func Contract(dg *pgraph.DGraph, match []int32) (*pgraph.DGraph, []int32) {
 
 // BuildHierarchy coarsens the distributed graph until its global size is
 // at most coarsenTo or coarsening stalls. The returned levels start at the
-// input graph.
+// input graph. If opt.Stop (a collective vote) fires at a level boundary,
+// every rank abandons the partial hierarchy and returns nil.
 func BuildHierarchy(dg *pgraph.DGraph, coarsenTo int, rand *rng.RNG, opt Options) []Level {
 	levels := []Level{{DG: dg}}
 	cur := dg
 	curN := int64(cur.GlobalN())
 	for curN > int64(coarsenTo) {
+		if opt.Stop != nil && opt.Stop() {
+			return nil
+		}
 		o := opt
 		if o.MaxVertexWeight == 0 {
 			tot := cur.TotalVertexWeight()

@@ -95,6 +95,13 @@ type Options struct {
 	// the guarded oscillation does not materialize, and the restriction
 	// costs ~20% edge-cut (BenchmarkAblationDirection).
 	DirectionFilter bool
+	// Stop, when non-nil, is polled at every pass boundary; once it
+	// returns true Refine returns early with the moves committed so far.
+	// The callback MUST be collective and return the same value on all
+	// ranks (wire it to mpi.Comm.AgreeAbort) so every rank leaves the
+	// pass loop together; the committed partitioning state is replicated
+	// and consistent at pass boundaries, so early exit is safe.
+	Stop func() bool
 }
 
 // Refiner refines the distributed partitioning of one graph level.
@@ -204,6 +211,9 @@ func (r *Refiner) Refine(rand *rng.RNG) int64 {
 	var snapPart []int32
 	var snapPwgts []int64
 	for pass := 0; pass < r.opt.Passes; pass++ {
+		if r.opt.Stop != nil && r.opt.Stop() {
+			break
+		}
 		// Snapshot balanced states: concurrent stale gains can make a pass
 		// a net loss, and unlike the serial FM there is no per-move
 		// rollback — so roll back whole passes that hurt a balanced

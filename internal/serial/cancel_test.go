@@ -1,0 +1,70 @@
+package serial
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestPartitionCtxBackground checks that PartitionCtx with a background
+// context is byte-identical to Partition: cancellation support must not
+// perturb the deterministic pipeline.
+func TestPartitionCtxBackground(t *testing.T) {
+	g := gen.MRNGLike(12, 12, 12, 3)
+	g = gen.Type1(g, 2, 7)
+	want, wantStats, err := Partition(g, 8, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := PartitionCtx(context.Background(), g, 8, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("label mismatch at vertex %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if gotStats.EdgeCut != wantStats.EdgeCut {
+		t.Fatalf("edge-cut mismatch: %d vs %d", gotStats.EdgeCut, wantStats.EdgeCut)
+	}
+}
+
+// TestPartitionCtxCancelled checks that an already-cancelled context aborts
+// immediately with an error wrapping context.Canceled.
+func TestPartitionCtxCancelled(t *testing.T) {
+	g := gen.MRNGLike(10, 10, 10, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	part, _, err := PartitionCtx(ctx, g, 4, Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if part != nil {
+		t.Fatalf("got a partition from a cancelled run")
+	}
+}
+
+// TestPartitionCtxDeadline checks that a context with an unreachably short
+// deadline aborts with context.DeadlineExceeded well before the run could
+// have finished.
+func TestPartitionCtxDeadline(t *testing.T) {
+	g := gen.MRNGLike(24, 24, 24, 2)
+	g = gen.Type1(g, 3, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond) // ensure the deadline has passed
+	part, _, err := PartitionCtx(ctx, g, 16, Options{Seed: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if part != nil {
+		t.Fatalf("got a partition from a timed-out run")
+	}
+}

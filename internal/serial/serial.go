@@ -14,6 +14,7 @@
 package serial
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -87,7 +88,16 @@ const maxRestarts = 2
 // converges with a badly imbalanced result, it is retried from derived
 // seeds (see Stats.Restarts).
 func Partition(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
-	part, stats, err := partitionOnce(g, k, opt)
+	return PartitionCtx(context.Background(), g, k, opt)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: ctx is checked
+// at every level boundary of all three multilevel phases and at every
+// refinement pass, so a cancelled or expired context aborts the run within
+// one pass-sized unit of work. On cancellation it returns a nil
+// partitioning and an error wrapping ctx.Err().
+func PartitionCtx(ctx context.Context, g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
+	part, stats, err := partitionOnce(ctx, g, k, opt)
 	if err != nil {
 		return part, stats, err
 	}
@@ -98,7 +108,7 @@ func Partition(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 	for attempt := 1; attempt <= maxRestarts && stats.Imbalance > 1+2*tol; attempt++ {
 		retryOpt := opt
 		retryOpt.Seed = opt.Seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
-		p2, s2, err2 := partitionOnce(g, k, retryOpt)
+		p2, s2, err2 := partitionOnce(ctx, g, k, retryOpt)
 		if err2 != nil {
 			break
 		}
@@ -110,7 +120,7 @@ func Partition(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 	return part, stats, nil
 }
 
-func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
+func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 	if k < 1 {
 		return nil, Stats{}, fmt.Errorf("serial: k = %d, want >= 1", k)
 	}
@@ -126,13 +136,18 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 	}
 	opt = opt.withDefaults(k)
 	rand := rng.New(opt.Seed)
+	stop := func() bool { return ctx.Err() != nil }
 	var stats Stats
 
 	// Phase 1: coarsening.
 	t0 := time.Now()
 	levels := coarsen.BuildHierarchy(g, opt.CoarsenTo, rand, coarsen.Options{
 		BalancedEdge: !opt.NoBalancedEdge,
+		Stop:         stop,
 	})
+	if levels == nil {
+		return nil, stats, fmt.Errorf("serial: coarsening aborted: %w", ctx.Err())
+	}
 	stats.CoarsenTime = time.Since(t0)
 	stats.Levels = len(levels)
 	coarsest := levels[len(levels)-1].Graph
@@ -148,6 +163,9 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 	}
 
 	// Phase 2: initial partitioning of the coarsest graph.
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("serial: aborted before initial partitioning: %w", err)
+	}
 	t0 = time.Now()
 	part := initpart.RecursiveBisect(coarsest, k, rand, initpart.Options{
 		Tol:    opt.Tol,
@@ -160,6 +178,7 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 	refiner := kwayrefine.NewRefiner(k, g.Ncon, kwayrefine.Options{
 		Tol:    opt.Tol,
 		Passes: opt.RefinePasses,
+		Stop:   stop,
 	})
 	stats.Moves += refiner.Refine(coarsest, part, rand)
 	if check.Enabled {
@@ -167,6 +186,9 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 			refiner.Cut(), refiner.PartWeights())
 	}
 	for lvl := len(levels) - 1; lvl > 0; lvl-- {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("serial: aborted during uncoarsening: %w", err)
+		}
 		finer := levels[lvl-1].Graph
 		cmap := levels[lvl].CMap
 		fpart := make([]int32, finer.NumVertices())
@@ -181,6 +203,12 @@ func partitionOnce(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 		}
 	}
 	stats.UncoarsenTime = time.Since(t0)
+	// A context that fired inside the last level's refinement left a valid
+	// but unfinished partitioning; the caller asked to abort, so report
+	// cancellation rather than a silently under-refined success.
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("serial: aborted during uncoarsening: %w", err)
+	}
 
 	stats.EdgeCut = metrics.EdgeCut(g, part)
 	stats.Imbalance = metrics.MaxImbalance(g, part, k)

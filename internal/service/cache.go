@@ -1,0 +1,82 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey is the content address of a partition result: the SHA-256 of
+// the canonical METIS serialization of the input graph plus the full
+// parameter tuple (k, m, p, seed, tol, scheme). Two requests that describe
+// the same graph with different whitespace, comment lines, or adjacency
+// order hash identically because the graph is re-serialized canonically
+// before hashing.
+type cacheKey [32]byte
+
+// resultCache is a mutex-guarded LRU over completed partition results.
+// Entries are immutable once inserted (handlers serve the shared *Result
+// without copying), so a hit costs one map lookup and a list splice.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+
+	onEvict func() // metrics hook; may be nil
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for k, refreshing its recency, or nil.
+func (c *resultCache) get(k cacheKey) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entry when over capacity. A capacity of zero disables caching.
+func (c *resultCache) put(k cacheKey, r *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).res = r
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, res: r})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// len returns the number of resident entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	partition "repro"
+	"repro/internal/gen"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/partition", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func fetchMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return string(raw)
+}
+
+// TestE2EServeAndCache is the end-to-end smoke contract: a submitted mesh
+// job completes with exactly the labels the library (and therefore the
+// mcpart CLI, which shares the call) produces for the same parameters, and
+// an identical second request is served from the cache without
+// recomputation.
+func TestE2EServeAndCache(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := PartitionRequest{Mesh: "mrng1t", K: 8, Seed: 1}
+	resp, raw := postJSON(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var got PartitionResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached {
+		t.Fatalf("first request reported cached")
+	}
+
+	// Reference run through the same code path mcpart uses.
+	spec, _ := gen.MeshByName("mrng1t")
+	g := spec.Build(1*7919 + 7)
+	want, _, err := partition.Serial(g, 8, partition.SerialOptions{Seed: 1, Tol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Labels) != len(want) {
+		t.Fatalf("label count = %d, want %d", len(got.Labels), len(want))
+	}
+	for i := range want {
+		if got.Labels[i] != want[i] {
+			t.Fatalf("label mismatch at vertex %d: %d vs %d", i, got.Labels[i], want[i])
+		}
+	}
+	if got.Cut != partition.EdgeCut(g, want) {
+		t.Fatalf("cut = %d, want %d", got.Cut, partition.EdgeCut(g, want))
+	}
+	for _, x := range got.Labels {
+		if x < 0 || x >= 8 {
+			t.Fatalf("label %d out of range [0,8)", x)
+		}
+	}
+
+	// Identical request: must be a cache hit with identical labels.
+	resp2, raw2 := postJSON(t, ts.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d", resp2.StatusCode)
+	}
+	var got2 PartitionResponse
+	if err := json.Unmarshal(raw2, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Cached {
+		t.Fatalf("second identical request was not served from cache")
+	}
+	for i := range got.Labels {
+		if got2.Labels[i] != got.Labels[i] {
+			t.Fatalf("cached labels differ at vertex %d", i)
+		}
+	}
+	hits, misses, _ := s.met.snapshotCounters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if !strings.Contains(fetchMetrics(t, ts.URL), "mcpartd_cache_hits_total 1") {
+		t.Fatalf("/metrics does not report the cache hit")
+	}
+}
+
+// TestE2EParallelMatchesLibrary runs a p=4 job and checks the labels
+// against partition.Parallel directly.
+func TestE2EParallelMatchesLibrary(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts.URL, PartitionRequest{Mesh: "mrng1t", K: 8, P: 4, Seed: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var got PartitionResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := gen.MeshByName("mrng1t")
+	g := spec.Build(3*7919 + 7)
+	want, _, err := partition.Parallel(g, 8, 4, partition.ParallelOptions{Seed: 3, Tol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Labels[i] != want[i] {
+			t.Fatalf("label mismatch at vertex %d: %d vs %d", i, got.Labels[i], want[i])
+		}
+	}
+	if got.Scheme != "reservation" {
+		t.Fatalf("scheme = %q, want reservation", got.Scheme)
+	}
+}
+
+// TestE2EInlineGraph submits the graph as inline METIS text.
+func TestE2EInlineGraph(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := gen.Grid2D(10, 10)
+	var buf bytes.Buffer
+	if err := partition.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postJSON(t, ts.URL, PartitionRequest{Graph: buf.String(), K: 4, Seed: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var got PartitionResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := partition.Serial(g, 4, partition.SerialOptions{Seed: 2, Tol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Labels[i] != want[i] {
+			t.Fatalf("label mismatch at vertex %d", i)
+		}
+	}
+}
+
+// TestE2ETimeout submits a job with a 1ms deadline against a graph large
+// enough that it cannot finish, and requires a clean 504: the worker pool
+// and the p simulated ranks must tear down without leaking (the -race and
+// -tags mcdebug CI lanes verify the teardown is clean).
+func TestE2ETimeout(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts.URL, PartitionRequest{
+		Mesh: "mrng3t", K: 32, P: 4, Seed: 1, TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", resp.StatusCode, raw)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", e.Error)
+	}
+	if !strings.Contains(fetchMetrics(t, ts.URL), `mcpartd_jobs_total{status="timeout"} 1`) {
+		t.Fatalf("/metrics does not count the timeout")
+	}
+	// The pool must still be serviceable after the timeout.
+	resp2, raw2 := postJSON(t, ts.URL, PartitionRequest{Mesh: "mrng1t", K: 4, Seed: 1})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-timeout request: status = %d, body %s", resp2.StatusCode, raw2)
+	}
+}
+
+// TestE2EBackpressure fills the single worker and the single queue slot
+// with jobs that block until their deadline, then requires the next
+// request to be shed with 429 + Retry-After rather than queued or run.
+func TestE2EBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	// Replace the pool with one whose job body blocks until cancellation,
+	// so occupancy is deterministic (no dependence on partitioner speed).
+	s.pool.close()
+	started := make(chan struct{}, 4)
+	s.pool = newWorkerPool(1, 1, func(j *job) {
+		started <- struct{}{}
+		<-j.ctx.Done()
+		j.err = j.ctx.Err()
+	})
+	s.met.queueDepth = s.pool.depth
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	req := PartitionRequest{Mesh: "mrng1t", K: 4, Seed: 1, TimeoutMS: 2000}
+	type outcome struct {
+		code int
+		body []byte
+	}
+	results := make(chan outcome, 2)
+	post := func(seed uint64) {
+		r := req
+		r.Seed = seed // distinct seeds, so no cache interference
+		resp, raw := postJSON(t, ts.URL, r)
+		results <- outcome{resp.StatusCode, raw}
+	}
+	go post(101) // occupies the worker
+	<-started
+	go post(102) // occupies the one queue slot
+	deadline := time.Now().Add(2 * time.Second)
+	for s.pool.depth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second job never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Worker busy + queue full: this one must be shed immediately.
+	resp, raw := postJSON(t, ts.URL, PartitionRequest{Mesh: "mrng1t", K: 4, Seed: 103})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without a Retry-After header")
+	}
+	if !strings.Contains(fetchMetrics(t, ts.URL), "mcpartd_queue_rejected_total 1") {
+		t.Fatalf("/metrics does not count the rejection")
+	}
+	// Drain: both blocked jobs end at their deadline with 504.
+	for i := 0; i < 2; i++ {
+		out := <-results
+		if out.code != http.StatusGatewayTimeout {
+			t.Fatalf("blocked job finished with %d, want 504; body %s", out.code, out.body)
+		}
+	}
+}
+
+// TestE2EShutdown verifies the drain contract: after Close, handlers
+// answer 503 and the pool has finished every admitted job.
+func TestE2EShutdown(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts.URL, PartitionRequest{Mesh: "mrng1t", K: 4, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	s.Close()
+	resp2, _ := postJSON(t, ts.URL, PartitionRequest{Mesh: "mrng1t", K: 4, Seed: 2})
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown status = %d, want 503", resp2.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown healthz = %d, want 503", hresp.StatusCode)
+	}
+}
+
+// TestE2EHealthz checks the liveness endpoint's happy path.
+func TestE2EHealthz(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("healthz body = %v", h)
+	}
+}

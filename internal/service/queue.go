@@ -1,0 +1,86 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// job is one admitted partition request travelling from the HTTP handler
+// through the queue to a worker. The worker writes res/err and closes
+// done; the handler is the only reader of those fields after done.
+type job struct {
+	ctx      context.Context
+	work     *jobSpec
+	enqueued time.Time
+
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+// workerPool is the bounded execution engine behind POST /v1/partition: a
+// fixed number of worker goroutines draining an explicit admission queue.
+// The queue is the backpressure mechanism — when it is full trySubmit
+// fails and the handler answers 429 — so a traffic burst can never fan out
+// into an unbounded number of concurrent partition runs.
+type workerPool struct {
+	jobs chan *job
+	wg   sync.WaitGroup
+	run  func(j *job)
+
+	closeOnce sync.Once
+}
+
+// newWorkerPool starts `workers` goroutines behind a queue of `depth`
+// waiting slots. run executes one job body, setting j.res/j.err; it must
+// honor j.ctx. The pool itself closes j.done.
+func newWorkerPool(workers, depth int, run func(j *job)) *workerPool {
+	p := &workerPool{
+		jobs: make(chan *job, depth),
+		run:  run,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		// A job whose deadline expired (or whose client vanished) while it
+		// sat in the queue is not worth starting: report the context error
+		// without touching the partitioner.
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+		} else {
+			p.run(j)
+		}
+		close(j.done)
+	}
+}
+
+// trySubmit admits a job if a queue slot is free; it never blocks. A false
+// return means the queue is full and the caller should shed load.
+func (p *workerPool) trySubmit(j *job) bool {
+	select {
+	case p.jobs <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// depth returns the number of jobs waiting in the queue (excluding jobs
+// already picked up by workers).
+func (p *workerPool) depth() int { return len(p.jobs) }
+
+// close stops admission and blocks until every queued and in-flight job
+// has been finished by a worker — the drain half of graceful shutdown.
+// Safe to call more than once.
+func (p *workerPool) close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}

@@ -1,0 +1,477 @@
+// Package service is the partition-as-a-service layer: an HTTP JSON API
+// over the serial (SC'98) and parallel (Euro-Par 2000) multi-constraint
+// partitioners, built for sustained traffic rather than one-shot CLI runs.
+//
+// The moving parts, each in its own file:
+//
+//   - server.go — request parsing/validation, the POST /v1/partition,
+//     GET /healthz and GET /metrics handlers, and result shaping.
+//   - queue.go — a bounded worker pool behind an explicit admission
+//     queue: overflow is refused with 429 + Retry-After (backpressure)
+//     instead of spawning unbounded goroutines.
+//   - cache.go — a content-addressed LRU over completed results, keyed by
+//     the canonical METIS serialization of the graph plus the parameter
+//     tuple, so identical requests never recompute.
+//   - metrics.go — a tiny stdlib-only Prometheus text registry: request
+//     and job counters, queue depth, cache hit ratio, per-stage latency
+//     histograms.
+//
+// Jobs run under a per-job deadline merged with the client connection's
+// context, and cancellation reaches all the way into the multilevel
+// pipeline (see partition.SerialContext/ParallelContext): an expired
+// deadline tears down the p simulated ranks cleanly mid-run.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	partition "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prefine"
+)
+
+// Config sizes the daemon. The zero value of any field selects the
+// documented default.
+type Config struct {
+	// Workers is the number of concurrent partition jobs (default 2).
+	Workers int
+	// QueueDepth is the number of admitted-but-not-started jobs the
+	// server will hold before answering 429 (default 4*Workers).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 128; 0 after
+	// defaulting disables caching — use -1 to request that explicitly).
+	CacheEntries int
+	// MaxBodyBytes caps the request body (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxVertices / MaxEdges cap accepted graphs (default 8M / 64M —
+	// mrng4-sized headroom).
+	MaxVertices int
+	MaxEdges    int
+	// DefaultTimeout applies when a request names none; MaxTimeout caps
+	// what a request may ask for (defaults 60s / 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 8 << 20
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// PartitionRequest is the body of POST /v1/partition. Exactly one of
+// Graph (inline METIS 4.0 text) or Mesh (a named synthetic mrng-like
+// mesh) selects the input; Workload optionally overlays a Type 1/Type 2
+// multi-constraint problem with M constraints, exactly like `mcpart`.
+type PartitionRequest struct {
+	Graph    string `json:"graph,omitempty"`
+	Mesh     string `json:"mesh,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	M        int    `json:"m,omitempty"`
+
+	K      int     `json:"k"`
+	P      int     `json:"p,omitempty"` // 0 = serial algorithm
+	Seed   uint64  `json:"seed,omitempty"`
+	Tol    float64 `json:"tol,omitempty"`    // 0 = default 0.05
+	Scheme string  `json:"scheme,omitempty"` // reservation|slice|slice-smart|free
+
+	// TimeoutMS is the per-job deadline in milliseconds, covering queue
+	// wait and execution (0 = server default, capped at the server max).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PartitionResponse is the success body of POST /v1/partition.
+type PartitionResponse struct {
+	N          int       `json:"n"`
+	M          int       `json:"m"`
+	K          int       `json:"k"`
+	P          int       `json:"p"`
+	Seed       uint64    `json:"seed"`
+	Scheme     string    `json:"scheme,omitempty"` // parallel runs only
+	Cut        int64     `json:"cut"`
+	Imbalances []float64 `json:"imbalances"`
+	Labels     []int32   `json:"labels"`
+	Cached     bool      `json:"cached"`
+	QueueMS    float64   `json:"queue_ms"`
+	RunMS      float64   `json:"run_ms"`
+}
+
+// errorResponse is the body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// jobSpec is a validated, executable unit of work.
+type jobSpec struct {
+	g      *partition.Graph
+	k, p   int
+	seed   uint64
+	tol    float64
+	scheme prefine.Scheme
+	key    cacheKey
+}
+
+// Result is a completed partitioning, shared between the cache and
+// responses; immutable after construction.
+type Result struct {
+	Labels     []int32
+	Cut        int64
+	Imbalances []float64
+	RunSeconds float64
+}
+
+// Server wires the queue, cache, and metrics behind an http.Handler.
+type Server struct {
+	cfg    Config
+	pool   *workerPool
+	cache  *resultCache
+	met    *Metrics
+	mux    *http.ServeMux
+	closed atomic.Bool
+}
+
+// New builds a ready-to-serve Server. Call Close to drain it.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults()}
+	s.met = newMetrics()
+	s.cache = newResultCache(s.cfg.CacheEntries)
+	s.cache.onEvict = s.met.countEviction
+	s.pool = newWorkerPool(s.cfg.Workers, s.cfg.QueueDepth, s.runJob)
+	s.met.queueDepth = s.pool.depth
+	s.met.cacheLen = s.cache.len
+	s.met.workers = s.cfg.Workers
+	s.met.queueCap = s.cfg.QueueDepth
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/partition", s.handlePartition)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool: admission stops (handlers answer 503) and
+// Close blocks until every queued and running job has finished. Stop the
+// HTTP listener first (http.Server.Shutdown) so no handler is still
+// waiting on a job.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.pool.close()
+}
+
+// Metrics exposes the registry (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body) // a failed write means the client is gone
+	s.met.countRequest(code)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"queue_depth":    s.pool.depth(),
+		"queue_capacity": s.cfg.QueueDepth,
+		"workers":        s.cfg.Workers,
+		"cache_entries":  s.cache.len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	s.met.Render(w)
+	s.met.countRequest(http.StatusOK)
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	start := time.Now()
+
+	var req PartitionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+
+	spec, err := s.buildSpec(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Cache first: a hit costs no queue slot and no worker.
+	if res := s.cache.get(spec.key); res != nil {
+		s.met.countCache(true)
+		s.respond(w, &req, spec, res, true, 0, time.Since(start))
+		return
+	}
+	s.met.countCache(false)
+
+	// Admission. The job's deadline starts here and covers queue wait, so
+	// a job cannot consume a worker after its caller stopped caring.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	j := &job{ctx: ctx, work: spec, enqueued: time.Now(), done: make(chan struct{})}
+	if !s.pool.trySubmit(j) {
+		s.met.countQueueRejected()
+		// A full queue of partition jobs drains on the scale of seconds;
+		// a constant small hint is honest enough and trivially cacheable.
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			"admission queue full (%d waiting); retry later", s.cfg.QueueDepth)
+		return
+	}
+
+	<-j.done
+	queueWait := time.Since(j.enqueued)
+	if j.err != nil {
+		switch {
+		case errors.Is(j.err, context.DeadlineExceeded):
+			s.met.countJob("timeout")
+			s.writeError(w, http.StatusGatewayTimeout, "job exceeded its %v deadline", timeout)
+		case errors.Is(j.err, context.Canceled):
+			s.met.countJob("canceled")
+			// The client is gone; the status code is for the log line.
+			s.writeError(w, statusClientClosedRequest, "client canceled the request")
+		default:
+			s.met.countJob("error")
+			s.writeError(w, http.StatusBadRequest, "%v", j.err)
+		}
+		return
+	}
+	s.met.countJob("ok")
+	s.cache.put(spec.key, j.res)
+	s.met.observeStage("queue", queueWait.Seconds()-j.res.RunSeconds)
+	s.met.observeStage("run", j.res.RunSeconds)
+	s.respond(w, &req, spec, j.res, false, queueWait-time.Duration(j.res.RunSeconds*float64(time.Second)), time.Since(start))
+}
+
+// statusClientClosedRequest is nginx's conventional code for "client went
+// away"; there is no official HTTP status for it.
+const statusClientClosedRequest = 499
+
+func (s *Server) respond(w http.ResponseWriter, req *PartitionRequest, spec *jobSpec, res *Result, cached bool, queueWait, total time.Duration) {
+	s.met.observeStage("total", total.Seconds())
+	scheme := ""
+	if spec.p > 0 {
+		scheme = spec.scheme.String()
+	}
+	s.writeJSON(w, http.StatusOK, PartitionResponse{
+		N:          spec.g.NumVertices(),
+		M:          spec.g.Ncon,
+		K:          spec.k,
+		P:          spec.p,
+		Seed:       spec.seed,
+		Scheme:     scheme,
+		Cut:        res.Cut,
+		Imbalances: res.Imbalances,
+		Labels:     res.Labels,
+		Cached:     cached,
+		QueueMS:    float64(queueWait) / float64(time.Millisecond),
+		RunMS:      res.RunSeconds * 1000,
+	})
+}
+
+// buildSpec validates a request and materializes the graph. All failures
+// are client errors (400).
+func (s *Server) buildSpec(req *PartitionRequest) (*jobSpec, error) {
+	if (req.Graph == "") == (req.Mesh == "") {
+		return nil, errors.New("exactly one of \"graph\" (inline METIS text) or \"mesh\" (named mesh) is required")
+	}
+	if req.K < 1 {
+		return nil, fmt.Errorf("k = %d, want >= 1", req.K)
+	}
+	if req.P < 0 {
+		return nil, fmt.Errorf("p = %d, want >= 0 (0 = serial)", req.P)
+	}
+	if req.Tol < 0 || req.Tol >= 1 {
+		return nil, fmt.Errorf("tol = %v, want 0 <= tol < 1", req.Tol)
+	}
+	tol := req.Tol
+	if tol == 0 {
+		tol = 0.05
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	var g *partition.Graph
+	switch {
+	case req.Graph != "":
+		g, err = graph.ReadMETISLimited(strings.NewReader(req.Graph),
+			graph.Limits{MaxVertices: s.cfg.MaxVertices, MaxEdges: s.cfg.MaxEdges})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		spec, ok := gen.MeshByName(req.Mesh)
+		if !ok {
+			return nil, fmt.Errorf("unknown mesh %q", req.Mesh)
+		}
+		if spec.Vertices() > s.cfg.MaxVertices {
+			return nil, fmt.Errorf("mesh %q has %d vertices, above the %d limit", req.Mesh, spec.Vertices(), s.cfg.MaxVertices)
+		}
+		// The same derived seeds as cmd/mcpart, so a service job and a CLI
+		// run with identical parameters produce identical labels.
+		g = spec.Build(req.Seed*7919 + 7)
+	}
+	switch req.Workload {
+	case "":
+	case "type1":
+		if req.M < 1 {
+			return nil, fmt.Errorf("workload %q needs m >= 1", req.Workload)
+		}
+		g = partition.Type1Workload(g, req.M, req.Seed+100)
+	case "type2":
+		if req.M < 1 {
+			return nil, fmt.Errorf("workload %q needs m >= 1", req.Workload)
+		}
+		g = partition.Type2Workload(g, req.M, req.Seed+100)
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want type1 or type2)", req.Workload)
+	}
+	if req.K > g.NumVertices() {
+		return nil, fmt.Errorf("k = %d exceeds vertex count %d", req.K, g.NumVertices())
+	}
+	if req.P > g.NumVertices() {
+		return nil, fmt.Errorf("p = %d exceeds vertex count %d", req.P, g.NumVertices())
+	}
+
+	spec := &jobSpec{g: g, k: req.K, p: req.P, seed: req.Seed, tol: tol, scheme: scheme}
+	spec.key = s.cacheKeyFor(spec)
+	return spec, nil
+}
+
+func parseScheme(name string) (prefine.Scheme, error) {
+	switch name {
+	case "", "reservation":
+		return prefine.Reservation, nil
+	case "slice":
+		return prefine.Slice, nil
+	case "slice-smart":
+		return prefine.SliceSmart, nil
+	case "free":
+		return prefine.Free, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want reservation, slice, slice-smart or free)", name)
+}
+
+// cacheKeyFor content-addresses a job: the graph is re-serialized in the
+// canonical METIS form (stable adjacency order, explicit weights), so any
+// two descriptions of the same graph — inline text with odd whitespace,
+// comments, or a named mesh — hash identically; the parameter tuple is
+// appended after a NUL separator.
+func (s *Server) cacheKeyFor(spec *jobSpec) cacheKey {
+	h := sha256.New()
+	// WriteMETIS into a hasher cannot fail.
+	_ = graph.WriteMETIS(h, spec.g)
+	fmt.Fprintf(h, "\x00k=%d m=%d p=%d seed=%d tol=%g scheme=%d",
+		spec.k, spec.g.Ncon, spec.p, spec.seed, spec.tol, spec.scheme)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// runJob executes one admitted job on a worker.
+func (s *Server) runJob(j *job) {
+	spec := j.work
+	t0 := time.Now()
+	var (
+		labels []int32
+		err    error
+	)
+	if spec.p == 0 {
+		labels, _, err = partition.SerialContext(j.ctx, spec.g, spec.k, partition.SerialOptions{
+			Seed: spec.seed, Tol: spec.tol,
+		})
+	} else {
+		labels, _, err = partition.ParallelContext(j.ctx, spec.g, spec.k, spec.p, partition.ParallelOptions{
+			Seed: spec.seed, Tol: spec.tol, Scheme: spec.scheme,
+		})
+	}
+	if err != nil {
+		// Surface the root context error so the handler can classify
+		// timeout vs. client cancellation.
+		if ctxErr := j.ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			err = ctxErr
+		}
+		j.err = err
+		return
+	}
+	j.res = &Result{
+		Labels:     labels,
+		Cut:        partition.EdgeCut(spec.g, labels),
+		Imbalances: partition.Imbalances(spec.g, labels, spec.k),
+		RunSeconds: time.Since(t0).Seconds(),
+	}
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func key(b byte) cacheKey {
+	var k cacheKey
+	k[0] = b
+	return k
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	evictions := 0
+	c.onEvict = func() { evictions++ }
+	c.put(key(1), &Result{Cut: 1})
+	c.put(key(2), &Result{Cut: 2})
+	if got := c.get(key(1)); got == nil || got.Cut != 1 {
+		t.Fatalf("get(1) = %v, want cut 1", got)
+	}
+	// 1 is now most-recent, so inserting 3 must evict 2.
+	c.put(key(3), &Result{Cut: 3})
+	if c.get(key(2)) != nil {
+		t.Fatalf("entry 2 should have been evicted")
+	}
+	if c.get(key(1)) == nil || c.get(key(3)) == nil {
+		t.Fatalf("entries 1 and 3 should be resident")
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheZeroCapacityDisables(t *testing.T) {
+	c := newResultCache(0)
+	c.put(key(1), &Result{})
+	if c.get(key(1)) != nil {
+		t.Fatalf("zero-capacity cache stored an entry")
+	}
+}
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	// The same 3-vertex path graph, written with different whitespace,
+	// comments, and line layout, must produce the same cache key; a
+	// different seed must not.
+	a := &PartitionRequest{Graph: "3 2 11\n1 2 1\n1 1 1 3 1\n1 2 1\n", K: 2, Seed: 5}
+	b := &PartitionRequest{Graph: "% a comment\n 3   2  11\n1    2 1\n1 1 1 3 1\n\n1 2 1\n", K: 2, Seed: 5}
+	c := &PartitionRequest{Graph: "3 2 11\n1 2 1\n1 1 1 3 1\n1 2 1\n", K: 2, Seed: 6}
+	sa, err := s.buildSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := s.buildSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.buildSpec(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.key != sb.key {
+		t.Fatalf("whitespace/comment variants hashed differently")
+	}
+	if sa.key == sc.key {
+		t.Fatalf("different seeds hashed identically")
+	}
+}
+
+func TestBuildSpecValidation(t *testing.T) {
+	s := New(Config{MaxVertices: 10000})
+	defer s.Close()
+	cases := []struct {
+		name string
+		req  PartitionRequest
+		want string // substring of the error
+	}{
+		{"neither input", PartitionRequest{K: 2}, "exactly one"},
+		{"both inputs", PartitionRequest{Graph: "1 0\n1\n", Mesh: "mrng1t", K: 2}, "exactly one"},
+		{"bad k", PartitionRequest{Mesh: "mrng1t"}, "k = 0"},
+		{"negative p", PartitionRequest{Mesh: "mrng1t", K: 2, P: -1}, "p = -1"},
+		{"bad tol", PartitionRequest{Mesh: "mrng1t", K: 2, Tol: 1.5}, "tol"},
+		{"bad scheme", PartitionRequest{Mesh: "mrng1t", K: 2, Scheme: "magic"}, "unknown scheme"},
+		{"unknown mesh", PartitionRequest{Mesh: "nope", K: 2}, "unknown mesh"},
+		{"mesh too big", PartitionRequest{Mesh: "mrng2t", K: 2}, "above the"},
+		{"bad workload", PartitionRequest{Mesh: "mrng1t", K: 2, Workload: "type9"}, "unknown workload"},
+		{"workload needs m", PartitionRequest{Mesh: "mrng1t", K: 2, Workload: "type1"}, "m >= 1"},
+		{"garbage graph", PartitionRequest{Graph: "not a graph", K: 2}, "graph:"},
+		{"k over n", PartitionRequest{Graph: "2 1 11\n1 2 1\n1 1 1\n", K: 5}, "exceeds vertex count"},
+	}
+	for _, tc := range cases {
+		_, err := s.buildSpec(&tc.req)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMetricsRenderDeterministic(t *testing.T) {
+	m := newMetrics()
+	m.queueDepth = func() int { return 0 }
+	m.cacheLen = func() int { return 0 }
+	m.countRequest(200)
+	m.countRequest(429)
+	m.countJob("ok")
+	m.countJob("timeout")
+	m.observeStage("run", 0.2)
+	m.observeStage("queue", 0.001)
+	var a, b strings.Builder
+	m.Render(&a)
+	m.Render(&b)
+	if a.String() != b.String() {
+		t.Fatalf("two renders of the same registry differ")
+	}
+	for _, want := range []string{
+		`mcpartd_requests_total{code="200"} 1`,
+		`mcpartd_requests_total{code="429"} 1`,
+		`mcpartd_jobs_total{status="ok"} 1`,
+		`mcpartd_stage_seconds_bucket{stage="run",le="0.5"} 1`,
+		`mcpartd_stage_seconds_bucket{stage="run",le="+Inf"} 1`,
+		`mcpartd_stage_seconds_count{stage="queue"} 1`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("render missing %q\n%s", want, a.String())
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.0005) // le 0.001
+	h.observe(0.3)    // le 0.5
+	h.observe(120)    // +Inf
+	if h.counts[0] != 1 || h.counts[len(histBuckets)] != 1 {
+		t.Fatalf("bucket routing wrong: %v", h.counts)
+	}
+	if h.n != 3 {
+		t.Fatalf("n = %d, want 3", h.n)
+	}
+}

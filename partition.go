@@ -26,6 +26,7 @@
 package partition
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/gen"
@@ -72,6 +73,14 @@ func Serial(g *Graph, k int, opt SerialOptions) ([]int32, SerialStats, error) {
 	return serial.Partition(g, k, opt)
 }
 
+// SerialContext is Serial with cooperative cancellation: the pipeline
+// checks ctx at every level boundary and refinement pass, so a cancelled
+// or expired context aborts the run promptly with an error wrapping
+// ctx.Err(). See DESIGN.md, "Cancellation contract".
+func SerialContext(ctx context.Context, g *Graph, k int, opt SerialOptions) ([]int32, SerialStats, error) {
+	return serial.PartitionCtx(ctx, g, k, opt)
+}
+
 // ParallelOptions configures the parallel partitioner.
 type ParallelOptions = parallel.Options
 
@@ -105,6 +114,16 @@ func T3EModel() CostModel { return mpi.T3E() }
 // refinement.
 func Parallel(g *Graph, k, p int, opt ParallelOptions) ([]int32, ParallelStats, error) {
 	return parallel.Partition(g, k, p, opt)
+}
+
+// ParallelContext is Parallel with cooperative cancellation: the p
+// simulated ranks vote collectively on the context's state at level
+// boundaries and refinement passes and unwind together on cancellation,
+// so the goroutine world is always torn down cleanly (no poisoned
+// barriers, no leaked ranks). The error wraps ctx.Err(). See DESIGN.md,
+// "Cancellation contract".
+func ParallelContext(ctx context.Context, g *Graph, k, p int, opt ParallelOptions) ([]int32, ParallelStats, error) {
+	return parallel.PartitionCtx(ctx, g, k, p, opt)
 }
 
 // EdgeCut returns the total weight of edges cut by the partitioning.

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
@@ -17,19 +18,28 @@ import (
 //	go test -bench=Bench2 -benchtime=1x .
 //
 // The committed BENCH_2.json is the output of one such run; wall times
-// are machine-dependent, cuts are deterministic (fixed seed).
+// are machine-dependent, cuts are deterministic (fixed seed). Both runs
+// are traced, and the tracer's PhaseSeconds breakdown (max over ranks of
+// time inside each top-level phase span) supplies the per-phase columns;
+// tracing is observation-only, so the cuts match untraced runs.
 func BenchmarkBench2(b *testing.B) {
 	type row struct {
-		Mesh         string  `json:"mesh"`
-		N            int     `json:"n"`
-		Edges        int     `json:"edges"`
-		K            int     `json:"k"`
-		Seed         uint64  `json:"seed"`
-		SerialWallMS float64 `json:"serial_wall_ms"`
-		SerialCut    int64   `json:"serial_cut"`
-		P4WallMS     float64 `json:"p4_wall_ms"`
-		P4Cut        int64   `json:"p4_cut"`
-		P4SimTimeS   float64 `json:"p4_simtime_s"`
+		Mesh            string  `json:"mesh"`
+		N               int     `json:"n"`
+		Edges           int     `json:"edges"`
+		K               int     `json:"k"`
+		Seed            uint64  `json:"seed"`
+		SerialWallMS    float64 `json:"serial_wall_ms"`
+		SerialCoarsenMS float64 `json:"serial_coarsen_ms"`
+		SerialInitMS    float64 `json:"serial_init_ms"`
+		SerialRefineMS  float64 `json:"serial_refine_ms"`
+		SerialCut       int64   `json:"serial_cut"`
+		P4WallMS        float64 `json:"p4_wall_ms"`
+		P4CoarsenMS     float64 `json:"p4_coarsen_ms"`
+		P4InitMS        float64 `json:"p4_init_ms"`
+		P4RefineMS      float64 `json:"p4_refine_ms"`
+		P4Cut           int64   `json:"p4_cut"`
+		P4SimTimeS      float64 `json:"p4_simtime_s"`
 	}
 	const (
 		k    = 8
@@ -45,26 +55,37 @@ func BenchmarkBench2(b *testing.B) {
 				b.Fatalf("unknown mesh %q", name)
 			}
 			g := spec.Build(seed*7919 + 7)
+			ctx := context.Background()
+			sTr := NewTracer("bench-serial")
 			t0 := time.Now()
-			sPart, _, err := Serial(g, k, SerialOptions{Seed: seed, Tol: 0.05})
+			sPart, _, err := SerialTraced(ctx, g, k, SerialOptions{Seed: seed, Tol: 0.05}, sTr)
 			if err != nil {
 				b.Fatal(err)
 			}
 			sWall := time.Since(t0)
+			sPh := sTr.PhaseSeconds()
+			pTr := NewTracer("bench-p4")
 			t0 = time.Now()
-			pPart, pStats, err := Parallel(g, k, 4, ParallelOptions{Seed: seed, Tol: 0.05})
+			pPart, pStats, err := ParallelTraced(ctx, g, k, 4, ParallelOptions{Seed: seed, Tol: 0.05}, pTr)
 			if err != nil {
 				b.Fatal(err)
 			}
 			pWall := time.Since(t0)
+			pPh := pTr.PhaseSeconds()
 			rows = append(rows, row{
 				Mesh: name, N: g.NumVertices(), Edges: g.NumEdges(),
 				K: k, Seed: seed,
-				SerialWallMS: float64(sWall.Microseconds()) / 1000,
-				SerialCut:    EdgeCut(g, sPart),
-				P4WallMS:     float64(pWall.Microseconds()) / 1000,
-				P4Cut:        EdgeCut(g, pPart),
-				P4SimTimeS:   pStats.SimTime,
+				SerialWallMS:    float64(sWall.Microseconds()) / 1000,
+				SerialCoarsenMS: sPh["coarsen"] * 1000,
+				SerialInitMS:    sPh["init"] * 1000,
+				SerialRefineMS:  sPh["refine"] * 1000,
+				SerialCut:       EdgeCut(g, sPart),
+				P4WallMS:        float64(pWall.Microseconds()) / 1000,
+				P4CoarsenMS:     pPh["coarsen"] * 1000,
+				P4InitMS:        pPh["init"] * 1000,
+				P4RefineMS:      pPh["refine"] * 1000,
+				P4Cut:           EdgeCut(g, pPart),
+				P4SimTimeS:      pStats.SimTime,
 			})
 		}
 	}

@@ -7,10 +7,14 @@
 //	mcpart -graph mesh.graph -k 16                 # serial, file input
 //	mcpart -mesh mrng2s -workload type1 -m 3 -k 32 -p 32
 //	mcpart -graph mesh.graph -k 8 -out labels.txt
+//	mcpart -mesh mrng1t -workload type1 -m 2 -k 8 -p 4 -trace out.json
 //
 // The input file is in the METIS 4.0 format (see internal/graph). With
 // -mesh, a synthetic mrng-like mesh is generated instead and -workload
-// overlays a Type 1 or Type 2 multi-constraint problem on it.
+// overlays a Type 1 or Type 2 multi-constraint problem on it. With
+// -trace, the run records a span trace (one track per simulated rank,
+// with per-collective communication counters) and writes it as Chrome
+// trace-event JSON, viewable at https://ui.perfetto.dev.
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 		scheme    = flag.String("scheme", "reservation", "parallel refinement scheme: reservation|slice|free")
 		outFile   = flag.String("out", "", "write one subdomain label per line to this file")
 		timeout   = flag.Duration("timeout", 0, "abort partitioning after this long (0 = no limit); exits with status 3")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON trace of the run to this file (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -60,10 +65,53 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges, %d constraint(s)\n", g.NumVertices(), g.NumEdges(), g.Ncon)
 
+	var tracer *partition.Tracer
+	if *traceFile != "" {
+		tracer = partition.NewTracer("mcpart")
+	}
+	// Write whatever was recorded even when the run errors or times out: a
+	// trace of an aborted run is exactly what one wants to look at.
+	writeTrace := func() {
+		if tracer == nil {
+			return
+		}
+		f, ferr := os.Create(*traceFile)
+		if ferr == nil {
+			bw := bufio.NewWriter(f)
+			ferr = tracer.Export(bw)
+			if ferr == nil {
+				ferr = bw.Flush()
+			}
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "mcpart: writing trace:", ferr)
+			return
+		}
+		fmt.Printf("wrote trace to %s", *traceFile)
+		if ph := tracer.PhaseSeconds(); len(ph) > 0 {
+			fmt.Print(" (")
+			printed := 0
+			for _, name := range []string{"distribute", "coarsen", "init", "refine"} {
+				if sec, ok := ph[name]; ok {
+					if printed > 0 {
+						fmt.Print(" ")
+					}
+					fmt.Printf("%s %.1fms", name, sec*1e3)
+					printed++
+				}
+			}
+			fmt.Print(")")
+		}
+		fmt.Println()
+	}
+
 	var part []int32
 	if *p == 0 {
 		var stats partition.SerialStats
-		part, stats, err = partition.SerialContext(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol})
+		part, stats, err = partition.SerialTraced(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol}, tracer)
 		if err == nil {
 			fmt.Printf("serial: cut=%d imbalance=%.4f levels=%d coarsest=%d (coarsen %v, init %v, uncoarsen %v)\n",
 				stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN,
@@ -83,14 +131,15 @@ func main() {
 			os.Exit(2)
 		}
 		var stats partition.ParallelStats
-		part, stats, err = partition.ParallelContext(ctx, g, *k, *p, partition.ParallelOptions{
+		part, stats, err = partition.ParallelTraced(ctx, g, *k, *p, partition.ParallelOptions{
 			Seed: *seed, Tol: *tol, Scheme: sch,
-		})
+		}, tracer)
 		if err == nil {
 			fmt.Printf("parallel p=%d: cut=%d imbalance=%.4f levels=%d simTime=%.3fs wall=%v moves=%d\n",
 				*p, stats.EdgeCut, stats.Imbalance, stats.Levels, stats.SimTime, stats.WallTime, stats.Moves)
 		}
 	}
+	writeTrace()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcpart:", err)
 		if errors.Is(err, context.DeadlineExceeded) {

@@ -4,18 +4,25 @@
 // Usage:
 //
 //	mcpartd -addr :8080 -workers 4 -queue 16 -cache 128
+//	mcpartd -addr :8080 -pprof 127.0.0.1:6060
 //
 // Endpoints:
 //
-//	POST /v1/partition  submit a job (inline METIS graph or named mesh)
+//	POST /v1/partition  submit a job (inline METIS graph or named mesh);
+//	                    append ?trace=1 to get back a Chrome trace-event
+//	                    JSON recording of the run in the "trace" field
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text exposition
 //
 // A full queue answers 429 with a Retry-After header; results are cached
 // by content address (graph hash + parameter tuple), so resubmitting an
-// identical request is served without recomputation. SIGINT/SIGTERM
-// trigger a graceful shutdown that drains in-flight jobs. See the README
-// for request examples and internal/service for the implementation.
+// identical request is served without recomputation (traced requests
+// bypass the cache). SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight jobs. With -pprof, Go's net/http/pprof profiling
+// endpoints are served on a second, separate listener — keep it on
+// loopback or otherwise private; it is off by default and never shares
+// the service listener. See the README for request examples and
+// internal/service for the implementation.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +53,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = service default 60s)")
 		maxTime  = flag.Duration("max-timeout", 0, "largest per-job deadline a client may request (0 = default 10m)")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining connections")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty = disabled")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -66,6 +75,26 @@ func main() {
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofOn != "" {
+		// An explicit mux rather than http.DefaultServeMux: nothing else
+		// can accidentally register handlers on the profiling listener,
+		// and the service mux stays pprof-free even if a dependency
+		// imports net/http/pprof.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofOn, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("mcpartd: pprof listening on %s", *pprofOn)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("mcpartd: pprof: %v", err)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)

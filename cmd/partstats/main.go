@@ -65,25 +65,40 @@ func main() {
 	}
 	fmt.Println()
 
-	// Per-subdomain table.
+	// Per-subdomain table. commvol attributes each vertex's contribution
+	// to the total communication volume (the number of distinct foreign
+	// subdomains among its neighbors — copies it must send) to its own
+	// subdomain, so the column sums to the total printed above.
 	counts := make([]int, kk)
 	boundary := make([]int, kk)
+	commvol := make([]int64, kk)
+	seen := make([]int32, kk)
+	for i := range seen {
+		seen[i] = -1
+	}
 	for v := int32(0); int(v) < g.NumVertices(); v++ {
 		counts[part[v]]++
 		adj, _ := g.Neighbors(v)
+		onBoundary := false
 		for _, u := range adj {
 			if part[u] != part[v] {
-				boundary[part[v]]++
-				break
+				onBoundary = true
+				if seen[part[u]] != v {
+					seen[part[u]] = v
+					commvol[part[v]]++
+				}
 			}
+		}
+		if onBoundary {
+			boundary[part[v]]++
 		}
 	}
 	contiguous := contiguity(g, part, kk)
 	fmt.Println()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "subdomain\tvertices\tboundary\tcontiguous")
+	fmt.Fprintln(tw, "subdomain\tvertices\tboundary\tcommvol\tcontiguous")
 	for s := 0; s < kk; s++ {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\n", s, counts[s], boundary[s], contiguous[s])
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\n", s, counts[s], boundary[s], commvol[s], contiguous[s])
 	}
 	tw.Flush()
 }

@@ -1,0 +1,103 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// mcpart -trace or mcpartd (?trace=1) against the subset of the format the
+// tracer emits: well-formed JSON, balanced B/E span events with
+// non-decreasing timestamps per track, and numeric counter samples. It is
+// the CI smoke gate for the observability pipeline (see DESIGN.md,
+// "Observability").
+//
+// Usage:
+//
+//	tracecheck -ranks 4 -want-spans coarsen.level,refine.pass,init \
+//	           -want-counter-prefix mpi. out.json
+//
+// Exits 0 when the file is valid and every expectation holds, 1 with a
+// diagnostic otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		ranks      = flag.Int("ranks", 0, "require exactly this many rank tracks with span events (0 = don't check)")
+		wantSpans  = flag.String("want-spans", "", "comma-separated span names every rank track must contain")
+		wantPrefix = flag.String("want-counter-prefix", "", "require at least one counter with this name prefix on every rank track")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [flags] trace.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fail("%v", err)
+	}
+	sum, err := trace.Validate(data)
+	if err != nil {
+		fail("%s: %v", file, err)
+	}
+
+	tracks := sum.SpanTracks()
+	if *ranks > 0 && len(tracks) != *ranks {
+		fail("%s: %d rank track(s) with spans %v, want %d", file, len(tracks), tracks, *ranks)
+	}
+	if *wantSpans != "" {
+		for _, name := range strings.Split(*wantSpans, ",") {
+			name = strings.TrimSpace(name)
+			for _, tid := range tracks {
+				if sum.Spans[tid][name] == 0 {
+					fail("%s: rank %d has no %q span (has: %s)", file, tid, name, names(sum.Spans[tid]))
+				}
+			}
+		}
+	}
+	if *wantPrefix != "" {
+		for _, tid := range tracks {
+			found := false
+			for name := range sum.Counters[tid] {
+				if strings.HasPrefix(name, *wantPrefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fail("%s: rank %d has no counter with prefix %q (has: %s)", file, tid, *wantPrefix, names(sum.Counters[tid]))
+			}
+		}
+	}
+
+	total := 0
+	for _, m := range sum.Spans {
+		for _, c := range m {
+			total += c
+		}
+	}
+	fmt.Printf("%s: ok — %q, %d rank track(s), %d spans\n", file, sum.ProcessName, len(tracks), total)
+}
+
+func names(m map[string]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@ package coarsen
 import (
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/vecw"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	// BuildHierarchy returns nil. It is how context cancellation reaches
 	// the coarsening loop without the package importing context.
 	Stop func() bool
+	// Trace, when non-nil, records one "coarsen.level" span per
+	// contraction (the observability hook; see DESIGN.md,
+	// "Observability"). nil disables all recording.
+	Trace *trace.Rank
 }
 
 // Match computes a heavy-edge matching of g. The result maps every vertex v
@@ -250,8 +255,19 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 			}
 			o.MaxVertexWeight = 1 + maxTot*3/int64(2*coarsenTo)
 		}
+		if opt.Trace != nil {
+			opt.Trace.Begin("coarsen.level",
+				trace.I64("level", int64(len(levels))),
+				trace.I64("n", int64(cur.NumVertices())),
+				trace.I64("edges", int64(cur.NumEdges())))
+		}
 		match := Match(cur, rand, o)
 		coarse, cmap := Contract(cur, match)
+		if opt.Trace != nil {
+			opt.Trace.End(
+				trace.I64("coarse_n", int64(coarse.NumVertices())),
+				trace.I64("coarse_edges", int64(coarse.NumEdges())))
+		}
 		if coarse.NumVertices() > cur.NumVertices()*19/20 {
 			break // diminishing returns: stop before wasting levels
 		}

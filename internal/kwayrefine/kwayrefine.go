@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/vecw"
 )
 
@@ -27,6 +28,10 @@ type Options struct {
 	// far. The partitioning is always left in a consistent (if less
 	// refined) state, so cancellation mid-uncoarsening is safe.
 	Stop func() bool
+	// Trace, when non-nil, records one "refine.pass" span per refinement
+	// pass (the observability hook; see DESIGN.md, "Observability"). nil
+	// disables all recording.
+	Trace *trace.Rank
 }
 
 func (o Options) withDefaults() Options {
@@ -125,12 +130,20 @@ func (r *Refiner) Refine(g *graph.Graph, part []int32, rand *rng.RNG) int {
 		if r.opt.Stop != nil && r.opt.Stop() {
 			break
 		}
+		if r.opt.Trace != nil {
+			r.opt.Trace.Begin("refine.pass",
+				trace.I64("pass", int64(pass)),
+				trace.I64("n", int64(n)))
+		}
 		moves := 0
 		if r.imbalanced() {
 			moves += r.balancePass(g, part, rand)
 		}
 		moves += r.greedyPass(g, part, rand)
 		totalMoves += moves
+		if r.opt.Trace != nil {
+			r.opt.Trace.End(trace.I64("moves", int64(moves)))
+		}
 		if moves == 0 {
 			break
 		}

@@ -126,6 +126,62 @@ func TestCommVolume(t *testing.T) {
 	}
 }
 
+// TestCommVolumeCrossCheck verifies the marker-based CSR computation
+// against a direct edge-list one — a per-vertex set of foreign subdomains
+// — on random graphs and partitions, mirroring TestEdgeCutCrossCheck.
+func TestCommVolumeCrossCheck(t *testing.T) {
+	r := rng.New(29)
+	err := quick.Check(func(seed uint16) bool {
+		n := 4 + int(seed)%40
+		b := graph.NewBuilder(n, 1)
+		type e struct{ u, v int32 }
+		var edges []e
+		seen := map[[2]int32]bool{}
+		for i := 0; i < n*2; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int32{u, v}] {
+				continue
+			}
+			seen[[2]int32{u, v}] = true
+			b.AddEdge(u, v, int32(1+r.Intn(9)))
+			edges = append(edges, e{u, v})
+		}
+		g, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		k := 2 + r.Intn(4)
+		part := make([]int32, n)
+		for i := range part {
+			part[i] = int32(r.Intn(k))
+		}
+		foreign := make([]map[int32]bool, n)
+		for i := range foreign {
+			foreign[i] = map[int32]bool{}
+		}
+		for _, ed := range edges {
+			if part[ed.u] != part[ed.v] {
+				foreign[ed.u][part[ed.v]] = true
+				foreign[ed.v][part[ed.u]] = true
+			}
+		}
+		var want int64
+		for _, f := range foreign {
+			want += int64(len(f))
+		}
+		return CommVolume(g, part, k) == want
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
 func TestCheckPartition(t *testing.T) {
 	g := gen.Grid2D(3, 3)
 	if err := CheckPartition(g, make([]int32, 9), 2); err != nil {

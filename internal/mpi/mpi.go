@@ -42,6 +42,9 @@ type Comm struct {
 	simTime float64
 	// CommStats counts traffic for diagnostics.
 	Stats CommStats
+	// coll breaks the same accounting down per collective family, plus the
+	// simulated seconds each family advanced this rank's clock.
+	coll [NumCollectives]CollStats
 }
 
 // CommStats tallies per-rank communication activity.
@@ -49,6 +52,58 @@ type CommStats struct {
 	Collectives int
 	BytesSent   int64
 }
+
+// Collective identifies one collective-operation family for the per-rank
+// communication accounting (Comm.CollectiveStats).
+type Collective uint8
+
+const (
+	CollBarrier Collective = iota
+	CollAllreduce
+	CollAllgather
+	CollAlltoall
+	CollBcast
+	CollVote // AgreeAbort cancellation votes
+	numCollectives
+)
+
+// NumCollectives is the number of accounted collective families.
+const NumCollectives = int(numCollectives)
+
+// String names the collective family for traces and logs.
+func (k Collective) String() string {
+	switch k {
+	case CollBarrier:
+		return "barrier"
+	case CollAllreduce:
+		return "allreduce"
+	case CollAllgather:
+		return "allgather"
+	case CollAlltoall:
+		return "alltoall"
+	case CollBcast:
+		return "bcast"
+	case CollVote:
+		return "vote"
+	}
+	return "unknown"
+}
+
+// CollStats accounts one collective family on one rank. Bytes follows the
+// same payload convention as CommStats.BytesSent (this rank's contributed
+// bytes), split by family. SimWait is the total simulated seconds this
+// rank's clock advanced across the family's collectives — waiting for the
+// slowest participant plus the modeled communication cost — and is pure
+// accounting: it never feeds back into the clock, so enabling nothing,
+// reading it, or ignoring it all leave simulated times identical.
+type CollStats struct {
+	Calls   int64
+	Bytes   int64
+	SimWait float64
+}
+
+// CollectiveStats returns this rank's accounting for one collective family.
+func (c *Comm) CollectiveStats(k Collective) CollStats { return c.coll[k] }
 
 // RunResult summarizes one SPMD execution.
 type RunResult struct {
@@ -141,9 +196,11 @@ func (c *Comm) Work(units int) {
 // exchange is the collective core: every rank deposits contrib, all ranks
 // synchronize, read every deposit through `read`, then synchronize again so
 // slots may be reused. Simulated clocks are advanced to the group maximum
-// plus commCost seconds.
-func (c *Comm) exchange(contrib any, commCost float64, read func(slots []any)) {
+// plus commCost seconds. kind attributes the call (and the clock advance)
+// to one collective family in the per-rank accounting.
+func (c *Comm) exchange(kind Collective, contrib any, commCost float64, read func(slots []any)) {
 	w := c.w
+	t0 := c.simTime
 	w.slots[c.rank] = contrib
 	w.times[c.rank] = c.simTime
 	w.barrier.await()
@@ -156,13 +213,16 @@ func (c *Comm) exchange(contrib any, commCost float64, read func(slots []any)) {
 	}
 	c.simTime = maxT + commCost
 	c.Stats.Collectives++
+	st := &c.coll[kind]
+	st.Calls++
+	st.SimWait += c.simTime - t0
 	w.barrier.await()
 }
 
 // Barrier blocks until all ranks reach it; simulated clocks synchronize to
 // the maximum plus the barrier cost.
 func (c *Comm) Barrier() {
-	c.exchange(nil, c.w.model.barrierCost(c.w.size), func([]any) {})
+	c.exchange(CollBarrier, nil, c.w.model.barrierCost(c.w.size), func([]any) {})
 }
 
 // AllreduceSumI64 replaces vals on every rank with the element-wise sum
@@ -202,7 +262,7 @@ func (c *Comm) allreduceI64(vals []int64, combine func(dst, src []int64)) {
 	// other ranks must see the original contribution.
 	contrib := append([]int64(nil), vals...)
 	cost := c.w.model.allreduceCost(c.w.size, len(vals)*8)
-	c.exchange(contrib, cost, func(slots []any) {
+	c.exchange(CollAllreduce, contrib, cost, func(slots []any) {
 		copy(vals, contrib)
 		for r, s := range slots {
 			if r == c.rank {
@@ -212,6 +272,7 @@ func (c *Comm) allreduceI64(vals []int64, combine func(dst, src []int64)) {
 		}
 	})
 	c.Stats.BytesSent += int64(len(vals) * 8)
+	c.coll[CollAllreduce].Bytes += int64(len(vals) * 8)
 }
 
 // AllgathervI32 gathers every rank's local slice; the result concatenates
@@ -220,7 +281,7 @@ func (c *Comm) AllgathervI32(local []int32) (all []int32, counts []int) {
 	counts = make([]int, c.w.size)
 	var result []int32
 	cost := 0.0 // computed inside read once sizes are known
-	c.exchange(local, cost, func(slots []any) {
+	c.exchange(CollAllgather, local, cost, func(slots []any) {
 		total := 0
 		for _, s := range slots {
 			total += len(s.([]int32))
@@ -234,6 +295,7 @@ func (c *Comm) AllgathervI32(local []int32) (all []int32, counts []int) {
 		c.simTime += c.w.model.allgatherCost(c.w.size, total*4)
 	})
 	c.Stats.BytesSent += int64(len(local) * 4)
+	c.coll[CollAllgather].Bytes += int64(len(local) * 4)
 	return result, counts
 }
 
@@ -242,12 +304,13 @@ func (c *Comm) AllgathervI32(local []int32) (all []int32, counts []int) {
 func (c *Comm) AllgatherI64(x int64) []int64 {
 	out := make([]int64, c.w.size)
 	cost := c.w.model.allgatherCost(c.w.size, c.w.size*8)
-	c.exchange(x, cost, func(slots []any) {
+	c.exchange(CollAllgather, x, cost, func(slots []any) {
 		for r, s := range slots {
 			out[r] = s.(int64)
 		}
 	})
 	c.Stats.BytesSent += 8
+	c.coll[CollAllgather].Bytes += 8
 	return out
 }
 
@@ -266,7 +329,7 @@ func (c *Comm) AlltoallvI32(send [][]int32) (recv [][]int32) {
 	for _, s := range send {
 		sent += len(s)
 	}
-	c.exchange(send, 0, func(slots []any) {
+	c.exchange(CollAlltoall, send, 0, func(slots []any) {
 		maxBytes := 0
 		for r, s := range slots {
 			their := s.([][]int32)
@@ -282,6 +345,7 @@ func (c *Comm) AlltoallvI32(send [][]int32) (recv [][]int32) {
 		c.simTime += c.w.model.alltoallCost(c.w.size, maxBytes)
 	})
 	c.Stats.BytesSent += int64(sent * 4)
+	c.coll[CollAlltoall].Bytes += int64(sent * 4)
 	return recv
 }
 
@@ -290,7 +354,7 @@ func (c *Comm) AlltoallvI32(send [][]int32) (recv [][]int32) {
 func (c *Comm) BcastI32(root int, data []int32) []int32 {
 	var out []int32
 	cost := 0.0
-	c.exchange(data, cost, func(slots []any) {
+	c.exchange(CollBcast, data, cost, func(slots []any) {
 		src := slots[root].([]int32)
 		if c.rank == root {
 			out = data
@@ -301,6 +365,7 @@ func (c *Comm) BcastI32(root int, data []int32) []int32 {
 	})
 	if c.rank == root {
 		c.Stats.BytesSent += int64(len(data) * 4)
+		c.coll[CollBcast].Bytes += int64(len(data) * 4)
 	}
 	return out
 }
@@ -315,7 +380,7 @@ func (c *Comm) BcastI32(root int, data []int32) []int32 {
 // poisoning the barrier (see DESIGN.md, "Cancellation contract").
 func (c *Comm) AgreeAbort(abort bool) bool {
 	out := false
-	c.exchange(abort, c.w.model.allreduceCost(c.w.size, 1), func(slots []any) {
+	c.exchange(CollVote, abort, c.w.model.allreduceCost(c.w.size, 1), func(slots []any) {
 		for _, s := range slots {
 			if s.(bool) {
 				out = true
@@ -328,7 +393,7 @@ func (c *Comm) AgreeAbort(abort bool) bool {
 // BcastI64Scalar broadcasts one int64 from root.
 func (c *Comm) BcastI64Scalar(root int, x int64) int64 {
 	var out int64
-	c.exchange(x, c.w.model.bcastCost(c.w.size, 8), func(slots []any) {
+	c.exchange(CollBcast, x, c.w.model.bcastCost(c.w.size, 8), func(slots []any) {
 		out = slots[root].(int64)
 	})
 	return out

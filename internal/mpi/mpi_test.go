@@ -207,6 +207,77 @@ func TestCommStatsCount(t *testing.T) {
 	})
 }
 
+func TestCollectiveStats(t *testing.T) {
+	Run(3, T3E(), func(c *Comm) {
+		c.Barrier()
+		c.Barrier()
+		c.AllreduceSumI64([]int64{1, 2})
+		all, _ := c.AllgathervI32([]int32{int32(c.Rank()), 0, 0})
+		_ = all
+		send := make([][]int32, 3)
+		send[(c.Rank()+1)%3] = []int32{1, 2, 3, 4}
+		c.AlltoallvI32(send)
+		buf := []int32{int32(c.Rank())}
+		c.BcastI32(1, buf)
+
+		wantCalls := map[Collective]int64{
+			CollBarrier:   2,
+			CollAllreduce: 1,
+			CollAllgather: 1,
+			CollAlltoall:  1,
+			CollBcast:     1,
+		}
+		var totalCalls, totalBytes int64
+		for kind := Collective(0); int(kind) < NumCollectives; kind++ {
+			st := c.CollectiveStats(kind)
+			if st.Calls != wantCalls[kind] {
+				t.Errorf("rank %d: %v calls = %d, want %d", c.Rank(), kind, st.Calls, wantCalls[kind])
+			}
+			if st.SimWait < 0 {
+				t.Errorf("rank %d: %v SimWait = %f < 0", c.Rank(), kind, st.SimWait)
+			}
+			totalCalls += st.Calls
+			totalBytes += st.Bytes
+		}
+		// The per-family accounting must tie out against the aggregate
+		// Stats fields: same collectives, same byte convention.
+		if totalCalls != int64(c.Stats.Collectives) {
+			t.Errorf("rank %d: per-family calls sum to %d, Stats.Collectives = %d",
+				c.Rank(), totalCalls, c.Stats.Collectives)
+		}
+		if totalBytes != c.Stats.BytesSent {
+			t.Errorf("rank %d: per-family bytes sum to %d, Stats.BytesSent = %d",
+				c.Rank(), totalBytes, c.Stats.BytesSent)
+		}
+		if got := c.CollectiveStats(CollAllreduce).Bytes; got != 16 {
+			t.Errorf("rank %d: allreduce bytes = %d, want 16", c.Rank(), got)
+		}
+		if got := c.CollectiveStats(CollAllgather).Bytes; got != 12 {
+			t.Errorf("rank %d: allgather bytes = %d, want 12", c.Rank(), got)
+		}
+		if got := c.CollectiveStats(CollAlltoall).Bytes; got != 16 {
+			t.Errorf("rank %d: alltoall bytes = %d, want 16", c.Rank(), got)
+		}
+	})
+}
+
+func TestCollectiveSimWaitSumsToClock(t *testing.T) {
+	// With a nonzero cost model and no local Work, the per-family SimWait
+	// deltas partition the simulated clock exactly.
+	Run(4, T3E(), func(c *Comm) {
+		c.Barrier()
+		c.AllreduceSumI64(make([]int64, 100))
+		c.AllgathervI32(make([]int32, 50))
+		var sum float64
+		for kind := Collective(0); int(kind) < NumCollectives; kind++ {
+			sum += c.CollectiveStats(kind).SimWait
+		}
+		if diff := sum - c.SimTime(); diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("rank %d: SimWait sum %g != clock %g", c.Rank(), sum, c.SimTime())
+		}
+	})
+}
+
 func TestWorkIsLocal(t *testing.T) {
 	// Work must not synchronize: ranks may call it unevenly between
 	// collectives without deadlocking or exchanging anything.

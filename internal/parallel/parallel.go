@@ -19,6 +19,7 @@ import (
 	"repro/internal/pinit"
 	"repro/internal/prefine"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Options configures the parallel partitioner. The zero value selects the
@@ -105,7 +106,19 @@ func Partition(g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
 // DESIGN.md, "Cancellation contract"). On cancellation the goroutine world
 // is drained cleanly and an error wrapping ctx.Err() is returned.
 func PartitionCtx(ctx context.Context, g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
-	part, stats, err := partitionOnce(ctx, g, k, p, opt)
+	return PartitionTraced(ctx, g, k, p, opt, nil)
+}
+
+// PartitionTraced is PartitionCtx with span tracing: every rank records
+// its own track (tid = rank) with top-level phase spans ("distribute",
+// "coarsen", "init", "refine"), one nested span per coarsening level,
+// refinement level and refinement pass, and cumulative per-collective MPI
+// counters (calls, bytes, simulated wait) sampled at phase boundaries.
+// All recording is rank-local — no extra collectives, no Work — so traced
+// runs produce the same partitions and simulated times as untraced ones,
+// and a nil tracer is a complete no-op. See DESIGN.md, "Observability".
+func PartitionTraced(ctx context.Context, g *graph.Graph, k, p int, opt Options, tr *trace.Tracer) ([]int32, Stats, error) {
+	part, stats, err := partitionOnce(ctx, g, k, p, opt, tr)
 	if err != nil {
 		return part, stats, err
 	}
@@ -116,7 +129,7 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k, p int, opt Options) ([
 	for attempt := 1; attempt <= maxRestarts && stats.Imbalance > 1+2*tol; attempt++ {
 		retryOpt := opt
 		retryOpt.Seed = opt.Seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
-		p2, s2, err2 := partitionOnce(ctx, g, k, p, retryOpt)
+		p2, s2, err2 := partitionOnce(ctx, g, k, p, retryOpt, tr)
 		if err2 != nil {
 			break
 		}
@@ -134,7 +147,7 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k, p int, opt Options) ([
 	return part, stats, nil
 }
 
-func partitionOnce(ctx context.Context, g *graph.Graph, k, p int, opt Options) ([]int32, Stats, error) {
+func partitionOnce(ctx context.Context, g *graph.Graph, k, p int, opt Options, tr *trace.Tracer) ([]int32, Stats, error) {
 	n := g.NumVertices()
 	if k < 1 {
 		return nil, Stats{}, fmt.Errorf("parallel: k = %d, want >= 1", k)
@@ -160,7 +173,9 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k, p int, opt Options) (
 	perRank := make([]rankOut, p)
 
 	res := mpi.Run(p, opt.Model, func(c *mpi.Comm) {
-		out := spmdBody(ctx, c, g, k, opt)
+		// tr.Rank is nil-safe: untraced runs hand every rank a nil (no-op)
+		// recorder.
+		out := spmdBody(ctx, c, g, k, opt, tr.Rank(c.Rank()))
 		perRank[c.Rank()] = out
 	})
 
@@ -197,7 +212,7 @@ type rankOut struct {
 }
 
 // spmdBody is the program every simulated processor executes.
-func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Options) rankOut {
+func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Options, rk *trace.Rank) rankOut {
 	rand := rng.New(opt.Seed).Derive(uint64(c.Rank()))
 	// stop is the collective cancellation vote: every call site is reached
 	// by all ranks in lockstep, and the voted result is identical on every
@@ -211,13 +226,30 @@ func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Optio
 	}
 
 	// Distribute and coarsen.
+	rk.Begin("distribute")
 	dg := pgraph.Distribute(c, g)
+	if rk != nil {
+		rk.End(trace.I64("local_n", int64(dg.NLocal())))
+	}
+	if rk != nil {
+		rk.Begin("coarsen",
+			trace.I64("global_n", int64(dg.GlobalN())),
+			trace.I64("local_n", int64(dg.NLocal())))
+	}
 	levels := pcoarsen.BuildHierarchy(dg, opt.CoarsenTo, rand, pcoarsen.Options{
 		BalancedEdge: !opt.NoBalancedEdge,
 		Stop:         stop,
+		Trace:        rk,
 	})
 	if levels == nil {
+		rk.End()
 		return rankOut{aborted: true}
+	}
+	if rk != nil {
+		rk.End(
+			trace.I64("levels", int64(len(levels))),
+			trace.I64("coarsest_global_n", int64(levels[len(levels)-1].DG.GlobalN())))
+		emitCommCounters(rk, c)
 	}
 	coarsest := levels[len(levels)-1].DG
 
@@ -241,11 +273,20 @@ func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Optio
 	if stop != nil && stop() {
 		return rankOut{aborted: true}
 	}
+	if rk != nil {
+		rk.Begin("init",
+			trace.I64("coarsest_global_n", int64(coarsest.GlobalN())),
+			trace.I64("k", int64(k)))
+	}
 	partAll, initCut := pinit.Partition(coarsest, k, rand, pinit.Options{
 		Tol:    opt.Tol,
 		Trials: opt.InitTrials,
 		Passes: opt.InitPasses,
 	})
+	if rk != nil {
+		rk.End(trace.I64("cut", initCut))
+		emitCommCounters(rk, c)
+	}
 	first := coarsest.First()
 	part := make([]int32, coarsest.NLocal())
 	copy(part, partAll[first:int(first)+coarsest.NLocal()])
@@ -257,25 +298,50 @@ func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Optio
 		Rounds:          opt.RefineRounds,
 		DirectionFilter: opt.DirectionFilter,
 		Stop:            stop,
+		Trace:           rk,
+	}
+	rk.Begin("refine", trace.I64("levels", int64(len(levels))))
+	if rk != nil {
+		rk.Begin("refine.level",
+			trace.I64("level", int64(len(levels)-1)),
+			trace.I64("local_n", int64(coarsest.NLocal())))
 	}
 	ref := prefine.NewRefiner(coarsest, part, k, ropt)
-	moves += ref.Refine(rand)
+	lvlMoves := ref.Refine(rand)
+	moves += lvlMoves
+	if rk != nil {
+		rk.End(trace.I64("moves", lvlMoves))
+	}
 	if check.Enabled {
 		checkParallelPartition(c, "parallel: coarsest refinement", coarsest, ref, k)
 	}
 	for lvl := len(levels) - 1; lvl > 0; lvl-- {
 		if stop != nil && stop() {
+			rk.End() // close "refine"
 			return rankOut{aborted: true}
 		}
 		coarseDG := levels[lvl].DG
 		finer := levels[lvl-1].DG
 		cmap := levels[lvl].CMap
 		part = coarseDG.FetchByGlobal(cmap, part)
+		if rk != nil {
+			rk.Begin("refine.level",
+				trace.I64("level", int64(lvl-1)),
+				trace.I64("local_n", int64(finer.NLocal())))
+		}
 		ref = prefine.NewRefiner(finer, part, k, ropt)
-		moves += ref.Refine(rand)
+		lvlMoves = ref.Refine(rand)
+		moves += lvlMoves
+		if rk != nil {
+			rk.End(trace.I64("moves", lvlMoves))
+		}
 		if check.Enabled {
 			checkParallelPartition(c, fmt.Sprintf("parallel: refinement at level %d", lvl-1), finer, ref, k)
 		}
+	}
+	if rk != nil {
+		rk.End() // close "refine"
+		emitCommCounters(rk, c)
 	}
 	// A vote that fired inside the last level's refinement left the run
 	// unfinished; surface the abort instead of an under-refined success.
@@ -287,6 +353,7 @@ func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Optio
 	if check.Enabled {
 		check.Partition("parallel: final", g, full, k, -1, nil)
 	}
+	emitCommCounters(rk, c)
 	return rankOut{
 		part:       full,
 		levels:     len(levels),
@@ -306,4 +373,25 @@ func checkParallelPartition(c *mpi.Comm, where string, dg *pgraph.DGraph, ref *p
 	full := dg.Gather()
 	partAll, _ := c.AllgathervI32(ref.Part())
 	check.Partition(where, full, partAll, k, ref.GlobalCut(), ref.PartWeights())
+}
+
+// emitCommCounters samples this rank's cumulative per-collective MPI
+// accounting (mpi.Comm.CollectiveStats) onto its trace track as one
+// counter series per collective family: calls, contributed bytes, and
+// simulated wait seconds. Cumulative samples at phase boundaries render as
+// monotone staircases in Perfetto. No-op on a nil recorder.
+func emitCommCounters(rk *trace.Rank, c *mpi.Comm) {
+	if rk == nil {
+		return
+	}
+	for k := mpi.Collective(0); int(k) < mpi.NumCollectives; k++ {
+		s := c.CollectiveStats(k)
+		if s.Calls == 0 {
+			continue
+		}
+		rk.Counter("mpi."+k.String(),
+			trace.I64("calls", s.Calls),
+			trace.I64("bytes", s.Bytes),
+			trace.F64("wait_s", s.SimWait))
+	}
 }

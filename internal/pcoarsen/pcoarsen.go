@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/pgraph"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/vecw"
 )
 
@@ -48,6 +49,11 @@ type Options struct {
 	// mpi.Comm.AgreeAbort): a rank-divergent answer would desynchronize
 	// the ranks' collective schedules and poison the barrier.
 	Stop func() bool
+	// Trace, when non-nil, records one "coarsen.level" span per
+	// contraction on this rank's track. Purely local (no collectives), so
+	// tracing some or all ranks never perturbs the collective schedule or
+	// the simulated clock. nil disables all recording.
+	Trace *trace.Rank
 }
 
 // Level is one rung of the distributed multilevel hierarchy.
@@ -461,9 +467,20 @@ func BuildHierarchy(dg *pgraph.DGraph, coarsenTo int, rand *rng.RNG, opt Options
 			}
 			o.MaxVertexWeight = 1 + maxTot*3/int64(2*coarsenTo)
 		}
+		if opt.Trace != nil {
+			opt.Trace.Begin("coarsen.level",
+				trace.I64("level", int64(len(levels))),
+				trace.I64("global_n", curN),
+				trace.I64("local_n", int64(cur.NLocal())))
+		}
 		match := Match(cur, rand, o)
 		coarse, cmap := Contract(cur, match)
 		coarseN := int64(coarse.GlobalN())
+		if opt.Trace != nil {
+			opt.Trace.End(
+				trace.I64("coarse_global_n", coarseN),
+				trace.I64("coarse_local_n", int64(coarse.NLocal())))
+		}
 		if coarseN > curN*19/20 {
 			break
 		}

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/pgraph"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/vecw"
 )
 
@@ -102,6 +103,13 @@ type Options struct {
 	// pass loop together; the committed partitioning state is replicated
 	// and consistent at pass boundaries, so early exit is safe.
 	Stop func() bool
+	// Trace, when non-nil, records one "refine.pass" span per pass on
+	// this rank's track, attributed with the pass's global moves, global
+	// cut, and this rank's reservation conflicts (tentative moves rolled
+	// back by the reservation protocol). Purely local recording — no
+	// extra collectives — so traced and untraced runs have identical
+	// simulated times. nil disables all recording.
+	Trace *trace.Rank
 }
 
 // Refiner refines the distributed partitioning of one graph level.
@@ -129,6 +137,10 @@ type Refiner struct {
 	propFrom []int32
 	propTo   []int32
 	propGain []int64
+
+	// conflicts counts this rank's tentative moves rolled back by the
+	// reservation protocol (diagnostic; reported on trace spans).
+	conflicts int64
 }
 
 // proposed move bookkeeping sizes: inflow and net deltas are k*m each.
@@ -214,6 +226,13 @@ func (r *Refiner) Refine(rand *rng.RNG) int64 {
 		if r.opt.Stop != nil && r.opt.Stop() {
 			break
 		}
+		var conflicts0 int64
+		if r.opt.Trace != nil {
+			conflicts0 = r.conflicts
+			r.opt.Trace.Begin("refine.pass",
+				trace.I64("pass", int64(pass)),
+				trace.I64("local_n", int64(r.dg.NLocal())))
+		}
 		// Snapshot balanced states: concurrent stale gains can make a pass
 		// a net loss, and unlike the serial FM there is no per-move
 		// rollback — so roll back whole passes that hurt a balanced
@@ -240,6 +259,14 @@ func (r *Refiner) Refine(rand *rng.RNG) int64 {
 		moves += r.phase(rand, phaseDown)
 		totalMoves += moves
 		cut := r.globalCut()
+		if r.opt.Trace != nil {
+			// Closed here, before the convergence breaks, so every pass —
+			// including a final or rolled-back one — has a balanced span.
+			r.opt.Trace.End(
+				trace.I64("moves", moves),
+				trace.I64("cut", cut),
+				trace.I64("conflicts", r.conflicts-conflicts0))
+		}
 		if moves == 0 {
 			break
 		}
@@ -496,6 +523,7 @@ func (r *Refiner) round(rand *rng.RNG, kind phaseKind, verts []int32) int64 {
 		vw := dg.LocalVertexWeight(v)
 		if disallow[i] {
 			r.part[v] = a
+			r.conflicts++
 			continue
 		}
 		vecw.Sub(committed[int(a)*m:(int(a)+1)*m], vw)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/kwayrefine"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Options configures the serial partitioner. The zero value selects the
@@ -97,7 +98,17 @@ func Partition(g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
 // one pass-sized unit of work. On cancellation it returns a nil
 // partitioning and an error wrapping ctx.Err().
 func PartitionCtx(ctx context.Context, g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
-	part, stats, err := partitionOnce(ctx, g, k, opt)
+	return PartitionTraced(ctx, g, k, opt, nil)
+}
+
+// PartitionTraced is PartitionCtx with span tracing: the run records one
+// top-level span per multilevel phase ("coarsen", "init", "refine") on the
+// tracer's rank-0 track, with one nested span per coarsening level,
+// refinement level, and refinement pass. A nil tracer is a no-op and takes
+// exactly the untraced code path, so untraced runs stay bit-identical.
+// See DESIGN.md, "Observability".
+func PartitionTraced(ctx context.Context, g *graph.Graph, k int, opt Options, tr *trace.Tracer) ([]int32, Stats, error) {
+	part, stats, err := partitionOnce(ctx, g, k, opt, tr)
 	if err != nil {
 		return part, stats, err
 	}
@@ -108,7 +119,7 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k int, opt Options) ([]in
 	for attempt := 1; attempt <= maxRestarts && stats.Imbalance > 1+2*tol; attempt++ {
 		retryOpt := opt
 		retryOpt.Seed = opt.Seed ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
-		p2, s2, err2 := partitionOnce(ctx, g, k, retryOpt)
+		p2, s2, err2 := partitionOnce(ctx, g, k, retryOpt, tr)
 		if err2 != nil {
 			break
 		}
@@ -120,7 +131,7 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k int, opt Options) ([]in
 	return part, stats, nil
 }
 
-func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options) ([]int32, Stats, error) {
+func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *trace.Tracer) ([]int32, Stats, error) {
 	if k < 1 {
 		return nil, Stats{}, fmt.Errorf("serial: k = %d, want >= 1", k)
 	}
@@ -138,15 +149,30 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options) ([]i
 	rand := rng.New(opt.Seed)
 	stop := func() bool { return ctx.Err() != nil }
 	var stats Stats
+	// The serial pipeline is one "rank": all spans land on track 0. rk is
+	// nil (a no-op recorder) for untraced runs.
+	rk := tr.Rank(0)
 
 	// Phase 1: coarsening.
 	t0 := time.Now()
+	if rk != nil {
+		rk.Begin("coarsen",
+			trace.I64("n", int64(n)),
+			trace.I64("edges", int64(g.NumEdges())))
+	}
 	levels := coarsen.BuildHierarchy(g, opt.CoarsenTo, rand, coarsen.Options{
 		BalancedEdge: !opt.NoBalancedEdge,
 		Stop:         stop,
+		Trace:        rk,
 	})
 	if levels == nil {
+		rk.End()
 		return nil, stats, fmt.Errorf("serial: coarsening aborted: %w", ctx.Err())
+	}
+	if rk != nil {
+		rk.End(
+			trace.I64("levels", int64(len(levels))),
+			trace.I64("coarsest_n", int64(levels[len(levels)-1].Graph.NumVertices())))
 	}
 	stats.CoarsenTime = time.Since(t0)
 	stats.Levels = len(levels)
@@ -167,26 +193,48 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options) ([]i
 		return nil, stats, fmt.Errorf("serial: aborted before initial partitioning: %w", err)
 	}
 	t0 = time.Now()
+	if rk != nil {
+		rk.Begin("init",
+			trace.I64("coarsest_n", int64(coarsest.NumVertices())),
+			trace.I64("k", int64(k)))
+	}
 	part := initpart.RecursiveBisect(coarsest, k, rand, initpart.Options{
 		Tol:    opt.Tol,
 		Trials: opt.InitTrials,
 	})
+	if rk != nil {
+		rk.End(trace.I64("cut", metrics.EdgeCut(coarsest, part)))
+	}
 	stats.InitTime = time.Since(t0)
 
 	// Phase 3: uncoarsening with refinement at every level.
 	t0 = time.Now()
+	if rk != nil {
+		rk.Begin("refine", trace.I64("levels", int64(len(levels))))
+	}
 	refiner := kwayrefine.NewRefiner(k, g.Ncon, kwayrefine.Options{
 		Tol:    opt.Tol,
 		Passes: opt.RefinePasses,
 		Stop:   stop,
+		Trace:  rk,
 	})
-	stats.Moves += refiner.Refine(coarsest, part, rand)
+	if rk != nil {
+		rk.Begin("refine.level",
+			trace.I64("level", int64(len(levels)-1)),
+			trace.I64("n", int64(coarsest.NumVertices())))
+	}
+	mv := refiner.Refine(coarsest, part, rand)
+	stats.Moves += mv
+	if rk != nil {
+		rk.End(trace.I64("moves", int64(mv)))
+	}
 	if check.Enabled {
 		check.Partition("serial: coarsest refinement", coarsest, part, k,
 			refiner.Cut(), refiner.PartWeights())
 	}
 	for lvl := len(levels) - 1; lvl > 0; lvl-- {
 		if err := ctx.Err(); err != nil {
+			rk.End()
 			return nil, stats, fmt.Errorf("serial: aborted during uncoarsening: %w", err)
 		}
 		finer := levels[lvl-1].Graph
@@ -196,12 +244,22 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options) ([]i
 			fpart[v] = part[cmap[v]]
 		}
 		part = fpart
-		stats.Moves += refiner.Refine(finer, part, rand)
+		if rk != nil {
+			rk.Begin("refine.level",
+				trace.I64("level", int64(lvl-1)),
+				trace.I64("n", int64(finer.NumVertices())))
+		}
+		mv = refiner.Refine(finer, part, rand)
+		stats.Moves += mv
+		if rk != nil {
+			rk.End(trace.I64("moves", int64(mv)))
+		}
 		if check.Enabled {
 			check.Partition(fmt.Sprintf("serial: refinement at level %d", lvl-1),
 				finer, part, k, refiner.Cut(), refiner.PartWeights())
 		}
 	}
+	rk.End()
 	stats.UncoarsenTime = time.Since(t0)
 	// A context that fired inside the last level's refinement left a valid
 	// but unfinished partitioning; the caller asked to abort, so report

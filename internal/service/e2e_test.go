@@ -12,15 +12,21 @@ import (
 
 	partition "repro"
 	"repro/internal/gen"
+	"repro/internal/trace"
 )
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	return postJSONQuery(t, url, "", body)
+}
+
+func postJSONQuery(t *testing.T, url, query string, body any) (*http.Response, []byte) {
 	t.Helper()
 	data, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url+"/v1/partition", "application/json", bytes.NewReader(data))
+	resp, err := http.Post(url+"/v1/partition"+query, "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,6 +125,94 @@ func TestE2EServeAndCache(t *testing.T) {
 
 // TestE2EParallelMatchesLibrary runs a p=4 job and checks the labels
 // against partition.Parallel directly.
+// TestE2ETrace covers the ?trace=1 contract: the response carries a valid
+// Chrome trace-event recording with one span track per rank plus comm
+// counters, traced results bypass the cache in both directions, and every
+// successful response (traced or not) reports the communication volume.
+func TestE2ETrace(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := PartitionRequest{Mesh: "mrng1t", K: 8, P: 4, Seed: 1}
+
+	// Prime the cache with an untraced run.
+	resp, raw := postJSON(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var plain PartitionResponse
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced response carries a trace")
+	}
+	if plain.CommVolume <= 0 {
+		t.Errorf("comm_volume = %d, want > 0", plain.CommVolume)
+	}
+	if want := partition.CommVolume(mustMesh(t, "mrng1t", 1), plain.Labels, 8); plain.CommVolume != want {
+		t.Errorf("comm_volume = %d, library says %d", plain.CommVolume, want)
+	}
+
+	// The traced request must not be served from the cache.
+	resp, raw = postJSONQuery(t, ts.URL, "?trace=1", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced status = %d, body %s", resp.StatusCode, raw)
+	}
+	var traced PartitionResponse
+	if err := json.Unmarshal(raw, &traced); err != nil {
+		t.Fatal(err)
+	}
+	if traced.Cached {
+		t.Error("traced request was served from the cache")
+	}
+	if traced.Trace == nil {
+		t.Fatal("traced response has no trace")
+	}
+	if traced.Cut != plain.Cut || traced.CommVolume != plain.CommVolume {
+		t.Errorf("traced run differs: cut %d vs %d, commvol %d vs %d",
+			traced.Cut, plain.Cut, traced.CommVolume, plain.CommVolume)
+	}
+	sum, err := trace.Validate(traced.Trace)
+	if err != nil {
+		t.Fatalf("returned trace invalid: %v", err)
+	}
+	if sum.ProcessName != "mcpartd" {
+		t.Errorf("trace process name = %q", sum.ProcessName)
+	}
+	if tracks := sum.SpanTracks(); len(tracks) != 4 {
+		t.Errorf("trace has %d rank tracks, want 4", len(tracks))
+	}
+
+	// The traced result must not have been cached either: a third,
+	// untraced request hits the original cached entry (no trace attached).
+	resp, raw = postJSON(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var again PartitionResponse
+	if err := json.Unmarshal(raw, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("untraced request after traced run missed the cache")
+	}
+	if again.Trace != nil {
+		t.Error("cached untraced response carries a trace")
+	}
+}
+
+func mustMesh(t *testing.T, name string, seed uint64) *partition.Graph {
+	t.Helper()
+	spec, ok := gen.MeshByName(name)
+	if !ok {
+		t.Fatalf("unknown mesh %q", name)
+	}
+	return spec.Build(seed*7919 + 7)
+}
+
 func TestE2EParallelMatchesLibrary(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 2})
 	defer s.Close()

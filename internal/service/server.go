@@ -23,6 +23,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -123,11 +124,15 @@ type PartitionResponse struct {
 	Seed       uint64    `json:"seed"`
 	Scheme     string    `json:"scheme,omitempty"` // parallel runs only
 	Cut        int64     `json:"cut"`
+	CommVolume int64     `json:"comm_volume"`
 	Imbalances []float64 `json:"imbalances"`
 	Labels     []int32   `json:"labels"`
 	Cached     bool      `json:"cached"`
 	QueueMS    float64   `json:"queue_ms"`
 	RunMS      float64   `json:"run_ms"`
+	// Trace is the Chrome trace-event JSON of the run, present only when
+	// the request asked for it with ?trace=1 (open in Perfetto).
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx answer.
@@ -142,6 +147,7 @@ type jobSpec struct {
 	seed   uint64
 	tol    float64
 	scheme prefine.Scheme
+	traced bool // ?trace=1: record and return a span trace
 	key    cacheKey
 }
 
@@ -150,8 +156,12 @@ type jobSpec struct {
 type Result struct {
 	Labels     []int32
 	Cut        int64
+	CommVolume int64
 	Imbalances []float64
 	RunSeconds float64
+	// Trace holds the exported Chrome trace-event JSON of a traced run;
+	// nil otherwise. Traced results bypass the cache in both directions.
+	Trace []byte
 }
 
 // Server wires the queue, cache, and metrics behind an http.Handler.
@@ -260,14 +270,19 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	spec.traced = r.URL.Query().Get("trace") == "1"
 
-	// Cache first: a hit costs no queue slot and no worker.
-	if res := s.cache.get(spec.key); res != nil {
-		s.met.countCache(true)
-		s.respond(w, &req, spec, res, true, 0, time.Since(start))
-		return
+	// Cache first: a hit costs no queue slot and no worker. Traced
+	// requests skip the lookup — the client wants a recording of an
+	// actual run, not a cached result without one.
+	if !spec.traced {
+		if res := s.cache.get(spec.key); res != nil {
+			s.met.countCache(true)
+			s.respond(w, &req, spec, res, true, 0, time.Since(start))
+			return
+		}
+		s.met.countCache(false)
 	}
-	s.met.countCache(false)
 
 	// Admission. The job's deadline starts here and covers queue wait, so
 	// a job cannot consume a worker after its caller stopped caring.
@@ -309,7 +324,11 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.countJob("ok")
-	s.cache.put(spec.key, j.res)
+	if !spec.traced {
+		// Traced results stay out of the cache: their Trace payloads are
+		// large, one-shot, and must not be replayed to untraced callers.
+		s.cache.put(spec.key, j.res)
+	}
 	s.met.observeStage("queue", queueWait.Seconds()-j.res.RunSeconds)
 	s.met.observeStage("run", j.res.RunSeconds)
 	s.respond(w, &req, spec, j.res, false, queueWait-time.Duration(j.res.RunSeconds*float64(time.Second)), time.Since(start))
@@ -333,11 +352,13 @@ func (s *Server) respond(w http.ResponseWriter, req *PartitionRequest, spec *job
 		Seed:       spec.seed,
 		Scheme:     scheme,
 		Cut:        res.Cut,
+		CommVolume: res.CommVolume,
 		Imbalances: res.Imbalances,
 		Labels:     res.Labels,
 		Cached:     cached,
 		QueueMS:    float64(queueWait) / float64(time.Millisecond),
 		RunMS:      res.RunSeconds * 1000,
+		Trace:      json.RawMessage(res.Trace),
 	})
 }
 
@@ -445,19 +466,23 @@ func (s *Server) cacheKeyFor(spec *jobSpec) cacheKey {
 // runJob executes one admitted job on a worker.
 func (s *Server) runJob(j *job) {
 	spec := j.work
+	var tracer *partition.Tracer
+	if spec.traced {
+		tracer = partition.NewTracer("mcpartd")
+	}
 	t0 := time.Now()
 	var (
 		labels []int32
 		err    error
 	)
 	if spec.p == 0 {
-		labels, _, err = partition.SerialContext(j.ctx, spec.g, spec.k, partition.SerialOptions{
+		labels, _, err = partition.SerialTraced(j.ctx, spec.g, spec.k, partition.SerialOptions{
 			Seed: spec.seed, Tol: spec.tol,
-		})
+		}, tracer)
 	} else {
-		labels, _, err = partition.ParallelContext(j.ctx, spec.g, spec.k, spec.p, partition.ParallelOptions{
+		labels, _, err = partition.ParallelTraced(j.ctx, spec.g, spec.k, spec.p, partition.ParallelOptions{
 			Seed: spec.seed, Tol: spec.tol, Scheme: spec.scheme,
-		})
+		}, tracer)
 	}
 	if err != nil {
 		// Surface the root context error so the handler can classify
@@ -471,7 +496,14 @@ func (s *Server) runJob(j *job) {
 	j.res = &Result{
 		Labels:     labels,
 		Cut:        partition.EdgeCut(spec.g, labels),
+		CommVolume: partition.CommVolume(spec.g, labels, spec.k),
 		Imbalances: partition.Imbalances(spec.g, labels, spec.k),
 		RunSeconds: time.Since(t0).Seconds(),
+	}
+	if tracer != nil {
+		var buf bytes.Buffer
+		// Export into a buffer cannot fail.
+		_ = tracer.Export(&buf)
+		j.res.Trace = buf.Bytes()
 	}
 }

@@ -1,0 +1,222 @@
+// Chrome trace-event export and validation.
+//
+// The emitted schema is the JSON-object form of the trace-event format:
+//
+//	{"displayTimeUnit":"ms","traceEvents":[
+//	  {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"mcpart"}},
+//	  {"name":"thread_name","ph":"M","pid":0,"tid":2,"args":{"name":"rank 2"}},
+//	  {"name":"coarsen.level","ph":"B","ts":12.5,"pid":0,"tid":2,"args":{"level":1,"n":4096}},
+//	  {"name":"coarsen.level","ph":"E","ts":93.1,"pid":0,"tid":2,"args":{"coarse_n":2112}},
+//	  {"name":"mpi.allreduce","ph":"C","ts":95.0,"pid":0,"tid":2,"args":{"calls":12,"bytes":768}},
+//	  ...]}
+//
+// One process (pid 0), one thread track per rank (tid = rank id), ts in
+// microseconds since the Tracer was created. Every B has a matching E on
+// the same track; Export synthesizes closing events for spans left open by
+// an aborted run so the output is always balanced.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonEvent is the wire form of one trace event.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type jsonTrace struct {
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+}
+
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		args[a.Key] = a.Val
+	}
+	return args
+}
+
+// Export writes the whole trace as Chrome trace-event JSON. Call only
+// after the traced run has completed (no rank may still be recording).
+func (t *Tracer) Export(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: Export on a nil Tracer")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	ids := make([]int, 0, len(t.ranks))
+	for id := range t.ranks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	out := jsonTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, jsonEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": t.name},
+	})
+	for _, id := range ids {
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", id)},
+		})
+	}
+	for _, id := range ids {
+		r := t.ranks[id]
+		lastTS := 0.0
+		for _, e := range r.events {
+			if e.ts > lastTS {
+				lastTS = e.ts
+			}
+			out.TraceEvents = append(out.TraceEvents, jsonEvent{
+				Name: e.name, Ph: string(e.ph), Ts: e.ts, Pid: 0, Tid: id,
+				Args: attrArgs(e.attrs),
+			})
+		}
+		// Balance spans an aborted run left open.
+		for i := len(r.stack) - 1; i >= 0; i-- {
+			out.TraceEvents = append(out.TraceEvents, jsonEvent{
+				Name: r.stack[i], Ph: "E", Ts: lastTS, Pid: 0, Tid: id,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary is the decoded shape of a validated trace: per track (tid), how
+// many complete spans of each name and how many samples of each counter.
+type Summary struct {
+	ProcessName string
+	// Spans maps tid → span name → number of balanced B/E pairs.
+	Spans map[int]map[string]int
+	// Counters maps tid → counter name → number of samples.
+	Counters map[int]map[string]int
+}
+
+// SpanTracks returns the tids that carry at least one span, sorted.
+func (s *Summary) SpanTracks() []int {
+	ids := make([]int, 0, len(s.Spans))
+	for id := range s.Spans {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Validate parses data as trace-event JSON and checks it against the
+// schema contract: a traceEvents array of M/B/E/C events with
+// non-negative, per-track non-decreasing timestamps, balanced
+// name-matched B/E nesting on every track, and numeric counter series.
+// It returns a Summary of what the trace contains.
+func Validate(data []byte) (*Summary, error) {
+	var raw struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(raw.TraceEvents) == 0 {
+		return nil, fmt.Errorf("trace: empty or missing traceEvents array")
+	}
+
+	sum := &Summary{
+		Spans:    make(map[int]map[string]int),
+		Counters: make(map[int]map[string]int),
+	}
+	type track struct {
+		stack  []string
+		lastTS float64
+	}
+	tracks := make(map[int]*track)
+	for i, e := range raw.TraceEvents {
+		if e.Pid == nil || e.Tid == nil {
+			return nil, fmt.Errorf("trace: event %d (%q): missing pid/tid", i, e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				if name, ok := e.Args["name"].(string); ok {
+					sum.ProcessName = name
+				}
+			}
+			continue
+		case "B", "E", "C":
+		default:
+			return nil, fmt.Errorf("trace: event %d (%q): unsupported phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts == nil || *e.Ts < 0 {
+			return nil, fmt.Errorf("trace: event %d (%q): missing or negative ts", i, e.Name)
+		}
+		tr := tracks[*e.Tid]
+		if tr == nil {
+			tr = &track{}
+			tracks[*e.Tid] = tr
+		}
+		if *e.Ts < tr.lastTS {
+			return nil, fmt.Errorf("trace: event %d (%q): ts %v goes backwards on tid %d", i, e.Name, *e.Ts, *e.Tid)
+		}
+		tr.lastTS = *e.Ts
+		switch e.Ph {
+		case "B":
+			if e.Name == "" {
+				return nil, fmt.Errorf("trace: event %d: B event without a name", i)
+			}
+			tr.stack = append(tr.stack, e.Name)
+		case "E":
+			if len(tr.stack) == 0 {
+				return nil, fmt.Errorf("trace: event %d (%q): E without open span on tid %d", i, e.Name, *e.Tid)
+			}
+			open := tr.stack[len(tr.stack)-1]
+			if e.Name != "" && e.Name != open {
+				return nil, fmt.Errorf("trace: event %d: E %q does not match open span %q on tid %d", i, e.Name, open, *e.Tid)
+			}
+			tr.stack = tr.stack[:len(tr.stack)-1]
+			if sum.Spans[*e.Tid] == nil {
+				sum.Spans[*e.Tid] = make(map[string]int)
+			}
+			sum.Spans[*e.Tid][open]++
+		case "C":
+			if e.Name == "" {
+				return nil, fmt.Errorf("trace: event %d: C event without a name", i)
+			}
+			for k, v := range e.Args {
+				if _, ok := v.(float64); !ok {
+					return nil, fmt.Errorf("trace: event %d: counter %q series %q is not numeric", i, e.Name, k)
+				}
+			}
+			if sum.Counters[*e.Tid] == nil {
+				sum.Counters[*e.Tid] = make(map[string]int)
+			}
+			sum.Counters[*e.Tid][e.Name]++
+		}
+	}
+	for tid, tr := range tracks {
+		if len(tr.stack) != 0 {
+			return nil, fmt.Errorf("trace: tid %d has %d unclosed span(s), first %q", tid, len(tr.stack), tr.stack[0])
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,180 @@
+// Package trace is a zero-dependency span tracer for the multilevel
+// pipeline: nested, attributed spans recorded per simulated rank, plus
+// counter samples (used for the per-rank MPI communication accounting),
+// exported as Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing (see export.go).
+//
+// The design mirrors the cancellation hook pattern (DESIGN.md,
+// "Cancellation contract"): phase packages carry an optional *Rank in
+// their Options and never import anything heavier than this package.
+// A nil *Tracer and a nil *Rank are both valid no-op recorders, so the
+// untraced hot path pays only a nil pointer test — untraced runs produce
+// bit-identical partitions and simulated times (the overhead contract in
+// DESIGN.md, "Observability").
+//
+// Concurrency model: Tracer.Rank may be called from any goroutine; each
+// returned *Rank must then be used only by the goroutine that owns that
+// rank (exactly the SPMD ownership discipline of internal/mpi). Export and
+// PhaseSeconds must only be called after the traced run has completed.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value span or counter attribute. Values must be one of
+// int64, float64, string or bool (anything encoding/json can marshal works,
+// but those four are the supported contract).
+type Attr struct {
+	Key string
+	Val any
+}
+
+// I64 builds an integer attribute.
+func I64(key string, v int64) Attr { return Attr{Key: key, Val: v} }
+
+// F64 builds a float attribute.
+func F64(key string, v float64) Attr { return Attr{Key: key, Val: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Val: v} }
+
+// Tracer records one traced run: a set of per-rank event streams sharing
+// one wall-clock origin (the New call).
+type Tracer struct {
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	ranks map[int]*Rank
+}
+
+// New creates a Tracer whose clock starts now. name labels the process
+// track in the exported trace ("mcpart", "mcpartd", ...).
+func New(name string) *Tracer {
+	return &Tracer{name: name, start: time.Now(), ranks: make(map[int]*Rank)}
+}
+
+// Rank returns the event recorder for rank id, creating it on first use.
+// Safe to call on a nil Tracer (returns a nil, no-op *Rank) and from any
+// goroutine; the returned Rank itself is goroutine-confined.
+func (t *Tracer) Rank(id int) *Rank {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.ranks[id]
+	if r == nil {
+		r = &Rank{tr: t, id: id}
+		t.ranks[id] = r
+	}
+	return r
+}
+
+// PhaseSeconds aggregates the top-level (nesting depth 0) spans: for every
+// top-level span name it sums the wall seconds each rank spent inside
+// spans of that name, and returns the maximum total over ranks — "how long
+// did the slowest rank spend in this phase". Unclosed spans are measured
+// to the last event recorded on their rank.
+func (t *Tracer) PhaseSeconds() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]float64)
+	for _, r := range t.ranks {
+		perRank := make(map[string]float64)
+		depth := 0
+		var openTS float64
+		var openName string
+		lastTS := 0.0
+		for _, e := range r.events {
+			if e.ts > lastTS {
+				lastTS = e.ts
+			}
+			switch e.ph {
+			case 'B':
+				if depth == 0 {
+					openTS, openName = e.ts, e.name
+				}
+				depth++
+			case 'E':
+				depth--
+				if depth == 0 {
+					perRank[openName] += (e.ts - openTS) / 1e6
+				}
+			}
+		}
+		if depth > 0 {
+			perRank[openName] += (lastTS - openTS) / 1e6
+		}
+		for name, secs := range perRank {
+			if secs > out[name] {
+				out[name] = secs
+			}
+		}
+	}
+	return out
+}
+
+// Rank records the event stream of one rank (one Perfetto track). All
+// methods are safe on a nil receiver (no-ops), which is how the untraced
+// pipeline runs with zero bookkeeping.
+type Rank struct {
+	tr     *Tracer
+	id     int
+	events []event
+	stack  []string
+}
+
+// event is one trace-event record; ts is in microseconds since the
+// Tracer's start.
+type event struct {
+	ph    byte
+	name  string
+	ts    float64
+	attrs []Attr
+}
+
+func (r *Rank) now() float64 {
+	return float64(time.Since(r.tr.start)) / float64(time.Microsecond)
+}
+
+// Begin opens a span. Spans nest: each Begin must be closed by a matching
+// End on the same Rank. Attributes given here appear on the opening event.
+func (r *Rank) Begin(name string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.stack = append(r.stack, name)
+	r.events = append(r.events, event{ph: 'B', name: name, ts: r.now(), attrs: attrs})
+}
+
+// End closes the innermost open span. Attributes given here appear on the
+// closing event (the place for values only known at the end: move counts,
+// resulting cuts). An End with no open span is dropped.
+func (r *Rank) End(attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	n := len(r.stack)
+	if n == 0 {
+		return
+	}
+	name := r.stack[n-1]
+	r.stack = r.stack[:n-1]
+	r.events = append(r.events, event{ph: 'E', name: name, ts: r.now(), attrs: attrs})
+}
+
+// Counter records a sample of a (multi-series) counter: every attribute is
+// one series and must be numeric. Cumulative values (bytes sent so far,
+// calls so far) render as monotone staircase plots in Perfetto.
+func (r *Rank) Counter(name string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, event{ph: 'C', name: name, ts: r.now(), attrs: attrs})
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	rk := tr.Rank(3)
+	if rk != nil {
+		t.Fatalf("nil Tracer returned non-nil Rank")
+	}
+	// Every recording method must be a no-op on a nil Rank.
+	rk.Begin("phase", I64("n", 10))
+	rk.End(I64("moves", 1))
+	rk.Counter("mpi.barrier", I64("calls", 2))
+	if ph := tr.PhaseSeconds(); ph != nil {
+		t.Errorf("nil Tracer PhaseSeconds = %v, want nil", ph)
+	}
+	if err := tr.Export(&bytes.Buffer{}); err == nil {
+		t.Error("nil Tracer Export should error")
+	}
+}
+
+func TestExportValidates(t *testing.T) {
+	tr := New("unit")
+	rk := tr.Rank(0)
+	rk.Begin("coarsen", I64("n", 100))
+	rk.Begin("coarsen.level", I64("level", 1))
+	rk.End(I64("coarse_n", 50))
+	rk.End()
+	rk.Begin("refine")
+	rk.Begin("refine.pass", I64("pass", 0))
+	rk.End(I64("moves", 7))
+	rk.End()
+	rk.Counter("mpi.allreduce", I64("calls", 3), I64("bytes", 24), F64("wait_s", 0.5))
+	rk2 := tr.Rank(1)
+	rk2.Begin("coarsen")
+	rk2.End()
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v\n%s", err, buf.String())
+	}
+	if sum.ProcessName != "unit" {
+		t.Errorf("ProcessName = %q", sum.ProcessName)
+	}
+	if got := sum.SpanTracks(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("SpanTracks = %v, want [0 1]", got)
+	}
+	if sum.Spans[0]["coarsen.level"] != 1 || sum.Spans[0]["refine.pass"] != 1 {
+		t.Errorf("rank 0 spans = %v", sum.Spans[0])
+	}
+	if sum.Counters[0]["mpi.allreduce"] != 1 {
+		t.Errorf("rank 0 counters = %v", sum.Counters[0])
+	}
+}
+
+func TestExportBalancesAbortedSpans(t *testing.T) {
+	tr := New("abort")
+	rk := tr.Rank(0)
+	rk.Begin("coarsen")
+	rk.Begin("coarsen.level", I64("level", 1))
+	// Aborted: neither span closed.
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("aborted trace does not validate: %v\n%s", err, buf.String())
+	}
+	if sum.Spans[0]["coarsen"] != 1 || sum.Spans[0]["coarsen.level"] != 1 {
+		t.Errorf("synthesized closes missing: %v", sum.Spans[0])
+	}
+}
+
+func TestUnbalancedEndDropped(t *testing.T) {
+	tr := New("x")
+	rk := tr.Rank(0)
+	rk.End(I64("moves", 1)) // no open span: must be dropped, not recorded
+	rk.Begin("a")
+	rk.End()
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Spans[0]["a"] != 1 || len(sum.Spans[0]) != 1 {
+		t.Errorf("spans = %v", sum.Spans[0])
+	}
+}
+
+func TestPhaseSeconds(t *testing.T) {
+	tr := New("phases")
+	rk := tr.Rank(0)
+	rk.Begin("coarsen")
+	rk.Begin("coarsen.level") // nested: must not count as its own phase
+	rk.End()
+	rk.End()
+	rk.Begin("refine")
+	rk.End()
+	ph := tr.PhaseSeconds()
+	if _, ok := ph["coarsen"]; !ok {
+		t.Errorf("no coarsen phase: %v", ph)
+	}
+	if _, ok := ph["refine"]; !ok {
+		t.Errorf("no refine phase: %v", ph)
+	}
+	if _, ok := ph["coarsen.level"]; ok {
+		t.Errorf("nested span leaked into phases: %v", ph)
+	}
+	for name, secs := range ph {
+		if secs < 0 {
+			t.Errorf("phase %q negative: %v", name, secs)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, data, want string
+	}{
+		{"not json", `{"traceEvents":`, "not valid JSON"},
+		{"empty", `{"traceEvents":[]}`, "empty"},
+		{"no tid", `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":0}]}`, "missing pid/tid"},
+		{"bad phase", `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":0,"tid":0}]}`, "unsupported phase"},
+		{"negative ts", `{"traceEvents":[{"name":"a","ph":"B","ts":-1,"pid":0,"tid":0}]}`, "negative ts"},
+		{"backwards ts", `{"traceEvents":[
+			{"name":"a","ph":"B","ts":5,"pid":0,"tid":0},
+			{"name":"a","ph":"E","ts":4,"pid":0,"tid":0}]}`, "goes backwards"},
+		{"stray E", `{"traceEvents":[{"name":"a","ph":"E","ts":1,"pid":0,"tid":0}]}`, "without open span"},
+		{"mismatched E", `{"traceEvents":[
+			{"name":"a","ph":"B","ts":1,"pid":0,"tid":0},
+			{"name":"b","ph":"E","ts":2,"pid":0,"tid":0}]}`, "does not match"},
+		{"unclosed", `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":0,"tid":0}]}`, "unclosed"},
+		{"non-numeric counter", `{"traceEvents":[
+			{"name":"c","ph":"C","ts":1,"pid":0,"tid":0,"args":{"calls":"three"}}]}`, "not numeric"},
+	}
+	for _, tc := range cases {
+		_, err := Validate([]byte(tc.data))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

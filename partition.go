@@ -39,6 +39,7 @@ import (
 	"repro/internal/rcb"
 	"repro/internal/repart"
 	"repro/internal/serial"
+	"repro/internal/trace"
 )
 
 // Graph is an undirected multi-constraint weighted graph in CSR form; see
@@ -79,6 +80,27 @@ func Serial(g *Graph, k int, opt SerialOptions) ([]int32, SerialStats, error) {
 // ctx.Err(). See DESIGN.md, "Cancellation contract".
 func SerialContext(ctx context.Context, g *Graph, k int, opt SerialOptions) ([]int32, SerialStats, error) {
 	return serial.PartitionCtx(ctx, g, k, opt)
+}
+
+// Tracer records nested spans and per-rank MPI communication counters for
+// one partitioning run and exports them as Chrome trace-event JSON (open
+// the file at https://ui.perfetto.dev). Pass one to SerialTraced or
+// ParallelTraced; a nil *Tracer disables all recording at zero cost. A
+// Tracer is single-run: make a fresh one per traced call. See DESIGN.md,
+// "Observability".
+type Tracer = trace.Tracer
+
+// NewTracer creates an empty Tracer; name becomes the process name in the
+// exported trace.
+func NewTracer(name string) *Tracer { return trace.New(name) }
+
+// SerialTraced is SerialContext with span tracing: the run records one
+// track (rank 0) of phase, per-level and per-pass spans onto tr. Tracing
+// is observation-only — partitions, stats and RNG decisions are
+// bit-identical to an untraced run — and tr == nil makes this exactly
+// SerialContext.
+func SerialTraced(ctx context.Context, g *Graph, k int, opt SerialOptions, tr *Tracer) ([]int32, SerialStats, error) {
+	return serial.PartitionTraced(ctx, g, k, opt, tr)
 }
 
 // ParallelOptions configures the parallel partitioner.
@@ -124,6 +146,16 @@ func Parallel(g *Graph, k, p int, opt ParallelOptions) ([]int32, ParallelStats, 
 // "Cancellation contract".
 func ParallelContext(ctx context.Context, g *Graph, k, p int, opt ParallelOptions) ([]int32, ParallelStats, error) {
 	return parallel.PartitionCtx(ctx, g, k, p, opt)
+}
+
+// ParallelTraced is ParallelContext with span tracing: each of the p
+// simulated ranks records its own track of phase, per-level and per-pass
+// spans plus cumulative per-collective communication counters (calls,
+// bytes, simulated wait seconds) onto tr. Tracing is observation-only —
+// partitions, stats and the simulated clock are bit-identical to an
+// untraced run — and tr == nil makes this exactly ParallelContext.
+func ParallelTraced(ctx context.Context, g *Graph, k, p int, opt ParallelOptions, tr *Tracer) ([]int32, ParallelStats, error) {
+	return parallel.PartitionTraced(ctx, g, k, p, opt, tr)
 }
 
 // EdgeCut returns the total weight of edges cut by the partitioning.

@@ -1,0 +1,118 @@
+// Package arena provides typed scratch-slice pools for the partitioner's
+// hot paths. The multilevel pipeline repeats the same shapes of temporary
+// work — per-level contraction scratch, per-trial bisection state, per-node
+// subgraph CSR arrays — thousands of times per partitioning; allocating
+// them fresh each time makes the initial-partitioning phase
+// allocation-bound (see DESIGN.md, "Memory discipline & parallel trials").
+// An Arena instead carves slices out of grow-only slabs and recycles the
+// memory with Reset (drop everything) or Mark/Release (stack discipline for
+// recursive callers).
+//
+// Rules:
+//
+//   - An Arena is single-goroutine. Concurrent users (e.g. bisection trial
+//     workers) each own a private Arena.
+//   - Slices returned by I32/I64/F64/Bool are NOT zeroed — they may hold
+//     bytes from released allocations. Callers either overwrite every
+//     element or use the *Zero variants. Nothing here is ever secret; the
+//     hazard is nondeterminism, and reading an element before writing it is
+//     a bug.
+//   - Release(mark) and Reset invalidate every slice carved since the mark
+//     (resp. ever): the memory will be handed out again. Holding such a
+//     slice is the arena equivalent of use-after-free.
+package arena
+
+// Arena is a set of per-type grow-only slabs. The zero value is ready to
+// use; New is provided for symmetry with the rest of the codebase.
+type Arena struct {
+	i32 slab[int32]
+	i64 slab[int64]
+	f64 slab[float64]
+	bl  slab[bool]
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// Mark is a snapshot of the arena's allocation cursors; see Arena.Mark.
+type Mark struct {
+	i32, i64, f64, bl int
+}
+
+// Mark snapshots the current allocation state. Pass it to Release to free
+// everything carved after this point — the idiom for recursive callers:
+//
+//	m := a.Mark()
+//	defer a.Release(m)
+func (a *Arena) Mark() Mark {
+	return Mark{i32: a.i32.off, i64: a.i64.off, f64: a.f64.off, bl: a.bl.off}
+}
+
+// Release frees every allocation made since the mark was taken. Slices
+// carved in between must no longer be used.
+func (a *Arena) Release(m Mark) {
+	a.i32.off = m.i32
+	a.i64.off = m.i64
+	a.f64.off = m.f64
+	a.bl.off = m.bl
+}
+
+// Reset frees every allocation. Equivalent to Release of a mark taken on a
+// fresh arena.
+func (a *Arena) Reset() { a.Release(Mark{}) }
+
+// I32 carves an uninitialized []int32 of length n.
+func (a *Arena) I32(n int) []int32 { return a.i32.alloc(n) }
+
+// I32Zero carves a zeroed []int32 of length n.
+func (a *Arena) I32Zero(n int) []int32 { s := a.i32.alloc(n); clear(s); return s }
+
+// I64 carves an uninitialized []int64 of length n.
+func (a *Arena) I64(n int) []int64 { return a.i64.alloc(n) }
+
+// I64Zero carves a zeroed []int64 of length n.
+func (a *Arena) I64Zero(n int) []int64 { s := a.i64.alloc(n); clear(s); return s }
+
+// F64 carves an uninitialized []float64 of length n.
+func (a *Arena) F64(n int) []float64 { return a.f64.alloc(n) }
+
+// F64Zero carves a zeroed []float64 of length n.
+func (a *Arena) F64Zero(n int) []float64 { s := a.f64.alloc(n); clear(s); return s }
+
+// Bool carves an uninitialized []bool of length n.
+func (a *Arena) Bool(n int) []bool { return a.bl.alloc(n) }
+
+// BoolZero carves a zeroed []bool of length n.
+func (a *Arena) BoolZero(n int) []bool { s := a.bl.alloc(n); clear(s); return s }
+
+// slab is one grow-only backing store. Growth swaps in a larger buffer
+// without copying: outstanding slices keep aliasing the old buffer (which
+// stays alive through them), and the region below the current offset in the
+// new buffer is left unused so Mark/Release offsets stay meaningful. After
+// a few calls the slab stabilizes at the peak working-set size and
+// allocation stops entirely.
+type slab[T any] struct {
+	buf []T
+	off int
+}
+
+const minSlab = 256
+
+func (s *slab[T]) alloc(n int) []T {
+	if n < 0 {
+		panic("arena: negative allocation size")
+	}
+	if s.off+n > len(s.buf) {
+		grown := 2 * len(s.buf)
+		if grown < s.off+n {
+			grown = s.off + n
+		}
+		if grown < minSlab {
+			grown = minSlab
+		}
+		s.buf = make([]T, grown)
+	}
+	out := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	return out
+}

@@ -1,0 +1,82 @@
+package arena
+
+import "testing"
+
+func TestZeroVariantsClearRecycledMemory(t *testing.T) {
+	a := New()
+	s := a.I32(8)
+	for i := range s {
+		s[i] = 0x5a5a
+	}
+	b := a.BoolZero(4)
+	_ = b
+	a.Reset()
+	z := a.I32Zero(8)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("I32Zero[%d] = %d after recycle, want 0", i, v)
+		}
+	}
+}
+
+func TestMarkReleaseStackDiscipline(t *testing.T) {
+	a := New()
+	outer := a.I32(4)
+	outer[0] = 11
+	m := a.Mark()
+	inner := a.I64(16)
+	inner[0] = 22
+	f := a.F64(3)
+	f[0] = 3.5
+	a.Release(m)
+	// Allocations made before the mark survive the release.
+	if outer[0] != 11 {
+		t.Fatalf("outer slice clobbered by Release: %d", outer[0])
+	}
+	// The released region is handed out again.
+	reused := a.I64(16)
+	if &reused[0] != &inner[0] {
+		t.Fatalf("Release did not recycle the i64 region")
+	}
+}
+
+func TestGrowthPreservesOutstandingSlices(t *testing.T) {
+	a := New()
+	first := a.I32(minSlab)
+	for i := range first {
+		first[i] = int32(i)
+	}
+	// Forces a new backing buffer; the old one must stay valid via `first`.
+	second := a.I32(4 * minSlab)
+	second[0] = -1
+	for i := range first {
+		if first[i] != int32(i) {
+			t.Fatalf("pre-growth slice corrupted at %d: %d", i, first[i])
+		}
+	}
+}
+
+func TestCapIsClamped(t *testing.T) {
+	a := New()
+	s := a.I32(10)
+	if cap(s) != 10 {
+		t.Fatalf("cap = %d, want 10 (full-slice expression should clamp)", cap(s))
+	}
+	u := a.I32(10)
+	// Appending to s must not stomp u.
+	u[0] = 7
+	s = append(s, 99)
+	if u[0] != 7 {
+		t.Fatalf("append through earlier arena slice clobbered a later one")
+	}
+}
+
+func TestZeroLengthAlloc(t *testing.T) {
+	a := New()
+	if got := a.I32(0); len(got) != 0 {
+		t.Fatalf("len = %d, want 0", len(got))
+	}
+	if got := a.Bool(0); len(got) != 0 {
+		t.Fatalf("len = %d, want 0", len(got))
+	}
+}

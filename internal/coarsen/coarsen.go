@@ -40,19 +40,50 @@ type Options struct {
 	Trace *trace.Rank
 }
 
+// scratch holds the reusable matching/contraction work buffers. One
+// instance sized at the finest level serves a whole BuildHierarchy run:
+// every coarser level needs strictly smaller slices of the same arrays, so
+// the per-level allocations collapse to the retained outputs (cmap and the
+// coarse CSR) only.
+type scratch struct {
+	match    []int32 // mate per vertex (the matchInto result)
+	order    []int32 // random visit order
+	mark     []int32 // timestamped dedup marker, indexed by coarse vertex
+	slot     []int32 // output index of a coarse neighbor's merged edge
+	next     []int32 // per-coarse-vertex fill cursor
+	combined []int64 // Ncon-wide tie-break accumulator
+}
+
+func newScratch(n, ncon int) *scratch {
+	return &scratch{
+		match:    make([]int32, n),
+		order:    make([]int32, n),
+		mark:     make([]int32, n),
+		slot:     make([]int32, n),
+		next:     make([]int32, n),
+		combined: make([]int64, ncon),
+	}
+}
+
 // Match computes a heavy-edge matching of g. The result maps every vertex v
 // to its mate (match[v] == v for unmatched vertices), and is an involution:
 // match[match[v]] == v.
 func Match(g *graph.Graph, rand *rng.RNG, opt Options) []int32 {
+	return matchInto(g, rand, opt, newScratch(g.NumVertices(), g.Ncon))
+}
+
+// matchInto is Match writing into s.match (which is also returned). The
+// caller must not retain the result past the scratch's next reuse.
+func matchInto(g *graph.Graph, rand *rng.RNG, opt Options, s *scratch) []int32 {
 	n := g.NumVertices()
-	match := make([]int32, n)
+	match := s.match[:n]
 	for i := range match {
 		match[i] = -1
 	}
-	order := make([]int32, n)
+	order := s.order[:n]
 	rand.Perm(order)
 
-	combined := make([]int64, g.Ncon)
+	combined := s.combined
 	for _, v := range order {
 		if match[v] >= 0 {
 			continue
@@ -112,6 +143,13 @@ func combinedJaggedness(scratch []int64, a, b []int32) float64 {
 // Coarse vertex ids are assigned in fine-vertex order (the lower endpoint
 // of each matched pair names the coarse vertex).
 func Contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
+	return contractInto(g, match, newScratch(g.NumVertices(), g.Ncon))
+}
+
+// contractInto is Contract drawing its mark/slot/next work arrays from s.
+// The returned graph and cmap are freshly allocated (they are retained in
+// the hierarchy); only the dedup scratch is pooled.
+func contractInto(g *graph.Graph, match []int32, s *scratch) (*graph.Graph, []int32) {
 	n := g.NumVertices()
 	m := g.Ncon
 	cmap := make([]int32, n)
@@ -139,8 +177,8 @@ func Contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
 	// Two passes over fine edges: count distinct coarse neighbors, then
 	// fill. A timestamped marker array deduplicates parallel edges per
 	// coarse vertex in O(1) each.
-	mark := make([]int32, cn)
-	slot := make([]int32, cn)
+	mark := s.mark[:cn]
+	slot := s.slot[:cn]
 	for i := range mark {
 		mark[i] = -1
 	}
@@ -165,7 +203,7 @@ func Contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
 	for i := range mark {
 		mark[i] = -1
 	}
-	next := make([]int32, cn)
+	next := s.next[:cn]
 	copy(next, cxadj[:cn])
 	for v := int32(0); int(v) < n; v++ {
 		if match[v] < v {
@@ -238,6 +276,8 @@ type Level struct {
 func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) []Level {
 	levels := []Level{{Graph: g}}
 	cur := g
+	// One scratch sized at the finest level serves every coarser level.
+	ws := newScratch(g.NumVertices(), g.Ncon)
 	for cur.NumVertices() > coarsenTo {
 		if opt.Stop != nil && opt.Stop() {
 			return nil
@@ -261,8 +301,8 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 				trace.I64("n", int64(cur.NumVertices())),
 				trace.I64("edges", int64(cur.NumEdges())))
 		}
-		match := Match(cur, rand, o)
-		coarse, cmap := Contract(cur, match)
+		match := matchInto(cur, rand, o, ws)
+		coarse, cmap := contractInto(cur, match, ws)
 		if opt.Trace != nil {
 			opt.Trace.End(
 				trace.I64("coarse_n", int64(coarse.NumVertices())),

@@ -1,0 +1,73 @@
+package coarsen
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// TestPooledHierarchyMatchesFresh pins the scratch-pooling contract:
+// BuildHierarchy (one pooled scratch reused across every level) must produce
+// exactly the hierarchy obtained by calling the public Match/Contract pair
+// (fresh scratch per call) with the same RNG stream and the same per-level
+// MaxVertexWeight rule. Pooling is an allocation optimization only — it must
+// never leak state between levels.
+func TestPooledHierarchyMatchesFresh(t *testing.T) {
+	base := gen.MRNGLike(12, 12, 12, 3)
+	g := gen.Type1(base, 3, 7)
+	const coarsenTo = 120
+	opt := Options{BalancedEdge: true}
+
+	pooled := BuildHierarchy(g, coarsenTo, rng.New(9), opt)
+
+	// Replay BuildHierarchy's loop with fresh scratch every level.
+	fresh := []Level{{Graph: g}}
+	cur := g
+	rand := rng.New(9)
+	for cur.NumVertices() > coarsenTo {
+		o := opt
+		var maxTot int64
+		for _, tot := range cur.TotalVertexWeight() {
+			if tot > maxTot {
+				maxTot = tot
+			}
+		}
+		o.MaxVertexWeight = 1 + maxTot*3/int64(2*coarsenTo)
+		match := Match(cur, rand, o)
+		coarse, cmap := Contract(cur, match)
+		if coarse.NumVertices() > cur.NumVertices()*19/20 {
+			break
+		}
+		fresh = append(fresh, Level{Graph: coarse, CMap: cmap})
+		cur = coarse
+	}
+
+	if len(pooled) != len(fresh) {
+		t.Fatalf("hierarchy depth: pooled %d, fresh %d", len(pooled), len(fresh))
+	}
+	if len(pooled) < 3 {
+		t.Fatalf("hierarchy too shallow (%d levels) to exercise scratch reuse", len(pooled))
+	}
+	for lv := range pooled {
+		p, f := pooled[lv], fresh[lv]
+		eqI32 := func(field string, a, b []int32) {
+			if len(a) != len(b) {
+				t.Fatalf("level %d %s: len %d != %d", lv, field, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("level %d %s[%d]: pooled %d, fresh %d", lv, field, i, a[i], b[i])
+				}
+			}
+		}
+		if p.Graph.Ncon != f.Graph.Ncon {
+			t.Fatalf("level %d Ncon: %d != %d", lv, p.Graph.Ncon, f.Graph.Ncon)
+		}
+		eqI32("Xadj", p.Graph.Xadj, f.Graph.Xadj)
+		eqI32("Adjncy", p.Graph.Adjncy, f.Graph.Adjncy)
+		eqI32("Adjwgt", p.Graph.Adjwgt, f.Graph.Adjwgt)
+		eqI32("Vwgt", p.Graph.Vwgt, f.Graph.Vwgt)
+		eqI32("CMap", p.CMap, f.CMap)
+	}
+}

@@ -1,0 +1,63 @@
+package initpart
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// TestTrialWorkersDeterminism pins the concurrency contract of the trial
+// pool: the partitioning is a pure function of (graph, k, seed, trials) —
+// TrialWorkers only changes how the trials are scheduled, never which trial
+// wins. Every label must be byte-identical between the sequential and the
+// concurrent runs. Run under -race in CI, this also exercises the pool for
+// data races.
+func TestTrialWorkersDeterminism(t *testing.T) {
+	base := gen.MRNGLike(10, 10, 10, 3)
+
+	type tc struct {
+		name   string
+		m      int
+		k      int
+		seed   uint64
+		trials int
+	}
+	var cases []tc
+	for _, m := range []int{1, 3} {
+		for _, k := range []int{2, 5, 8} {
+			for _, seed := range []uint64{1, 17} {
+				for _, trials := range []int{4, 7} {
+					cases = append(cases, tc{
+						name: fmt.Sprintf("m=%d/k=%d/seed=%d/trials=%d", m, k, seed, trials),
+						m:    m, k: k, seed: seed, trials: trials,
+					})
+				}
+			}
+		}
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := base
+			if c.m > 1 {
+				g = gen.Type1(base, c.m, 11)
+			}
+			seq := RecursiveBisect(g, c.k, rng.New(c.seed),
+				Options{Tol: 0.05, Trials: c.trials, TrialWorkers: 1})
+			con := RecursiveBisect(g, c.k, rng.New(c.seed),
+				Options{Tol: 0.05, Trials: c.trials, TrialWorkers: 4})
+			for v := range seq {
+				if seq[v] != con[v] {
+					t.Fatalf("label mismatch at vertex %d: sequential %d, 4 workers %d",
+						v, seq[v], con[v])
+				}
+			}
+			if a, b := metrics.EdgeCut(g, seq), metrics.EdgeCut(g, con); a != b {
+				t.Fatalf("edge-cut mismatch: sequential %d, 4 workers %d", a, b)
+			}
+		})
+	}
+}

@@ -9,9 +9,22 @@
 // unlikely to be improved during multilevel refinement" — so bisections are
 // retried from several random seeds and the balance-first FM policy drives
 // every constraint under its limit before chasing edge-cut.
+//
+// This phase dominates serial wall time on the bench meshes, so the
+// implementation is built around a per-call bisector that owns every piece
+// of scratch (see DESIGN.md, "Memory discipline & parallel trials"): trial
+// state and queues are allocated once and reused across all recursion
+// nodes, subgraphs are carved out of a stack-disciplined arena instead of
+// going through graph.Builder's sort+validate path, and the independent
+// bisection trials of one node can run on a bounded pool of goroutines
+// (Options.TrialWorkers) with bit-identical output for every worker count.
 package initpart
 
 import (
+	"runtime"
+	"sync"
+
+	"repro/internal/arena"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/pqueue"
@@ -29,6 +42,13 @@ type Options struct {
 	// the best (balanced, then lowest-cut) attempt wins. METIS uses a
 	// small constant; default 4.
 	Trials int
+	// TrialWorkers bounds how many goroutines run a node's independent
+	// bisection trials concurrently. 0 means GOMAXPROCS; 1 runs trials
+	// sequentially on the calling goroutine. Every trial draws from its own
+	// RNG stream forked from the node's generator and the winner is the
+	// lowest-indexed best-scoring trial, so the partition is bit-identical
+	// for every value of TrialWorkers.
+	TrialWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -38,6 +58,9 @@ func (o Options) withDefaults() Options {
 	if o.Trials <= 0 {
 		o.Trials = 4
 	}
+	if o.TrialWorkers <= 0 {
+		o.TrialWorkers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -45,54 +68,18 @@ func (o Options) withDefaults() Options {
 // multi-constraint bisection and returns the part label per vertex.
 func RecursiveBisect(g *graph.Graph, k int, rand *rng.RNG, opt Options) []int32 {
 	opt = opt.withDefaults()
-	part := make([]int32, g.NumVertices())
-	orig := make([]int32, g.NumVertices())
+	n := g.NumVertices()
+	part := make([]int32, n)
+	if k <= 1 || n == 0 {
+		return part
+	}
+	b := newBisector(g, opt)
+	orig := make([]int32, n)
 	for i := range orig {
 		orig[i] = int32(i)
 	}
-	recurse(g, orig, k, 0, part, rand, opt)
+	b.recurse(g, orig, k, 0, part, rand)
 	return part
-}
-
-func recurse(g *graph.Graph, orig []int32, k int, base int32, out []int32, rand *rng.RNG, opt Options) {
-	if k <= 1 {
-		for _, ov := range orig {
-			out[ov] = base
-		}
-		return
-	}
-	k0 := (k + 1) / 2
-	k1 := k - k0
-	frac0 := float64(k0) / float64(k)
-	// Give deeper levels a pro-rated slice of the tolerance so the product
-	// of per-level imbalances stays near the target.
-	tol := opt.Tol * 0.9
-	if k > 2 {
-		tol = opt.Tol * 0.5
-	}
-	bi := Bisect(g, rand, frac0, tol, opt.Trials)
-
-	keep0 := make([]bool, g.NumVertices())
-	for v, s := range bi {
-		keep0[v] = s == 0
-	}
-	g0, remap0 := g.InducedSubgraph(keep0)
-	for v := range keep0 {
-		keep0[v] = !keep0[v]
-	}
-	g1, remap1 := g.InducedSubgraph(keep0)
-
-	orig0 := make([]int32, g0.NumVertices())
-	orig1 := make([]int32, g1.NumVertices())
-	for v, ov := range orig {
-		if bi[v] == 0 {
-			orig0[remap0[v]] = ov
-		} else {
-			orig1[remap1[v]] = ov
-		}
-	}
-	recurse(g0, orig0, k0, base, out, rand, opt)
-	recurse(g1, orig1, k1, base+int32(k0), out, rand, opt)
 }
 
 // Bisect splits g into sides {0,1} with side 0 targeting fraction frac0 of
@@ -100,21 +87,10 @@ func recurse(g *graph.Graph, orig []int32, k int, base int32, out []int32, rand 
 // seeded attempts (greedy growing + multi-constraint FM) and returns the
 // best bisection found.
 func Bisect(g *graph.Graph, rand *rng.RNG, frac0, tol float64, trials int) []int32 {
-	n := g.NumVertices()
-	best := make([]int32, n)
-	cur := make([]int32, n)
-	bestScore := score{imb: 1e30, cut: 1 << 62}
-	w := newWorkspace(g, frac0, tol)
-	for t := 0; t < trials; t++ {
-		growBisection(g, cur, rand, w)
-		fm2(g, cur, rand, w)
-		s := w.evaluate(g, cur)
-		if s.better(bestScore) {
-			bestScore = s
-			copy(best, cur)
-		}
-	}
-	return best
+	opt := Options{Tol: tol, Trials: trials, TrialWorkers: 1}.withDefaults()
+	b := newBisector(g, opt)
+	win := b.bisectNode(g, rand, frac0, tol)
+	return append([]int32(nil), win...)
 }
 
 // score orders candidate bisections: balanced beats unbalanced; within the
@@ -139,55 +115,297 @@ func (s score) better(o score) bool {
 	return s.cut < o.cut
 }
 
-// workspace holds the per-bisection buffers reused across trials.
-type workspace struct {
-	m        int
-	total    []int64
-	limit    [2][]int64 // per-side, per-constraint upper bounds
-	target   [2][]float64
-	frac     [2]float64
-	tol      float64
-	dom      []int32 // dominant constraint per vertex
-	vwgtView []int32 // the graph's flattened vertex weights
-	pwgts    []int64 // 2*m flattened side weights
-	gain     []int64
-	locked   []bool
-	queues   [2][]*pqueue.Queue
-	moves    []int32
+// bisector owns every buffer used by one RecursiveBisect call, sized once
+// at the root graph and reused across all recursion nodes and trials. The
+// arena backs the per-node allocations whose lifetime nests with the
+// recursion (subgraph CSR arrays, orig index lists); everything else is a
+// flat buffer resliced per node.
+type bisector struct {
+	opt     Options
+	m       int
+	a       *arena.Arena
+	shared  bisectShared
+	workers []*trialState // one private scratch set per trial goroutine
+	results [][]int32     // per-trial candidate bisections, sized maxN
+	scores  []score       // per-trial outcome, indexed like results
+	rngs    []rng.RNG     // per-trial streams, reseeded per node via ForkInto
+	remap   []int32       // original vertex -> index within its side
 }
 
-func newWorkspace(g *graph.Graph, frac0, tol float64) *workspace {
-	m := g.Ncon
+// bisectShared is the per-node setup every trial reads but never writes:
+// totals, per-side limits/targets, and the dominant constraint per vertex.
+// It is (re)computed by setup before the trial goroutines start.
+type bisectShared struct {
+	m           int
+	tol         float64
+	frac        [2]float64
+	total       []int64
+	invTotal    []float64
+	limit       [2][]int64 // per-side, per-constraint upper bounds
+	target      [2][]float64
+	invTarget   [2][]float64 // 1/target (0 for weightless constraints)
+	dom         []int32      // dominant constraint per vertex
+	vwgt        []int32      // the current node graph's flattened vertex weights
+	activeCons  int
+	targetScore float64
+}
+
+// trialState is the mutable scratch one trial needs; each worker goroutine
+// owns exactly one, so trials never share mutable state.
+type trialState struct {
+	pwgts  []int64 // 2*m flattened side weights
+	gain   []int64
+	locked []bool
+	inQ    []bool
+	moves  []int32
+	order  []int32
+	queues [2][]*pqueue.Queue
+}
+
+func newBisector(g *graph.Graph, opt Options) *bisector {
 	n := g.NumVertices()
-	w := &workspace{
-		m:        m,
-		total:    g.TotalVertexWeight(),
-		frac:     [2]float64{frac0, 1 - frac0},
-		tol:      tol,
-		dom:      make([]int32, n),
-		vwgtView: g.Vwgt,
-		pwgts:    make([]int64, 2*m),
-		gain:     make([]int64, n),
-		locked:   make([]bool, n),
-		moves:    make([]int32, 0, n),
+	m := g.Ncon
+	nw := min(opt.TrialWorkers, opt.Trials)
+	if nw < 1 {
+		nw = 1
 	}
+	b := &bisector{opt: opt, m: m, a: arena.New()}
+	b.remap = make([]int32, n)
+	b.results = make([][]int32, opt.Trials)
+	for t := range b.results {
+		b.results[t] = make([]int32, n)
+	}
+	b.scores = make([]score, opt.Trials)
+	b.rngs = make([]rng.RNG, opt.Trials)
+	sh := &b.shared
+	sh.m = m
+	sh.total = make([]int64, m)
+	sh.invTotal = make([]float64, m)
+	sh.dom = make([]int32, n)
 	for side := 0; side < 2; side++ {
-		w.limit[side] = make([]int64, m)
-		w.target[side] = make([]float64, m)
-		for c := 0; c < m; c++ {
-			t := w.frac[side] * float64(w.total[c])
-			w.target[side][c] = t
-			w.limit[side][c] = int64(t*(1+tol)) + 1
-		}
-		w.queues[side] = make([]*pqueue.Queue, m)
-		for c := 0; c < m; c++ {
-			w.queues[side][c] = pqueue.New(n)
-		}
+		sh.limit[side] = make([]int64, m)
+		sh.target[side] = make([]float64, m)
+		sh.invTarget[side] = make([]float64, m)
 	}
+	b.workers = make([]*trialState, nw)
+	for w := range b.workers {
+		st := &trialState{
+			pwgts:  make([]int64, 2*m),
+			gain:   make([]int64, n),
+			locked: make([]bool, n),
+			inQ:    make([]bool, n),
+			moves:  make([]int32, 0, n),
+			order:  make([]int32, n),
+		}
+		for side := 0; side < 2; side++ {
+			st.queues[side] = make([]*pqueue.Queue, m)
+			for c := 0; c < m; c++ {
+				st.queues[side][c] = pqueue.New(n)
+			}
+		}
+		b.workers[w] = st
+	}
+	return b
+}
+
+func (b *bisector) recurse(g *graph.Graph, orig []int32, k int, base int32, out []int32, rand *rng.RNG) {
+	if k <= 1 {
+		for _, ov := range orig {
+			out[ov] = base
+		}
+		return
+	}
+	k0 := (k + 1) / 2
+	k1 := k - k0
+	frac0 := float64(k0) / float64(k)
+	// Give deeper levels a pro-rated slice of the tolerance so the product
+	// of per-level imbalances stays near the target.
+	tol := b.opt.Tol * 0.9
+	if k > 2 {
+		tol = b.opt.Tol * 0.5
+	}
+	bi := b.bisectNode(g, rand, frac0, tol)
+	if k == 2 {
+		// Both children are leaves: label directly, no subgraphs needed.
+		for v, ov := range orig {
+			out[ov] = base + bi[v]
+		}
+		return
+	}
+
+	n := g.NumVertices()
+	mark := b.a.Mark()
+	remap := b.remap[:n]
+	n0, n1 := 0, 0
 	for v := 0; v < n; v++ {
-		w.dom[v] = dominant(g.Vwgt[v*m:(v+1)*m], w.total)
+		if bi[v] == 0 {
+			remap[v] = int32(n0)
+			n0++
+		} else {
+			remap[v] = int32(n1)
+			n1++
+		}
 	}
-	return w
+	// bi aliases a trial result buffer and remap is shared across the whole
+	// recursion, so both must be fully consumed — subgraphs built, origs
+	// scattered, leaf sides labeled — before recursing into either child.
+	var g0, g1 *graph.Graph
+	var orig0, orig1 []int32
+	if k0 > 1 {
+		g0 = b.splitSide(g, bi, remap, 0, n0)
+		orig0 = b.a.I32(n0)
+	}
+	if k1 > 1 {
+		g1 = b.splitSide(g, bi, remap, 1, n1)
+		orig1 = b.a.I32(n1)
+	}
+	for v, ov := range orig {
+		if bi[v] == 0 {
+			if k0 > 1 {
+				orig0[remap[v]] = ov
+			} else {
+				out[ov] = base
+			}
+		} else {
+			if k1 > 1 {
+				orig1[remap[v]] = ov
+			} else {
+				out[ov] = base + int32(k0)
+			}
+		}
+	}
+	if k0 > 1 {
+		b.recurse(g0, orig0, k0, base, out, rand)
+	}
+	if k1 > 1 {
+		b.recurse(g1, orig1, k1, base+int32(k0), out, rand)
+	}
+	b.a.Release(mark)
+}
+
+// splitSide extracts the side-induced subgraph as arena-backed CSR in one
+// O(n+e) pass, replacing the Builder path (which re-sorts and re-validates
+// edges the parent graph already guarantees). remap must map each vertex of
+// g to its index within its own side.
+func (b *bisector) splitSide(g *graph.Graph, bi, remap []int32, side int32, ns int) *graph.Graph {
+	m := b.m
+	n := g.NumVertices()
+	xadj := b.a.I32(ns + 1)
+	vwgt := b.a.I32(ns * m)
+	// Upper bound: every parent edge could survive. The arena recycles the
+	// slack, so exactness is not worth a second counting pass.
+	bound := len(g.Adjncy)
+	adjncy := b.a.I32(bound)
+	adjwgt := b.a.I32(bound)
+	xadj[0] = 0
+	pos := int32(0)
+	ni := 0
+	for v := 0; v < n; v++ {
+		if bi[v] != side {
+			continue
+		}
+		copy(vwgt[ni*m:(ni+1)*m], g.Vwgt[v*m:(v+1)*m])
+		adj, wgt := g.Neighbors(int32(v))
+		for i, u := range adj {
+			if bi[u] == side {
+				adjncy[pos] = remap[u]
+				adjwgt[pos] = wgt[i]
+				pos++
+			}
+		}
+		ni++
+		xadj[ni] = pos
+	}
+	return &graph.Graph{Ncon: m, Xadj: xadj, Adjncy: adjncy[:pos], Adjwgt: adjwgt[:pos], Vwgt: vwgt}
+}
+
+// bisectNode runs the trials for one recursion node and returns the winning
+// bisection (a view into the winner's result buffer, valid until the next
+// bisectNode call). Each trial t draws only from b.rngs[t], forked here from
+// the node's generator, and writes only its own results/scores slot, so the
+// outcome is independent of how trials are scheduled across workers; the
+// winner scan takes the lowest-indexed best score, matching what a
+// sequential run of the same trials would keep.
+func (b *bisector) bisectNode(g *graph.Graph, rand *rng.RNG, frac0, tol float64) []int32 {
+	n := g.NumVertices()
+	b.shared.setup(g, frac0, tol)
+	trials := b.opt.Trials
+	for t := 0; t < trials; t++ {
+		rand.ForkInto(&b.rngs[t], uint64(t))
+	}
+	if nw := len(b.workers); nw > 1 {
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				for t := wi; t < trials; t += nw {
+					b.runTrial(g, t, wi)
+				}
+			}(wi)
+		}
+		wg.Wait()
+	} else {
+		for t := 0; t < trials; t++ {
+			b.runTrial(g, t, 0)
+		}
+	}
+	best := 0
+	for t := 1; t < trials; t++ {
+		if b.scores[t].better(b.scores[best]) {
+			best = t
+		}
+	}
+	return b.results[best][:n]
+}
+
+func (b *bisector) runTrial(g *graph.Graph, t, wi int) {
+	st := b.workers[wi]
+	cur := b.results[t][:g.NumVertices()]
+	r := &b.rngs[t]
+	growBisection(g, cur, r, &b.shared, st)
+	b.scores[t] = fm2(g, cur, r, &b.shared, st)
+}
+
+func (sh *bisectShared) setup(g *graph.Graph, frac0, tol float64) {
+	m := sh.m
+	n := g.NumVertices()
+	sh.vwgt = g.Vwgt
+	sh.frac = [2]float64{frac0, 1 - frac0}
+	sh.tol = tol
+	clear(sh.total)
+	for v := 0; v < n; v++ {
+		for c := 0; c < m; c++ {
+			sh.total[c] += int64(g.Vwgt[v*m+c])
+		}
+	}
+	active := 0
+	for c := 0; c < m; c++ {
+		if sh.total[c] > 0 {
+			sh.invTotal[c] = 1 / float64(sh.total[c])
+			active++
+		} else {
+			sh.invTotal[c] = 0
+		}
+	}
+	sh.activeCons = active
+	sh.targetScore = frac0 * float64(active)
+	for side := 0; side < 2; side++ {
+		for c := 0; c < m; c++ {
+			t := sh.frac[side] * float64(sh.total[c])
+			sh.target[side][c] = t
+			sh.limit[side][c] = int64(t*(1+tol)) + 1
+			if t > 0 {
+				sh.invTarget[side][c] = 1 / t
+			} else {
+				sh.invTarget[side][c] = 0
+			}
+		}
+	}
+	dom := sh.dom[:n]
+	for v := 0; v < n; v++ {
+		dom[v] = dominant(g.Vwgt[v*m:(v+1)*m], sh.total)
+	}
 }
 
 // dominant returns the constraint a vertex is filed under in the SC'98 FM
@@ -210,29 +428,10 @@ func dominant(vw []int32, total []int64) int32 {
 	return best
 }
 
-func (w *workspace) evaluate(g *graph.Graph, part []int32) score {
-	cut := metrics.EdgeCut(g, part)
-	w.computePwgts(g, part)
-	imb := 0.0
-	for side := 0; side < 2; side++ {
-		for c := 0; c < w.m; c++ {
-			if w.target[side][c] <= 0 {
-				continue
-			}
-			if r := float64(w.pwgts[side*w.m+c]) / w.target[side][c]; r > imb {
-				imb = r
-			}
-		}
-	}
-	return score{balanced: imb <= 1+w.tol+1e-9, imb: imb, cut: cut}
-}
-
-func (w *workspace) computePwgts(g *graph.Graph, part []int32) {
-	for i := range w.pwgts {
-		w.pwgts[i] = 0
-	}
+func computePwgts(g *graph.Graph, part []int32, m int, pwgts []int64) {
+	clear(pwgts)
 	for v := 0; v < g.NumVertices(); v++ {
-		vecw.Add(w.pwgts[int(part[v])*w.m:(int(part[v])+1)*w.m], g.Vwgt[v*w.m:(v+1)*w.m])
+		vecw.Add(pwgts[int(part[v])*m:(int(part[v])+1)*m], g.Vwgt[v*m:(v+1)*m])
 	}
 }
 
@@ -240,7 +439,7 @@ func (w *workspace) computePwgts(g *graph.Graph, part []int32) {
 // (max-gain frontier first) until side 0 holds, on average over the
 // constraints, fraction frac0 of the total weight. Everything else is side
 // 1. Disconnected graphs restart the growth from fresh random seeds.
-func growBisection(g *graph.Graph, part []int32, rand *rng.RNG, w *workspace) {
+func growBisection(g *graph.Graph, part []int32, rand *rng.RNG, sh *bisectShared, st *trialState) {
 	n := g.NumVertices()
 	for v := range part {
 		part[v] = 1
@@ -248,34 +447,25 @@ func growBisection(g *graph.Graph, part []int32, rand *rng.RNG, w *workspace) {
 	if n == 0 {
 		return
 	}
-	m := w.m
-	// Grow until the sum over constraints of (side-0 weight_c / total_c)
-	// reaches frac0 * (number of constraints with any weight).
-	var curScore float64
-	invTotal := make([]float64, m)
-	active := 0
-	for c := 0; c < m; c++ {
-		if w.total[c] > 0 {
-			invTotal[c] = 1 / float64(w.total[c])
-			active++
-		}
-	}
-	if active == 0 {
+	m := sh.m
+	if sh.activeCons == 0 {
 		// Degenerate: no weight anywhere; split by vertex count.
-		half := int(w.frac[0] * float64(n))
-		order := make([]int32, n)
+		half := int(sh.frac[0] * float64(n))
+		order := st.order[:n]
 		rand.Perm(order)
 		for i := 0; i < half; i++ {
 			part[order[i]] = 0
 		}
 		return
 	}
-	targetScore := w.frac[0] * float64(active)
-
-	q := w.queues[0][0]
+	// Grow until the sum over constraints of (side-0 weight_c / total_c)
+	// reaches frac0 * (number of constraints with any weight).
+	var curScore float64
+	q := st.queues[0][0]
 	q.Reset()
-	inQ := make([]bool, n) // also marks vertices already grabbed
-	for curScore < targetScore {
+	inQ := st.inQ[:n] // also marks vertices already grabbed
+	clear(inQ)
+	for curScore < sh.targetScore {
 		if q.Len() == 0 {
 			// Fresh seed (first iteration or disconnected remainder).
 			seed := int32(-1)
@@ -304,7 +494,7 @@ func growBisection(g *graph.Graph, part []int32, rand *rng.RNG, w *workspace) {
 		part[v] = 0
 		vw := g.VertexWeight(v)
 		for c := 0; c < m; c++ {
-			curScore += float64(vw[c]) * invTotal[c]
+			curScore += float64(vw[c]) * sh.invTotal[c]
 		}
 		adj, wgt := g.Neighbors(v)
 		for i, u := range adj {
@@ -325,11 +515,26 @@ func growBisection(g *graph.Graph, part []int32, rand *rng.RNG, w *workspace) {
 }
 
 // maxNegMoves bounds the hill-climbing depth of one FM pass: after this
-// many consecutive non-improving moves the pass gives up and rolls back.
-const maxNegMoves = 100
+// many consecutive non-improving moves from a balanced state the pass gives
+// up and rolls back. METIS's FM uses min(max(0.01*n, 15), 100); on the
+// coarse graphs this phase sees, the n-proportional clamp keeps the
+// rolled-back exploratory tail (which previously dominated pass cost) in
+// line with the graph size.
+func maxNegMoves(n int) int {
+	return min(max(n/100, 15), 100)
+}
+
+// maxUnbalancedMoves is the non-improving-move allowance while some
+// constraint is still over its limit. Balance-restoring walks plateau for
+// long stretches under the max-imbalance score (Type 2 problems move many
+// 0-weight-in-the-overloaded-constraint vertices that cannot change it), so
+// cutting them off at the balanced-tail clamp leaves bisections badly
+// imbalanced; this keeps the pre-clamp allowance for exactly that case.
+const maxUnbalancedMoves = 100
 
 // fm2 runs multi-constraint FM passes over the bisection until a pass
-// yields no improvement. Policy per move, following SC'98:
+// yields no improvement, and returns the score of the final state. Policy
+// per move, following SC'98:
 //
 //  1. If some (side, constraint) is over its limit, moves are forced out of
 //     the most-overloaded side, drawn from that side's queue for the
@@ -338,108 +543,147 @@ const maxNegMoves = 100
 //  2. Otherwise the best-gain move that keeps both sides within limits is
 //     taken; a bounded number of negative-gain moves allows escaping local
 //     minima, with rollback to the best state seen.
-func fm2(g *graph.Graph, part []int32, rand *rng.RNG, w *workspace) {
+//
+// cut, pwgts, and gains are maintained incrementally across the whole
+// trial: each move negates the mover's own gain (a side flip reverses the
+// sign of every incident term) and the rollback undoes the part flips,
+// weight transfers, and gain deltas move-by-move. All of it is integer
+// arithmetic, so the restored state is exact and the per-pass EdgeCut,
+// computePwgts, and computeGains recomputations are gone — one of each per
+// trial, at the start.
+func fm2(g *graph.Graph, part []int32, rand *rng.RNG, sh *bisectShared, st *trialState) score {
 	n := g.NumVertices()
-	m := w.m
+	m := sh.m
+	computePwgts(g, part, m, st.pwgts)
+	computeGains(g, part, st.gain)
+	cut := metrics.EdgeCut(g, part)
+	gain := st.gain
+	locked := st.locked
+	final := stateScore(sh, st.pwgts, cut)
+	negLimit := maxNegMoves(n)
 	for pass := 0; pass < 8; pass++ {
-		w.computePwgts(g, part)
-		computeGains(g, part, w.gain)
 		for side := 0; side < 2; side++ {
 			for c := 0; c < m; c++ {
-				w.queues[side][c].Reset()
+				st.queues[side][c].Reset()
 			}
 		}
-		order := make([]int32, n)
+		order := st.order[:n]
 		rand.Perm(order)
 		for _, v := range order {
-			w.locked[v] = false
-			w.queues[part[v]][w.dom[v]].Push(v, w.gain[v])
+			locked[v] = false
+			st.queues[part[v]][sh.dom[v]].Push(v, gain[v])
 		}
 
-		cut := metrics.EdgeCut(g, part)
-		bestState := w.stateScore(cut)
-		w.moves = w.moves[:0]
+		bestState := stateScore(sh, st.pwgts, cut)
+		st.moves = st.moves[:0]
 		bestLen := 0
 		sinceBest := 0
 
 		for {
-			v := w.selectMove()
+			v := selectMove(sh, st)
 			if v < 0 {
 				break
 			}
 			from := part[v]
 			to := 1 - from
-			w.queues[from][w.dom[v]].Delete(v)
-			w.locked[v] = true
+			st.queues[from][sh.dom[v]].Delete(v)
+			locked[v] = true
 			part[v] = to
-			cut -= w.gain[v]
-			vecw.Move(w.pwgts[int(from)*m:(int(from)+1)*m], w.pwgts[int(to)*m:(int(to)+1)*m], g.VertexWeight(v))
-			w.moves = append(w.moves, v)
+			cut -= gain[v]
+			gain[v] = -gain[v] // every incident term changed sides
+			vecw.Move(st.pwgts[int(from)*m:(int(from)+1)*m], st.pwgts[int(to)*m:(int(to)+1)*m], g.VertexWeight(v))
+			st.moves = append(st.moves, v)
 
 			adj, wgt := g.Neighbors(v)
 			for i, u := range adj {
 				delta := 2 * int64(wgt[i])
 				if part[u] == to {
-					w.gain[u] -= delta
+					gain[u] -= delta
 				} else {
-					w.gain[u] += delta
+					gain[u] += delta
 				}
-				if !w.locked[u] {
-					w.queues[part[u]][w.dom[u]].Update(u, w.gain[u])
+				if !locked[u] {
+					st.queues[part[u]][sh.dom[u]].Update(u, gain[u])
 				}
 			}
 
-			s := w.stateScore(cut)
+			s := stateScore(sh, st.pwgts, cut)
 			if s.better(bestState) {
 				bestState = s
-				bestLen = len(w.moves)
+				bestLen = len(st.moves)
 				sinceBest = 0
 			} else {
 				sinceBest++
-				if sinceBest > maxNegMoves {
+				lim := negLimit
+				if !s.balanced {
+					lim = maxUnbalancedMoves
+				}
+				if sinceBest > lim {
 					break
 				}
 			}
 		}
 
-		// Roll back the tail of moves past the best state.
-		for i := len(w.moves) - 1; i >= bestLen; i-- {
-			v := w.moves[i]
-			part[v] = 1 - part[v]
+		// Roll back the tail of moves past the best state. Undoing a move is
+		// itself a side flip, so replaying the tail in reverse with the same
+		// gain/weight updates restores part, pwgts, AND the gain array to
+		// bestState exactly — which is what lets the next pass skip
+		// computeGains.
+		for i := len(st.moves) - 1; i >= bestLen; i-- {
+			v := st.moves[i]
+			from := part[v]
+			to := 1 - from
+			part[v] = to
+			gain[v] = -gain[v]
+			vecw.Move(st.pwgts[int(from)*m:(int(from)+1)*m], st.pwgts[int(to)*m:(int(to)+1)*m], g.VertexWeight(v))
+			adj, wgt := g.Neighbors(v)
+			for j, u := range adj {
+				delta := 2 * int64(wgt[j])
+				if part[u] == to {
+					gain[u] -= delta
+				} else {
+					gain[u] += delta
+				}
+			}
 		}
+		cut = bestState.cut
+		final = bestState
 		if bestLen == 0 {
 			// No move improved on the pass's starting state: converged.
 			break
 		}
 	}
+	return final
 }
 
-// stateScore scores the current in-flight FM state from w.pwgts and cut.
-func (w *workspace) stateScore(cut int64) score {
+// stateScore scores the current in-flight FM state from pwgts and cut. It
+// runs once per FM move, so the per-constraint division is hoisted into the
+// precomputed invTarget reciprocals (weightless constraints have
+// invTarget 0 and thus never dominate the max).
+func stateScore(sh *bisectShared, pwgts []int64, cut int64) score {
 	imb := 0.0
 	for side := 0; side < 2; side++ {
-		for c := 0; c < w.m; c++ {
-			if w.target[side][c] <= 0 {
-				continue
-			}
-			if r := float64(w.pwgts[side*w.m+c]) / w.target[side][c]; r > imb {
+		inv := sh.invTarget[side]
+		row := pwgts[side*sh.m : (side+1)*sh.m]
+		for c, w := range row {
+			if r := float64(w) * inv[c]; r > imb {
 				imb = r
 			}
 		}
 	}
-	return score{balanced: imb <= 1+w.tol+1e-9, imb: imb, cut: cut}
+	return score{balanced: imb <= 1+sh.tol+1e-9, imb: imb, cut: cut}
 }
 
 // selectMove picks the next vertex to move under the balance-first policy,
 // returning -1 when no acceptable move exists.
-func (w *workspace) selectMove() int32 {
-	m := w.m
+func selectMove(sh *bisectShared, st *trialState) int32 {
+	m := sh.m
 	// Forced mode: some side over limit in some constraint.
 	overSide, overCon := -1, -1
 	var overAmt int64
 	for side := 0; side < 2; side++ {
 		for c := 0; c < m; c++ {
-			if ex := w.pwgts[side*m+c] - w.limit[side][c]; ex > overAmt {
+			if ex := st.pwgts[side*m+c] - sh.limit[side][c]; ex > overAmt {
 				overAmt, overSide, overCon = ex, side, c
 			}
 		}
@@ -447,12 +691,12 @@ func (w *workspace) selectMove() int32 {
 	if overSide >= 0 {
 		// Prefer the queue of the overloaded constraint; fall back to any
 		// non-empty queue on the overloaded side.
-		if q := w.queues[overSide][overCon]; q.Len() > 0 {
+		if q := st.queues[overSide][overCon]; q.Len() > 0 {
 			v, _ := q.Peek()
 			return v
 		}
 		for c := 0; c < m; c++ {
-			if q := w.queues[overSide][c]; q.Len() > 0 {
+			if q := st.queues[overSide][c]; q.Len() > 0 {
 				v, _ := q.Peek()
 				return v
 			}
@@ -466,7 +710,7 @@ func (w *workspace) selectMove() int32 {
 	for side := 0; side < 2; side++ {
 		to := 1 - side
 		for c := 0; c < m; c++ {
-			q := w.queues[side][c]
+			q := st.queues[side][c]
 			if q.Len() == 0 {
 				continue
 			}
@@ -474,7 +718,7 @@ func (w *workspace) selectMove() int32 {
 			if bestV >= 0 && gain <= bestGain {
 				continue
 			}
-			if vecw.FitsUnder(w.pwgts[to*m:(to+1)*m], w.vwOf(v), w.limit[to]) {
+			if vecw.FitsUnder(st.pwgts[to*m:(to+1)*m], sh.vwOf(v), sh.limit[to]) {
 				bestV, bestGain = v, gain
 			}
 		}
@@ -482,9 +726,9 @@ func (w *workspace) selectMove() int32 {
 	return bestV
 }
 
-// vwOf returns vertex v's weight vector.
-func (w *workspace) vwOf(v int32) []int32 {
-	return w.vwgtView[int(v)*w.m : (int(v)+1)*w.m]
+// vwOf returns vertex v's weight vector in the current node's graph.
+func (sh *bisectShared) vwOf(v int32) []int32 {
+	return sh.vwgt[int(v)*sh.m : (int(v)+1)*sh.m]
 }
 
 func computeGains(g *graph.Graph, part []int32, gain []int64) {

@@ -42,6 +42,9 @@ type Comm struct {
 	simTime float64
 	// CommStats counts traffic for diagnostics.
 	Stats CommStats
+	// reduceBuf is the resident per-rank contribution slab for the int64
+	// collectives (allreduce and the scalar gather/bcast); see contribI64.
+	reduceBuf []int64
 	// coll breaks the same accounting down per collective family, plus the
 	// simulated seconds each family advanced this rank's clock.
 	coll [NumCollectives]CollStats
@@ -195,23 +198,27 @@ func (c *Comm) Work(units int) {
 
 // exchange is the collective core: every rank deposits contrib, all ranks
 // synchronize, read every deposit through `read`, then synchronize again so
-// slots may be reused. Simulated clocks are advanced to the group maximum
-// plus commCost seconds. kind attributes the call (and the clock advance)
-// to one collective family in the per-rank accounting.
-func (c *Comm) exchange(kind Collective, contrib any, commCost float64, read func(slots []any)) {
+// slots (and any resident contribution buffers) may be reused. Simulated
+// clocks are advanced to the group maximum plus commCost seconds plus
+// whatever data-dependent cost `read` returns — collectives whose payload
+// sizes are only known once every deposit is visible (Allgatherv, Alltoallv,
+// Bcast) compute their per-byte term there. kind attributes the call (and
+// the clock advance, via SimWait) to one collective family in the per-rank
+// accounting.
+func (c *Comm) exchange(kind Collective, contrib any, commCost float64, read func(slots []any) float64) {
 	w := c.w
 	t0 := c.simTime
 	w.slots[c.rank] = contrib
 	w.times[c.rank] = c.simTime
 	w.barrier.await()
-	read(w.slots)
+	extra := read(w.slots)
 	maxT := 0.0
 	for _, t := range w.times {
 		if t > maxT {
 			maxT = t
 		}
 	}
-	c.simTime = maxT + commCost
+	c.simTime = maxT + commCost + extra
 	c.Stats.Collectives++
 	st := &c.coll[kind]
 	st.Calls++
@@ -219,10 +226,37 @@ func (c *Comm) exchange(kind Collective, contrib any, commCost float64, read fun
 	w.barrier.await()
 }
 
+// contribI64 copies vals into this rank's resident contribution slab and
+// returns it. Contributions must be private copies (vals is mutated in
+// place during read while peers are still reading), and the slab makes that
+// copy allocation-free: the closing barrier of each collective guarantees
+// every peer is done reading before the slab can be overwritten by the next
+// one.
+func (c *Comm) contribI64(vals []int64) []int64 {
+	if cap(c.reduceBuf) < len(vals) {
+		c.reduceBuf = make([]int64, len(vals))
+	}
+	buf := c.reduceBuf[:len(vals)]
+	copy(buf, vals)
+	return buf
+}
+
+// contribScalar is contribI64 for a single value: scalar collectives
+// contribute a one-element slab view instead of a boxed int64 (which would
+// allocate on every call).
+func (c *Comm) contribScalar(x int64) []int64 {
+	if cap(c.reduceBuf) < 1 {
+		c.reduceBuf = make([]int64, 1)
+	}
+	buf := c.reduceBuf[:1]
+	buf[0] = x
+	return buf
+}
+
 // Barrier blocks until all ranks reach it; simulated clocks synchronize to
 // the maximum plus the barrier cost.
 func (c *Comm) Barrier() {
-	c.exchange(CollBarrier, nil, c.w.model.barrierCost(c.w.size), func([]any) {})
+	c.exchange(CollBarrier, nil, c.w.model.barrierCost(c.w.size), func([]any) float64 { return 0 })
 }
 
 // AllreduceSumI64 replaces vals on every rank with the element-wise sum
@@ -258,11 +292,12 @@ func (c *Comm) AllreduceMinI64(vals []int64) {
 }
 
 func (c *Comm) allreduceI64(vals []int64, combine func(dst, src []int64)) {
-	// Contribute a private copy: vals is mutated in place during read and
-	// other ranks must see the original contribution.
-	contrib := append([]int64(nil), vals...)
+	// Contribute a private copy (vals is mutated in place during read and
+	// other ranks must see the original contribution), drawn from the
+	// resident slab so steady-state collectives allocate nothing.
+	contrib := c.contribI64(vals)
 	cost := c.w.model.allreduceCost(c.w.size, len(vals)*8)
-	c.exchange(CollAllreduce, contrib, cost, func(slots []any) {
+	c.exchange(CollAllreduce, contrib, cost, func(slots []any) float64 {
 		copy(vals, contrib)
 		for r, s := range slots {
 			if r == c.rank {
@@ -270,6 +305,7 @@ func (c *Comm) allreduceI64(vals []int64, combine func(dst, src []int64)) {
 			}
 			combine(vals, s.([]int64))
 		}
+		return 0
 	})
 	c.Stats.BytesSent += int64(len(vals) * 8)
 	c.coll[CollAllreduce].Bytes += int64(len(vals) * 8)
@@ -280,8 +316,10 @@ func (c *Comm) allreduceI64(vals []int64, combine func(dst, src []int64)) {
 func (c *Comm) AllgathervI32(local []int32) (all []int32, counts []int) {
 	counts = make([]int, c.w.size)
 	var result []int32
-	cost := 0.0 // computed inside read once sizes are known
-	c.exchange(CollAllgather, local, cost, func(slots []any) {
+	// The per-byte cost depends on the total gathered size, known only once
+	// every deposit is visible; it is returned from read so exchange charges
+	// it on top of the synchronized clock.
+	c.exchange(CollAllgather, local, 0, func(slots []any) float64 {
 		total := 0
 		for _, s := range slots {
 			total += len(s.([]int32))
@@ -292,7 +330,7 @@ func (c *Comm) AllgathervI32(local []int32) (all []int32, counts []int) {
 			counts[r] = len(sl)
 			result = append(result, sl...)
 		}
-		c.simTime += c.w.model.allgatherCost(c.w.size, total*4)
+		return c.w.model.allgatherCost(c.w.size, total*4)
 	})
 	c.Stats.BytesSent += int64(len(local) * 4)
 	c.coll[CollAllgather].Bytes += int64(len(local) * 4)
@@ -304,10 +342,11 @@ func (c *Comm) AllgathervI32(local []int32) (all []int32, counts []int) {
 func (c *Comm) AllgatherI64(x int64) []int64 {
 	out := make([]int64, c.w.size)
 	cost := c.w.model.allgatherCost(c.w.size, c.w.size*8)
-	c.exchange(CollAllgather, x, cost, func(slots []any) {
+	c.exchange(CollAllgather, c.contribScalar(x), cost, func(slots []any) float64 {
 		for r, s := range slots {
-			out[r] = s.(int64)
+			out[r] = s.([]int64)[0]
 		}
+		return 0
 	})
 	c.Stats.BytesSent += 8
 	c.coll[CollAllgather].Bytes += 8
@@ -329,7 +368,7 @@ func (c *Comm) AlltoallvI32(send [][]int32) (recv [][]int32) {
 	for _, s := range send {
 		sent += len(s)
 	}
-	c.exchange(CollAlltoall, send, 0, func(slots []any) {
+	c.exchange(CollAlltoall, send, 0, func(slots []any) float64 {
 		maxBytes := 0
 		for r, s := range slots {
 			their := s.([][]int32)
@@ -342,7 +381,7 @@ func (c *Comm) AlltoallvI32(send [][]int32) (recv [][]int32) {
 				maxBytes = b
 			}
 		}
-		c.simTime += c.w.model.alltoallCost(c.w.size, maxBytes)
+		return c.w.model.alltoallCost(c.w.size, maxBytes)
 	})
 	c.Stats.BytesSent += int64(sent * 4)
 	c.coll[CollAlltoall].Bytes += int64(sent * 4)
@@ -353,15 +392,14 @@ func (c *Comm) AlltoallvI32(send [][]int32) (recv [][]int32) {
 // (or anything) and receive a copy. Root receives its own slice back.
 func (c *Comm) BcastI32(root int, data []int32) []int32 {
 	var out []int32
-	cost := 0.0
-	c.exchange(CollBcast, data, cost, func(slots []any) {
+	c.exchange(CollBcast, data, 0, func(slots []any) float64 {
 		src := slots[root].([]int32)
 		if c.rank == root {
 			out = data
 		} else {
 			out = append([]int32(nil), src...)
 		}
-		c.simTime += c.w.model.bcastCost(c.w.size, len(src)*4)
+		return c.w.model.bcastCost(c.w.size, len(src)*4)
 	})
 	if c.rank == root {
 		c.Stats.BytesSent += int64(len(data) * 4)
@@ -380,12 +418,13 @@ func (c *Comm) BcastI32(root int, data []int32) []int32 {
 // poisoning the barrier (see DESIGN.md, "Cancellation contract").
 func (c *Comm) AgreeAbort(abort bool) bool {
 	out := false
-	c.exchange(CollVote, abort, c.w.model.allreduceCost(c.w.size, 1), func(slots []any) {
+	c.exchange(CollVote, abort, c.w.model.allreduceCost(c.w.size, 1), func(slots []any) float64 {
 		for _, s := range slots {
 			if s.(bool) {
 				out = true
 			}
 		}
+		return 0
 	})
 	return out
 }
@@ -393,8 +432,9 @@ func (c *Comm) AgreeAbort(abort bool) bool {
 // BcastI64Scalar broadcasts one int64 from root.
 func (c *Comm) BcastI64Scalar(root int, x int64) int64 {
 	var out int64
-	c.exchange(CollBcast, x, c.w.model.bcastCost(c.w.size, 8), func(slots []any) {
-		out = slots[root].(int64)
+	c.exchange(CollBcast, c.contribScalar(x), c.w.model.bcastCost(c.w.size, 8), func(slots []any) float64 {
+		out = slots[root].([]int64)[0]
+		return 0
 	})
 	return out
 }

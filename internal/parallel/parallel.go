@@ -26,11 +26,15 @@ import (
 // paper's settings: 5% tolerance, balanced-edge matching, the reservation
 // refinement scheme, and the T3E-like cost model.
 type Options struct {
-	Seed         uint64
-	Tol          float64
-	CoarsenTo    int
-	InitTrials   int
-	InitPasses   int
+	Seed       uint64
+	Tol        float64
+	CoarsenTo  int
+	InitTrials int
+	InitPasses int
+	// TrialWorkers bounds the goroutines running each rank's bisection
+	// trials concurrently (0 = GOMAXPROCS, 1 = sequential); results are
+	// bit-identical either way (initpart.Options.TrialWorkers).
+	TrialWorkers int
 	RefinePasses int
 	// RefineRounds splits each refinement sweep into this many
 	// propose/reduce/commit rounds (0 = scheme-dependent default; see
@@ -279,9 +283,10 @@ func spmdBody(ctx context.Context, c *mpi.Comm, g *graph.Graph, k int, opt Optio
 			trace.I64("k", int64(k)))
 	}
 	partAll, initCut := pinit.Partition(coarsest, k, rand, pinit.Options{
-		Tol:    opt.Tol,
-		Trials: opt.InitTrials,
-		Passes: opt.InitPasses,
+		Tol:          opt.Tol,
+		Trials:       opt.InitTrials,
+		Passes:       opt.InitPasses,
+		TrialWorkers: opt.TrialWorkers,
 	})
 	if rk != nil {
 		rk.End(trace.I64("cut", initCut))

@@ -20,6 +20,10 @@ type Options struct {
 	Tol    float64
 	Trials int // bisection trials per rank (default 4)
 	Passes int // serial refinement passes on the gathered graph
+	// TrialWorkers bounds the goroutines running bisection trials
+	// concurrently (0 = GOMAXPROCS, 1 = sequential); the result is
+	// bit-identical for every value (initpart.Options.TrialWorkers).
+	TrialWorkers int
 }
 
 // Partition gathers the coarsest graph, has every rank partition it
@@ -75,7 +79,7 @@ func Partition(dg *pgraph.DGraph, k int, rand *rng.RNG, opt Options) ([]int32, i
 // computeCandidate runs the serial pipeline on the gathered coarsest
 // graph: recursive bisection, then a few k-way refinement passes.
 func computeCandidate(g *graph.Graph, k int, rand *rng.RNG, opt Options) []int32 {
-	part := initpart.RecursiveBisect(g, k, rand, initpart.Options{Tol: opt.Tol, Trials: opt.Trials})
+	part := initpart.RecursiveBisect(g, k, rand, initpart.Options{Tol: opt.Tol, Trials: opt.Trials, TrialWorkers: opt.TrialWorkers})
 	ref := kwayrefine.NewRefiner(k, g.Ncon, kwayrefine.Options{Tol: opt.Tol, Passes: opt.Passes})
 	ref.Refine(g, part, rand)
 	return part

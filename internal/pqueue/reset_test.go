@@ -1,0 +1,78 @@
+package pqueue
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestResetReuse pins the reuse contract the refinement hot paths rely on:
+// after Reset the queue is empty, every position index is cleared, the heap
+// backing array is retained (no reallocation), and a fresh workload on the
+// recycled queue maintains the heap invariants exactly as on a new queue.
+func TestResetReuse(t *testing.T) {
+	const n = 200
+	q := New(n)
+	r := rng.New(42)
+
+	fill := func() {
+		for v := int32(0); v < n; v++ {
+			if r.Intn(3) != 0 {
+				q.Push(v, int64(r.Intn(1000))-500)
+			}
+		}
+		// A few updates and deletes so pos/heap see churn before Reset.
+		for i := 0; i < 50; i++ {
+			v := int32(r.Intn(n))
+			if q.Contains(v) {
+				if r.Bool() {
+					q.Update(v, int64(r.Intn(1000))-500)
+				} else {
+					q.Delete(v)
+				}
+			}
+		}
+	}
+
+	fill()
+	capBefore := cap(q.heap)
+	q.Reset()
+
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", q.Len())
+	}
+	for v, p := range q.pos {
+		if p != -1 {
+			t.Fatalf("pos[%d] = %d after Reset, want -1", v, p)
+		}
+	}
+	if cap(q.heap) != capBefore {
+		t.Fatalf("Reset reallocated the heap: cap %d -> %d", capBefore, cap(q.heap))
+	}
+
+	// Reuse: refill and verify the heap property plus pos consistency hold
+	// on the recycled storage.
+	fill()
+	for i := 1; i < len(q.heap); i++ {
+		parent := (i - 1) / 2
+		if q.heap[parent].gain < q.heap[i].gain {
+			t.Fatalf("heap invariant violated after reuse: heap[%d].gain=%d < heap[%d].gain=%d",
+				parent, q.heap[parent].gain, i, q.heap[i].gain)
+		}
+	}
+	for i, e := range q.heap {
+		if q.pos[e.vtx] != int32(i) {
+			t.Fatalf("pos[%d] = %d, heap index %d", e.vtx, q.pos[e.vtx], i)
+		}
+	}
+
+	// Drain in non-increasing order.
+	var prev int64 = 1 << 62
+	for q.Len() > 0 {
+		_, g := q.Pop()
+		if g > prev {
+			t.Fatalf("pop order violated after reuse: %d after %d", g, prev)
+		}
+		prev = g
+	}
+}

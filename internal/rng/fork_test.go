@@ -1,0 +1,60 @@
+package rng
+
+import "testing"
+
+// TestForkDeterministic: forking the same stream index from the same parent
+// state yields the same child stream, regardless of which RNG value the
+// fork lands in.
+func TestForkDeterministic(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	ca := a.Fork(3)
+	var cb RNG
+	b.ForkInto(&cb, 3)
+	for i := 0; i < 16; i++ {
+		if x, y := ca.Uint64(), cb.Uint64(); x != y {
+			t.Fatalf("draw %d: Fork=%d ForkInto=%d", i, x, y)
+		}
+	}
+}
+
+// TestForkConsumesOneDraw: Fork must advance the parent by exactly one draw,
+// so fork batches at successive recursion nodes produce different child
+// streams even with identical stream indices.
+func TestForkConsumesOneDraw(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	a.Fork(0)
+	b.Uint64()
+	for i := 0; i < 8; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d after fork: %d != %d (Fork consumed != 1 draw)", i, x, y)
+		}
+	}
+
+	// Consequence: two fork batches from the same parent differ even with
+	// the same indices.
+	p := New(13)
+	first := p.Fork(0)
+	second := p.Fork(0)
+	if first.Uint64() == second.Uint64() {
+		t.Fatalf("consecutive forks with the same index produced the same stream")
+	}
+}
+
+// TestForkStreamsDistinct: sibling forks with distinct indices must produce
+// distinct streams (they come from one parent draw, differing only in index).
+func TestForkStreamsDistinct(t *testing.T) {
+	p := New(5)
+	state := p.s
+	seen := map[uint64]uint64{}
+	for stream := uint64(0); stream < 64; stream++ {
+		p.s = state // same parent state for every sibling
+		c := p.Fork(stream)
+		x := c.Uint64()
+		if prev, dup := seen[x]; dup {
+			t.Fatalf("streams %d and %d collide on first draw", prev, stream)
+		}
+		seen[x] = stream
+	}
+}

@@ -60,6 +60,25 @@ func (r *RNG) Derive(stream uint64) *RNG {
 	return New(base ^ (stream+1)*0xd1342543de82ef95)
 }
 
+// ForkInto seeds dst with an independent stream derived from one draw of r
+// and the stream index. Unlike Derive, Fork consumes a draw from the parent,
+// so successive fork batches (e.g. the per-trial streams of consecutive
+// bisection nodes) differ even when they reuse the same stream indices. The
+// forked stream depends only on the parent's state and the index — never on
+// which goroutine consumes it — which is what makes concurrent
+// initial-bisection trials schedule-independent. dst is reseeded in place so
+// hot paths can keep generators resident instead of allocating per fork.
+func (r *RNG) ForkInto(dst *RNG, stream uint64) {
+	dst.Seed(r.Uint64() ^ (stream+1)*0xd1342543de82ef95)
+}
+
+// Fork returns a fresh generator seeded as by ForkInto.
+func (r *RNG) Fork(stream uint64) *RNG {
+	dst := &RNG{}
+	r.ForkInto(dst, stream)
+	return dst
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.

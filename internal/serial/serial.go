@@ -42,6 +42,10 @@ type Options struct {
 	// InitTrials is the number of seeded attempts per bisection during
 	// initial partitioning (0 = default 4).
 	InitTrials int
+	// TrialWorkers bounds the goroutines running those attempts
+	// concurrently (0 = GOMAXPROCS, 1 = sequential). The result is
+	// bit-identical for every value; see initpart.Options.TrialWorkers.
+	TrialWorkers int
 	// RefinePasses bounds refinement iterations per level (0 = default 8).
 	RefinePasses int
 	// NoBalancedEdge disables the SC'98 balanced-edge matching tie-break
@@ -199,8 +203,9 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *
 			trace.I64("k", int64(k)))
 	}
 	part := initpart.RecursiveBisect(coarsest, k, rand, initpart.Options{
-		Tol:    opt.Tol,
-		Trials: opt.InitTrials,
+		Tol:          opt.Tol,
+		Trials:       opt.InitTrials,
+		TrialWorkers: opt.TrialWorkers,
 	})
 	if rk != nil {
 		rk.End(trace.I64("cut", metrics.EdgeCut(coarsest, part)))

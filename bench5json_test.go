@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/initpart"
+	"repro/internal/kwayrefine"
+	"repro/internal/rng"
+)
+
+// refineSeedBaseline holds the serial refine-phase profile measured at the
+// pre-boundary seed (commit db56a95, the committed BENCH_4.json: same
+// meshes, seed 1, k=8). Committed as constants so BENCH_5.json can report
+// the refine-phase speedup — and assert the cuts did not move — without
+// checking out the old tree.
+var refineSeedBaseline = map[string]struct {
+	refineMS float64
+	cut      int64
+}{
+	"mrng1t": {refineMS: 2.058527, cut: 1707},
+	"mrng2t": {refineMS: 12.162868, cut: 4141},
+	"mrng3t": {refineMS: 48.387756, cut: 10411},
+}
+
+// BenchmarkBench5 is the machine-readable harness for the boundary-driven
+// refinement PR: the serial per-phase wall-time and cut columns next to the
+// committed BENCH_4 refine baseline (speedup ratio, identical-cut check),
+// plus the warm refinement allocation profile (allocs/op and bytes/op of a
+// reserved Refiner re-refining the finest level).
+//
+//	go test -bench=Bench5 -benchtime=1x .
+//
+// Wall times are machine-dependent; cuts and allocation counts are
+// deterministic (fixed seed). The boundary-driven refiner is pinned
+// bit-identical to the full-scan BENCH_4 implementation, so cut and
+// seed_cut must agree on every row.
+func BenchmarkBench5(b *testing.B) {
+	type row struct {
+		Mesh              string  `json:"mesh"`
+		N                 int     `json:"n"`
+		Edges             int     `json:"edges"`
+		K                 int     `json:"k"`
+		Seed              uint64  `json:"seed"`
+		SerialWallMS      float64 `json:"serial_wall_ms"`
+		SerialCoarsenMS   float64 `json:"serial_coarsen_ms"`
+		SerialInitMS      float64 `json:"serial_init_ms"`
+		SerialRefineMS    float64 `json:"serial_refine_ms"`
+		SerialCut         int64   `json:"serial_cut"`
+		SeedRefineMS      float64 `json:"seed_refine_ms"`
+		SeedCut           int64   `json:"seed_cut"`
+		RefineSpeedupX    float64 `json:"refine_speedup_x"`
+		RefineAllocsPerOp uint64  `json:"refine_allocs_per_op"`
+		RefineBytesPerOp  uint64  `json:"refine_bytes_per_op"`
+	}
+	const (
+		k    = 8
+		seed = 1
+	)
+	meshes := []string{"mrng1t", "mrng2t", "mrng3t"}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range meshes {
+			spec, ok := gen.MeshByName(name)
+			if !ok {
+				b.Fatalf("unknown mesh %q", name)
+			}
+			g := spec.Build(seed*7919 + 7)
+			ctx := context.Background()
+			sTr := NewTracer("bench-serial")
+			t0 := time.Now()
+			sPart, _, err := SerialTraced(ctx, g, k, SerialOptions{Seed: seed, Tol: 0.05}, sTr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sWall := time.Since(t0)
+			sPh := sTr.PhaseSeconds()
+			cut := EdgeCut(g, sPart)
+			base := refineSeedBaseline[name]
+			if cut != base.cut {
+				b.Fatalf("%s: cut %d != BENCH_4 seed cut %d — boundary refinement broke bit-identity",
+					name, cut, base.cut)
+			}
+
+			// Allocation profile of the refinement hot path: a warm (reserved
+			// and once-run) Refiner re-refining the finest level from the
+			// same initial labels.
+			part0 := initpart.RecursiveBisect(g, k, rng.New(seed), initpart.Options{Tol: 0.05, TrialWorkers: 1})
+			ref := kwayrefine.NewRefiner(k, g.Ncon, kwayrefine.Options{Tol: 0.05})
+			ref.Reserve(g)
+			part := make([]int32, len(part0))
+			copy(part, part0)
+			ref.Refine(g, part, rng.New(seed))
+			const iters = 10
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			for j := 0; j < iters; j++ {
+				copy(part, part0)
+				ref.Refine(g, part, rng.New(seed))
+			}
+			runtime.ReadMemStats(&m1)
+
+			refineMS := sPh["refine"] * 1000
+			rows = append(rows, row{
+				Mesh: name, N: g.NumVertices(), Edges: g.NumEdges(),
+				K: k, Seed: seed,
+				SerialWallMS:      float64(sWall.Microseconds()) / 1000,
+				SerialCoarsenMS:   sPh["coarsen"] * 1000,
+				SerialInitMS:      sPh["init"] * 1000,
+				SerialRefineMS:    refineMS,
+				SerialCut:         cut,
+				SeedRefineMS:      base.refineMS,
+				SeedCut:           base.cut,
+				RefineSpeedupX:    base.refineMS / refineMS,
+				RefineAllocsPerOp: (m1.Mallocs - m0.Mallocs) / iters,
+				RefineBytesPerOp:  (m1.TotalAlloc - m0.TotalAlloc) / iters,
+			})
+		}
+	}
+	var serialMS, refineMS float64
+	for _, r := range rows {
+		serialMS += r.SerialWallMS
+		refineMS += r.SerialRefineMS
+	}
+	b.ReportMetric(serialMS, "serial-ms")
+	b.ReportMetric(refineMS, "refine-ms")
+
+	out := struct {
+		GeneratedBy string `json:"generated_by"`
+		Rows        []row  `json:"rows"`
+	}{
+		GeneratedBy: "go test -bench=Bench5 -benchtime=1x .",
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_5.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -28,6 +28,7 @@ func main() {
 	var (
 		ranks      = flag.Int("ranks", 0, "require exactly this many rank tracks with span events (0 = don't check)")
 		wantSpans  = flag.String("want-spans", "", "comma-separated span names every rank track must contain")
+		wantAttrs  = flag.String("want-span-attrs", "", "semicolon-separated span:attr1,attr2 pairs; every occurrence of the span on every rank track must carry the attrs")
 		wantPrefix = flag.String("want-counter-prefix", "", "require at least one counter with this name prefix on every rank track")
 	)
 	flag.Parse()
@@ -57,6 +58,27 @@ func main() {
 			for _, tid := range tracks {
 				if sum.Spans[tid][name] == 0 {
 					fail("%s: rank %d has no %q span (has: %s)", file, tid, name, names(sum.Spans[tid]))
+				}
+			}
+		}
+	}
+	if *wantAttrs != "" {
+		for _, spec := range strings.Split(*wantAttrs, ";") {
+			span, attrs, ok := strings.Cut(strings.TrimSpace(spec), ":")
+			if !ok || span == "" || attrs == "" {
+				fail("bad -want-span-attrs entry %q, want span:attr1,attr2", spec)
+			}
+			for _, attr := range strings.Split(attrs, ",") {
+				attr = strings.TrimSpace(attr)
+				for _, tid := range tracks {
+					n := sum.Spans[tid][span]
+					if n == 0 {
+						fail("%s: rank %d has no %q span to carry attr %q", file, tid, span, attr)
+					}
+					if got := sum.SpanAttrs[tid][span][attr]; got != n {
+						fail("%s: rank %d: %d of %d %q span(s) carry attr %q (has: %s)",
+							file, tid, got, n, span, attr, names(sum.SpanAttrs[tid][span]))
+					}
 				}
 			}
 		}

@@ -85,6 +85,47 @@ func (a *Arena) Bool(n int) []bool { return a.bl.alloc(n) }
 // BoolZero carves a zeroed []bool of length n.
 func (a *Arena) BoolZero(n int) []bool { s := a.bl.alloc(n); clear(s); return s }
 
+// Marker is a timestamped dense marker set over [0, n): starting a new
+// generation is O(1) (a stamp bump), membership tests and insertions are
+// O(1) array operations, and — unlike a plain []int32 stamped with caller
+// ids — no generation ever needs the array cleared, so a Marker pooled
+// across a whole coarsening hierarchy does zero per-level reset work. The
+// stamps are int64: they never wrap within any realistic run, so there is
+// no epoch-recycling hazard. Like the Arena, a Marker is single-goroutine.
+type Marker struct {
+	stamp []int64
+	cur   int64
+}
+
+// Grow ensures the marker covers indices [0, n). Marks of the current
+// generation are preserved.
+func (m *Marker) Grow(n int) {
+	if n <= len(m.stamp) {
+		return
+	}
+	grown := make([]int64, n)
+	copy(grown, m.stamp)
+	m.stamp = grown
+}
+
+// Next starts a new, empty generation. It must be called at least once
+// before the first TryMark (the zero generation matches the zero stamps of
+// a fresh array, so everything would appear marked).
+func (m *Marker) Next() { m.cur++ }
+
+// TryMark marks i in the current generation, reporting whether it was
+// unmarked before (true exactly once per index per generation).
+func (m *Marker) TryMark(i int32) bool {
+	if m.stamp[i] == m.cur {
+		return false
+	}
+	m.stamp[i] = m.cur
+	return true
+}
+
+// Marked reports whether i is marked in the current generation.
+func (m *Marker) Marked(i int32) bool { return m.stamp[i] == m.cur }
+
 // slab is one grow-only backing store. Growth swaps in a larger buffer
 // without copying: outstanding slices keep aliasing the old buffer (which
 // stays alive through them), and the region below the current offset in the

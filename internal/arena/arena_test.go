@@ -80,3 +80,47 @@ func TestZeroLengthAlloc(t *testing.T) {
 		t.Fatalf("len = %d, want 0", len(got))
 	}
 }
+
+func TestMarkerGenerations(t *testing.T) {
+	var m Marker
+	m.Grow(4)
+	m.Next()
+	if !m.TryMark(1) {
+		t.Fatal("first TryMark(1) = false, want true")
+	}
+	if m.TryMark(1) {
+		t.Fatal("second TryMark(1) = true, want false")
+	}
+	if !m.Marked(1) || m.Marked(2) {
+		t.Fatalf("Marked: got (1)=%v (2)=%v, want true, false", m.Marked(1), m.Marked(2))
+	}
+	// A new generation empties the set in O(1), no clearing.
+	m.Next()
+	if m.Marked(1) {
+		t.Fatal("Marked(1) = true after Next, want false")
+	}
+	if !m.TryMark(1) {
+		t.Fatal("TryMark(1) = false in fresh generation, want true")
+	}
+}
+
+func TestMarkerGrowPreservesCurrentGeneration(t *testing.T) {
+	var m Marker
+	m.Grow(2)
+	m.Next()
+	m.TryMark(0)
+	m.Grow(8)
+	if !m.Marked(0) {
+		t.Fatal("Grow dropped a current-generation mark")
+	}
+	if m.Marked(5) {
+		t.Fatal("grown index 5 reads marked")
+	}
+	if !m.TryMark(5) {
+		t.Fatal("TryMark(5) = false on grown range, want true")
+	}
+	m.Grow(4) // shrinking request is a no-op
+	if !m.Marked(5) {
+		t.Fatal("no-op Grow dropped a mark")
+	}
+}

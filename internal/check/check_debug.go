@@ -25,6 +25,14 @@ func Coarsening(where string, fine, coarse *graph.Graph, cmap []int32) {
 	}
 }
 
+// GainCache panics if the boundary refiner's incremental id/ed/nfr tables
+// or its boundary set disagree with a from-scratch re-derivation.
+func GainCache(where string, g *graph.Graph, part []int32, id, ed []int64, nfr, bnd, bndptr []int32) {
+	if err := VerifyGainCache(g, part, id, ed, nfr, bnd, bndptr); err != nil {
+		panic("mcdebug: " + where + ": " + err.Error())
+	}
+}
+
 // Partition panics if part is not a valid k-way partitioning of g, or if
 // the supplied incremental aggregates (wantCut when >= 0, wantPwgts when
 // non-nil) disagree with a from-scratch recomputation.

@@ -17,6 +17,10 @@ func Graph(where string, g *graph.Graph) {}
 // Coarsening is a no-op without the mcdebug build tag.
 func Coarsening(where string, fine, coarse *graph.Graph, cmap []int32) {}
 
+// GainCache is a no-op without the mcdebug build tag.
+func GainCache(where string, g *graph.Graph, part []int32, id, ed []int64, nfr, bnd, bndptr []int32) {
+}
+
 // Partition is a no-op without the mcdebug build tag.
 func Partition(where string, g *graph.Graph, part []int32, k int, wantCut int64, wantPwgts []int64) {
 }

@@ -83,6 +83,62 @@ func VerifyCoarsening(fine, coarse *graph.Graph, cmap []int32) error {
 	return nil
 }
 
+// VerifyGainCache checks the boundary refiner's incrementally maintained
+// tables against a from-scratch re-derivation: for every vertex, id/ed must
+// equal the summed edge weight to same-/other-subdomain neighbors, nfr the
+// foreign-neighbor count, and the bnd/bndptr pair must be a consistent
+// boundary set containing exactly the vertices with nfr > 0.
+func VerifyGainCache(g *graph.Graph, part []int32, id, ed []int64, nfr, bnd, bndptr []int32) error {
+	n := g.NumVertices()
+	if len(id) != n || len(ed) != n || len(nfr) != n || len(bndptr) != n {
+		return fmt.Errorf("check: gain-cache table lengths %d/%d/%d/%d, want %d",
+			len(id), len(ed), len(nfr), len(bndptr), n)
+	}
+	inBnd := make([]bool, n)
+	for i, v := range bnd {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("check: bnd[%d] = %d out of [0,%d)", i, v, n)
+		}
+		if inBnd[v] {
+			return fmt.Errorf("check: vertex %d appears twice in the boundary list", v)
+		}
+		inBnd[v] = true
+		if bndptr[v] != int32(i) {
+			return fmt.Errorf("check: bndptr[%d] = %d, but vertex sits at bnd[%d]", v, bndptr[v], i)
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		a := part[v]
+		var wantID, wantED int64
+		wantNfr := int32(0)
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if part[u] == a {
+				wantID += int64(wgt[i])
+			} else {
+				wantED += int64(wgt[i])
+				wantNfr++
+			}
+		}
+		if id[v] != wantID {
+			return fmt.Errorf("check: cached id[%d] = %d, scratch re-derivation %d", v, id[v], wantID)
+		}
+		if ed[v] != wantED {
+			return fmt.Errorf("check: cached ed[%d] = %d, scratch re-derivation %d", v, ed[v], wantED)
+		}
+		if nfr[v] != wantNfr {
+			return fmt.Errorf("check: cached nfr[%d] = %d, scratch re-derivation %d", v, nfr[v], wantNfr)
+		}
+		if want := wantNfr > 0; inBnd[v] != want {
+			return fmt.Errorf("check: vertex %d boundary membership %v, scratch re-derivation %v", v, inBnd[v], want)
+		}
+		if !inBnd[v] && bndptr[v] != -1 {
+			return fmt.Errorf("check: interior vertex %d has bndptr %d, want -1", v, bndptr[v])
+		}
+	}
+	return nil
+}
+
 // VerifyPartition checks that part is a valid k-way partitioning of g and,
 // when the caller supplies them, that the partitioner's incrementally
 // maintained aggregates agree with a from-scratch recomputation: wantCut

@@ -10,6 +10,7 @@
 package coarsen
 
 import (
+	"repro/internal/arena"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -44,13 +45,15 @@ type Options struct {
 // instance sized at the finest level serves a whole BuildHierarchy run:
 // every coarser level needs strictly smaller slices of the same arrays, so
 // the per-level allocations collapse to the retained outputs (cmap and the
-// coarse CSR) only.
+// coarse CSR) only. The dedup marker is an epoch-stamped arena.Marker: one
+// generation per coarse vertex, no per-level clearing at all.
 type scratch struct {
-	match    []int32 // mate per vertex (the matchInto result)
-	order    []int32 // random visit order
-	mark     []int32 // timestamped dedup marker, indexed by coarse vertex
-	slot     []int32 // output index of a coarse neighbor's merged edge
-	next     []int32 // per-coarse-vertex fill cursor
+	match    []int32      // mate per vertex (the matchInto result)
+	order    []int32      // random visit order
+	marker   arena.Marker // parallel-edge dedup, indexed by coarse vertex
+	slot     []int32      // merged-edge buffer index of a coarse neighbor
+	bufAdj   []int32      // merged coarse edges, fine-edge capacity
+	bufWgt   []int32
 	combined []int64 // Ncon-wide tie-break accumulator
 }
 
@@ -58,11 +61,18 @@ func newScratch(n, ncon int) *scratch {
 	return &scratch{
 		match:    make([]int32, n),
 		order:    make([]int32, n),
-		mark:     make([]int32, n),
 		slot:     make([]int32, n),
-		next:     make([]int32, n),
 		combined: make([]int64, ncon),
 	}
+}
+
+// edgeBuf returns the pooled merged-edge buffers with room for nnz entries.
+func (s *scratch) edgeBuf(nnz int) ([]int32, []int32) {
+	if cap(s.bufAdj) < nnz {
+		s.bufAdj = make([]int32, nnz)
+		s.bufWgt = make([]int32, nnz)
+	}
+	return s.bufAdj[:nnz], s.bufWgt[:nnz]
 }
 
 // Match computes a heavy-edge matching of g. The result maps every vertex v
@@ -174,91 +184,59 @@ func contractInto(g *graph.Graph, match []int32, s *scratch) (*graph.Graph, []in
 		}
 	}
 
-	// Two passes over fine edges: count distinct coarse neighbors, then
-	// fill. A timestamped marker array deduplicates parallel edges per
-	// coarse vertex in O(1) each.
-	mark := s.mark[:cn]
+	// One pass over the fine edges: coarse vertices are produced in
+	// ascending order, so their merged adjacency lists can be emitted
+	// contiguously into a pooled fine-edge-capacity buffer and the exact
+	// coarse CSR is then a prefix copy — no counting pre-pass. The
+	// epoch-stamped marker (one generation per coarse vertex) deduplicates
+	// parallel edges with no clearing between levels or passes.
+	s.marker.Grow(int(cn))
 	slot := s.slot[:cn]
-	for i := range mark {
-		mark[i] = -1
-	}
+	bufAdj, bufWgt := s.edgeBuf(len(g.Adjncy))
 	cxadj := make([]int32, cn+1)
+	cur := int32(0)
 	for v := int32(0); int(v) < n; v++ {
 		if match[v] < v {
 			continue
 		}
 		cv := cmap[v]
-		deg := int32(0)
-		deg += countNew(g, v, cmap, cv, mark)
+		s.marker.Next()
+		cur = fillEdges(g, v, cmap, cv, &s.marker, slot, bufAdj, bufWgt, cur)
 		if match[v] != v {
-			deg += countNew(g, match[v], cmap, cv, mark)
+			cur = fillEdges(g, match[v], cmap, cv, &s.marker, slot, bufAdj, bufWgt, cur)
 		}
-		cxadj[cv+1] = deg
+		cxadj[cv+1] = cur
 	}
-	for i := int32(0); i < cn; i++ {
-		cxadj[i+1] += cxadj[i]
-	}
-	cadjncy := make([]int32, cxadj[cn])
-	cadjwgt := make([]int32, cxadj[cn])
-	for i := range mark {
-		mark[i] = -1
-	}
-	next := s.next[:cn]
-	copy(next, cxadj[:cn])
-	for v := int32(0); int(v) < n; v++ {
-		if match[v] < v {
-			continue
-		}
-		cv := cmap[v]
-		fillEdges(g, v, cmap, cv, mark, slot, next, cadjncy, cadjwgt)
-		if match[v] != v {
-			fillEdges(g, match[v], cmap, cv, mark, slot, next, cadjncy, cadjwgt)
-		}
-	}
+	cadjncy := make([]int32, cur)
+	cadjwgt := make([]int32, cur)
+	copy(cadjncy, bufAdj[:cur])
+	copy(cadjwgt, bufWgt[:cur])
 
 	coarse := &graph.Graph{Ncon: m, Xadj: cxadj, Adjncy: cadjncy, Adjwgt: cadjwgt, Vwgt: cvwgt}
 	return coarse, cmap
 }
 
-// countNew counts coarse neighbors of fine vertex v not yet marked with cv.
-func countNew(g *graph.Graph, v int32, cmap []int32, cv int32, mark []int32) int32 {
-	adj, _ := g.Neighbors(v)
-	deg := int32(0)
-	for _, u := range adj {
-		cu := cmap[u]
-		if cu == cv {
-			continue
-		}
-		if mark[cu] != cv {
-			mark[cu] = cv
-			deg++
-		}
-	}
-	return deg
-}
-
 // fillEdges appends/merges fine vertex v's edges into coarse vertex cv's
-// adjacency. mark[cu]==cv (valid because the fill pass visits coarse
-// vertices in strictly increasing order after a reset) with slot[cu]
-// holding the output index enables weight merging of parallel edges.
-func fillEdges(g *graph.Graph, v int32, cmap []int32, cv int32, mark, slot, next, cadjncy, cadjwgt []int32) {
+// adjacency at buf[cur:], returning the advanced cursor. A marked coarse
+// neighbor (within cv's marker generation) has its buffer index in slot, so
+// parallel edges merge by weight in O(1).
+func fillEdges(g *graph.Graph, v int32, cmap []int32, cv int32, mk *arena.Marker, slot, bufAdj, bufWgt []int32, cur int32) int32 {
 	adj, wgt := g.Neighbors(v)
-	filled := cv
 	for i, u := range adj {
 		cu := cmap[u]
 		if cu == cv {
 			continue
 		}
-		if mark[cu] == filled {
-			cadjwgt[slot[cu]] += wgt[i]
+		if mk.TryMark(cu) {
+			slot[cu] = cur
+			bufAdj[cur] = cu
+			bufWgt[cur] = wgt[i]
+			cur++
 		} else {
-			mark[cu] = filled
-			slot[cu] = next[cv]
-			cadjncy[next[cv]] = cu
-			cadjwgt[next[cv]] = wgt[i]
-			next[cv]++
+			bufWgt[slot[cu]] += wgt[i]
 		}
 	}
+	return cur
 }
 
 // Level is one rung of the multilevel hierarchy: the graph at this level

@@ -1,0 +1,69 @@
+// Package gaincache holds the per-vertex gain bookkeeping shared by the
+// serial k-way refiner (internal/kwayrefine) and the parallel refiner's
+// local proposal passes (internal/prefine): a marker-based accumulator of
+// one vertex's edge weight toward each adjacent foreign subdomain.
+//
+// The accumulator is deliberately order-preserving: Touched returns the
+// foreign subdomains in first-occurrence order of the vertex's adjacency
+// list, which is the candidate iteration order the refiners' tie-breaking
+// rules depend on (see DESIGN.md, "Boundary refinement contract"). Both
+// refiners gather rows only for vertices they are about to evaluate, so the
+// cost of one gather is O(degree), never O(k).
+package gaincache
+
+// Rows accumulates one vertex's external edge weight per foreign subdomain.
+// A Rows is sized for k subdomains and reused across vertices: Clear (lazy,
+// O(touched)) resets the previous vertex's entries, then Add accumulates the
+// next vertex's. Single-goroutine, like every refiner scratch structure.
+type Rows struct {
+	edw     []int64
+	mark    []int32
+	touched []int32
+}
+
+// NewRows returns an accumulator for k subdomains.
+func NewRows(k int) *Rows {
+	mark := make([]int32, k)
+	for i := range mark {
+		mark[i] = -1
+	}
+	return &Rows{
+		edw:     make([]int64, k),
+		mark:    mark,
+		touched: make([]int32, 0, k),
+	}
+}
+
+// Clear resets the entries touched by the previous vertex.
+func (r *Rows) Clear() {
+	for _, b := range r.touched {
+		r.mark[b] = -1
+		r.edw[b] = 0
+	}
+	r.touched = r.touched[:0]
+}
+
+// Add accumulates edge weight w from vertex v toward foreign subdomain b.
+// v is the stamping key: the first Add of (v, b) appends b to the touched
+// list. Callers must Clear between vertices.
+func (r *Rows) Add(v, b int32, w int64) {
+	if r.mark[b] != v {
+		r.mark[b] = v
+		r.touched = append(r.touched, b)
+	}
+	r.edw[b] += w
+}
+
+// Touched returns the current vertex's foreign subdomains in first-occurrence
+// adjacency order. The slice aliases internal state; it is valid until the
+// next Clear.
+func (r *Rows) Touched() []int32 { return r.touched }
+
+// Weight returns the accumulated edge weight toward subdomain b (zero for
+// subdomains not touched by the current vertex).
+func (r *Rows) Weight(b int32) int64 { return r.edw[b] }
+
+// Marked reports whether subdomain b was touched by vertex v's gather. It is
+// how the balance passes skip already-evaluated adjacent subdomains in their
+// consider-all fallback loops.
+func (r *Rows) Marked(v, b int32) bool { return r.mark[b] == v }

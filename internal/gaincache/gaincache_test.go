@@ -1,0 +1,52 @@
+package gaincache
+
+import "testing"
+
+func TestRowsAccumulateInFirstOccurrenceOrder(t *testing.T) {
+	r := NewRows(6)
+	v := int32(7)
+	// Adjacency-scan order 3, 1, 3, 5: Touched must preserve first
+	// occurrence — the candidate iteration order the refiners' tie-breaks
+	// depend on — and repeated subdomains must merge by weight.
+	r.Add(v, 3, 10)
+	r.Add(v, 1, 2)
+	r.Add(v, 3, 4)
+	r.Add(v, 5, 1)
+	got := r.Touched()
+	want := []int32{3, 1, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Touched = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Touched = %v, want %v", got, want)
+		}
+	}
+	if w := r.Weight(3); w != 14 {
+		t.Errorf("Weight(3) = %d, want 14", w)
+	}
+	if w := r.Weight(1); w != 2 {
+		t.Errorf("Weight(1) = %d, want 2", w)
+	}
+	if !r.Marked(v, 5) || r.Marked(v, 0) {
+		t.Errorf("Marked: got (5)=%v (0)=%v, want true, false", r.Marked(v, 5), r.Marked(v, 0))
+	}
+}
+
+func TestRowsClearResetsBetweenVertices(t *testing.T) {
+	r := NewRows(4)
+	r.Add(0, 2, 9)
+	r.Clear()
+	if len(r.Touched()) != 0 {
+		t.Fatalf("Touched after Clear = %v, want empty", r.Touched())
+	}
+	if w := r.Weight(2); w != 0 {
+		t.Fatalf("Weight(2) after Clear = %d, want 0", w)
+	}
+	// Vertex 0 again: the -1 reset (not a stale stamp) must make the first
+	// Add re-append the subdomain.
+	r.Add(0, 2, 5)
+	if len(r.Touched()) != 1 || r.Weight(2) != 5 {
+		t.Fatalf("after re-Add: Touched=%v Weight(2)=%d, want [2], 5", r.Touched(), r.Weight(2))
+	}
+}

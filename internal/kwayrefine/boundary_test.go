@@ -1,0 +1,154 @@
+package kwayrefine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/initpart"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// The boundary refinement contract (DESIGN.md): the boundary-driven refiner
+// with its incremental gain cache and connectivity-row cache is pinned
+// BIT-IDENTICAL to the full-scan reference — same final labels, same cut,
+// same move count — for every graph, constraint count, k, seed, and pass
+// budget. Both consume the identical random permutation stream; only the
+// skip test and the gain gathering differ, and a cached row is only ever
+// used when it provably equals a fresh adjacency scan.
+
+// runBoth refines two copies of part with the boundary-driven default and
+// the full-scan reference under identical options and RNG streams, and
+// fails the test on any divergence.
+func runBoth(t *testing.T, tag string, g *graph.Graph, part []int32, k, passes int, seed uint64, balance bool) {
+	t.Helper()
+	partA := append([]int32(nil), part...)
+	partB := append([]int32(nil), part...)
+	refA := NewRefiner(k, g.Ncon, Options{Tol: 0.05, Passes: passes})
+	refB := NewRefiner(k, g.Ncon, Options{Tol: 0.05, Passes: passes, FullScan: true})
+	var mvA, mvB int
+	if balance {
+		mvA = refA.Balance(g, partA, rng.New(seed))
+		mvB = refB.Balance(g, partB, rng.New(seed))
+	} else {
+		mvA = refA.Refine(g, partA, rng.New(seed))
+		mvB = refB.Refine(g, partB, rng.New(seed))
+	}
+	if mvA != mvB {
+		t.Errorf("%s: moves diverge: boundary-driven %d, full-scan %d", tag, mvA, mvB)
+	}
+	if cutA, cutB := refA.Cut(), refB.Cut(); cutA != cutB {
+		t.Errorf("%s: tracked cut diverges: boundary-driven %d, full-scan %d", tag, cutA, cutB)
+	}
+	if cutA, want := refA.Cut(), metrics.EdgeCut(g, partA); cutA != want {
+		t.Errorf("%s: tracked cut %d != recomputed cut %d", tag, cutA, want)
+	}
+	for v := range partA {
+		if partA[v] != partB[v] {
+			t.Fatalf("%s: labels diverge first at vertex %d: boundary-driven %d, full-scan %d",
+				tag, v, partA[v], partB[v])
+		}
+	}
+}
+
+// TestBoundaryDrivenMatchesFullScan sweeps a (mesh, m, k, seed, passes)
+// grid. Run under -race in CI; the meshes are kept modest for that.
+func TestBoundaryDrivenMatchesFullScan(t *testing.T) {
+	meshes := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"mrng-10x10x10", gen.MRNGLike(10, 10, 10, 5)},
+		{"mrng-16x8x6", gen.MRNGLike(16, 8, 6, 11)},
+	}
+	for _, mesh := range meshes {
+		for _, m := range []int{1, 3} {
+			g := mesh.g
+			if m > 1 {
+				g = gen.Type1(mesh.g, m, 17)
+			}
+			for _, k := range []int{4, 8} {
+				part := initpart.RecursiveBisect(g, k, rng.New(2), initpart.Options{Tol: 0.05})
+				for _, seed := range []uint64{3, 101} {
+					for _, passes := range []int{1, 8} {
+						tag := fmt.Sprintf("%s m=%d k=%d seed=%d passes=%d", mesh.name, m, k, seed, passes)
+						runBoth(t, tag, g, part, k, passes, seed, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundaryBalanceMatchesFullScan pins Balance on a skewed partition,
+// which exercises the balance pass's interior-vertex path (cached id plus
+// O(1) clean-row gathers; interior vertices stay eligible for balance moves).
+func TestBoundaryBalanceMatchesFullScan(t *testing.T) {
+	base := gen.MRNGLike(10, 10, 10, 5)
+	for _, m := range []int{1, 3} {
+		g := base
+		if m > 1 {
+			g = gen.Type1(base, m, 17)
+		}
+		part := initpart.RecursiveBisect(g, 8, rng.New(2), initpart.Options{Tol: 0.05})
+		// Skew: pull ~1/7 of the other subdomains' vertices into part 0.
+		r := rng.New(9)
+		for v := range part {
+			if part[v] != 0 && r.Intn(7) == 0 {
+				part[v] = 0
+			}
+		}
+		if imb := metrics.MaxImbalance(g, part, 8); imb < 1.10 {
+			t.Fatalf("m=%d: injection too weak: %.3f", m, imb)
+		}
+		tag := fmt.Sprintf("balance m=%d", m)
+		runBoth(t, tag, g, part, 8, 12, 3, true)
+	}
+}
+
+// TestRefineAllocBudget is the committed allocation budget for the
+// boundary-driven refinement hot path: a warm Refiner (tables reserved and
+// seeded once) must refine a level allocation-free — everything it needs is
+// pooled, so the budget is only headroom for incidental runtime churn.
+func TestRefineAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting loop")
+	}
+	g := gen.Type1(gen.MRNGLike(12, 12, 12, 5), 2, 17)
+	part0 := initpart.RecursiveBisect(g, 8, rng.New(2), initpart.Options{Tol: 0.05})
+	ref := NewRefiner(8, g.Ncon, Options{Tol: 0.05, Passes: 4})
+	ref.Reserve(g)
+	part := make([]int32, len(part0))
+	copy(part, part0)
+	ref.Refine(g, part, rng.New(3)) // warm the pooled tables
+
+	const budget = 8.0
+	got := testing.AllocsPerRun(5, func() {
+		copy(part, part0)
+		ref.Refine(g, part, rng.New(3))
+	})
+	t.Logf("warm Refine (n=%d, k=8, m=2): %.0f allocs/op (budget %.0f)",
+		g.NumVertices(), got, budget)
+	if got > budget {
+		t.Errorf("refinement allocations regressed: %.0f/op exceeds the committed budget of %.0f",
+			got, budget)
+	}
+}
+
+func benchRefine(b *testing.B, fullScan bool) {
+	g := gen.Type1(gen.MRNGLike(20, 16, 16, 5), 2, 17)
+	part0 := initpart.RecursiveBisect(g, 8, rng.New(2), initpart.Options{Tol: 0.05})
+	ref := NewRefiner(8, g.Ncon, Options{Tol: 0.05, Passes: 4, FullScan: fullScan})
+	ref.Reserve(g)
+	part := make([]int32, len(part0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(part, part0)
+		ref.Refine(g, part, rng.New(3))
+	}
+}
+
+func BenchmarkRefineBoundary(b *testing.B) { benchRefine(b, false) }
+func BenchmarkRefineFullScan(b *testing.B) { benchRefine(b, true) }

@@ -4,12 +4,24 @@
 // subdomains when the move reduces edge-cut and keeps every one of the m
 // constraints within its balance limit, plus an explicit balancing pass
 // that accepts cut-increasing moves to drain overweight subdomains.
+//
+// Refinement is boundary-driven, as the paper describes ("the vertices that
+// are on the boundary of the partition are visited"): the refiner maintains
+// an explicit boundary set plus per-vertex internal/external edge-weight
+// tables (the gain cache), seeded by one O(m) scan in setup and updated
+// incrementally — only the moved vertex and its neighbors — on every move.
+// A greedy pass therefore costs O(n) for the random permutation plus
+// O(degree) per *boundary* vertex, instead of the O(n + m) full scan of the
+// pre-boundary implementation. The full scan survives as Options.FullScan,
+// the reference implementation the boundary-driven refiner is pinned
+// bit-identical to (see boundary_test.go and DESIGN.md, "Boundary
+// refinement contract").
 package kwayrefine
 
 import (
 	"repro/internal/check"
+	"repro/internal/gaincache"
 	"repro/internal/graph"
-	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/vecw"
@@ -23,14 +35,23 @@ type Options struct {
 	// paper notes the iteration count is upper bounded but stops early at
 	// a local minimum.
 	Passes int
+	// FullScan selects the reference full-scan implementation: every pass
+	// visits all n vertices and re-derives each vertex's gain rows and
+	// internal degree from the adjacency list instead of consulting the
+	// boundary set and the cached tables. It exists as the bit-identity
+	// baseline for the boundary-driven default (property-tested in
+	// boundary_test.go) and as an ablation; production callers leave it
+	// false.
+	FullScan bool
 	// Stop, when non-nil, is polled at every pass boundary; once it
 	// returns true Refine/Balance return early with the moves made so
 	// far. The partitioning is always left in a consistent (if less
 	// refined) state, so cancellation mid-uncoarsening is safe.
 	Stop func() bool
 	// Trace, when non-nil, records one "refine.pass" span per refinement
-	// pass (the observability hook; see DESIGN.md, "Observability"). nil
-	// disables all recording.
+	// pass (the observability hook; see DESIGN.md, "Observability"),
+	// attributed with the boundary size at pass start and the gain-cache
+	// entries rewritten during the pass. nil disables all recording.
 	Trace *trace.Rank
 }
 
@@ -44,46 +65,105 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Refiner holds the reusable state for refining partitions of graphs with
-// at most maxVtx vertices into k parts with m constraints.
+// Refiner holds the reusable state for refining partitions of graphs into k
+// parts with m constraints. One Refiner serves a whole uncoarsening
+// hierarchy: its tables grow to the largest graph seen (or to the size given
+// to Reserve) and are re-seeded by setup at every level.
 type Refiner struct {
 	k, m  int
 	opt   Options
 	pwgts []int64 // k*m
 	limit []int64 // k*m
 	avg   []float64
-	// cut is maintained incrementally (each applied move subtracts its
-	// gain). It is seeded by a from-scratch scan only under the mcdebug
-	// build tag, where check.Partition compares it against a scratch
-	// recomputation after every Refine; release builds never read it.
+	// cut is seeded from the external-degree table in setup and maintained
+	// incrementally (each applied move subtracts its gain). Under the
+	// mcdebug build tag check.Partition compares it against a scratch
+	// recomputation after every Refine.
 	cut int64
-	// per-vertex scratch for external-degree accumulation
-	edw     []int64
-	mark    []int32
-	touched []int32
-	order   []int32
+	// rows is the per-vertex gain-row accumulator (edge weight toward each
+	// adjacent foreign subdomain), shared structurally with the parallel
+	// refiner via internal/gaincache.
+	rows  *gaincache.Rows
+	order []int32
+
+	// The gain cache: per-vertex internal (same-subdomain) and external
+	// edge weight, foreign-neighbor count, and the boundary set it induces
+	// (bndptr[v] is v's index in bnd, -1 for interior vertices). Seeded by
+	// setup with one O(m) scan; apply rewrites only the moved vertex's and
+	// its neighbors' entries.
+	id, ed  []int64
+	nfr     []int32
+	bnd     []int32
+	bndptr  []int32
+	updates int64 // gain-cache entries rewritten by apply (trace counter)
+
+	// The connectivity-row cache: v's gain rows (foreign subdomain, summed
+	// edge weight) in first-occurrence adjacency order, stored at offsets
+	// Xadj[v]..Xadj[v]+rowLen[v] so capacity never runs out. rowLen[v] < 0
+	// marks the entry stale; apply invalidates the moved vertex and all of
+	// its neighbors (any of their rows gain/lose the mover's edge weight),
+	// so a clean entry is always exactly what a fresh adjacency scan would
+	// re-derive — including the iteration order the tie-breaks depend on.
+	rowPart []int32
+	rowWgt  []int64
+	rowLen  []int32
 }
 
 // NewRefiner creates a refiner for k parts and m constraints.
 func NewRefiner(k, m int, opt Options) *Refiner {
 	return &Refiner{
 		k: k, m: m, opt: opt.withDefaults(),
-		pwgts:   make([]int64, k*m),
-		limit:   make([]int64, k*m),
-		avg:     make([]float64, m),
-		edw:     make([]int64, k),
-		mark:    make([]int32, k),
-		touched: make([]int32, 0, k),
+		pwgts: make([]int64, k*m),
+		limit: make([]int64, k*m),
+		avg:   make([]float64, m),
+		rows:  gaincache.NewRows(k),
 	}
 }
 
-// setup recomputes subdomain weights, averages and limits for g/part.
+// Reserve grows the per-vertex and per-edge tables to the given graph's
+// size, so refining a hierarchy after announcing the finest level up front
+// (as internal/serial does) never reallocates per level.
+func (r *Refiner) Reserve(g *graph.Graph) {
+	r.grow(g.NumVertices(), len(g.Adjncy))
+}
+
+func (r *Refiner) grow(n, nnz int) {
+	if cap(r.order) < n {
+		r.order = make([]int32, 0, n)
+		r.id = make([]int64, 0, n)
+		r.ed = make([]int64, 0, n)
+		r.nfr = make([]int32, 0, n)
+		r.bnd = make([]int32, 0, n)
+		r.bndptr = make([]int32, 0, n)
+		r.rowLen = make([]int32, 0, n)
+	}
+	if cap(r.rowPart) < nnz {
+		r.rowPart = make([]int32, nnz)
+		r.rowWgt = make([]int64, nnz)
+	}
+}
+
+// setup recomputes subdomain weights, averages and limits for g/part, seeds
+// the gain cache (id/ed/nfr and the boundary set) with one scan over the
+// edges, and sizes the per-vertex scratch — the single shared preamble for
+// every entry point (Refine and Balance).
 func (r *Refiner) setup(g *graph.Graph, part []int32) {
 	for i := range r.pwgts {
 		r.pwgts[i] = 0
 	}
 	n := g.NumVertices()
 	m := r.m
+	r.grow(n, len(g.Adjncy))
+	r.order = r.order[:n]
+	r.id = r.id[:n]
+	r.ed = r.ed[:n]
+	r.nfr = r.nfr[:n]
+	r.bndptr = r.bndptr[:n]
+	r.bnd = r.bnd[:0]
+	r.rowLen = r.rowLen[:n]
+	for i := range r.rowLen {
+		r.rowLen[i] = -1 // rows are re-derived lazily per level
+	}
 	for v := 0; v < n; v++ {
 		vecw.Add(r.pwgts[int(part[v])*m:(int(part[v])+1)*m], g.Vwgt[v*m:(v+1)*m])
 	}
@@ -95,18 +175,44 @@ func (r *Refiner) setup(g *graph.Graph, part []int32) {
 			r.limit[s*m+c] = lim
 		}
 	}
-	for i := range r.mark {
-		r.mark[i] = -1
+
+	var extern int64
+	for v := int32(0); int(v) < n; v++ {
+		a := part[v]
+		var id, ed int64
+		nfr := int32(0)
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if part[u] == a {
+				id += int64(wgt[i])
+			} else {
+				ed += int64(wgt[i])
+				nfr++
+			}
+		}
+		r.id[v], r.ed[v], r.nfr[v] = id, ed, nfr
+		if nfr > 0 {
+			r.bndptr[v] = int32(len(r.bnd))
+			r.bnd = append(r.bnd, v)
+		} else {
+			r.bndptr[v] = -1
+		}
+		extern += ed
 	}
-	if check.Enabled {
-		r.cut = metrics.EdgeCut(g, part)
-	}
+	// Every cut edge contributes its weight to both endpoints' external
+	// degree, so the table seed yields the cut for free.
+	r.cut = extern / 2
+	r.updates = 0
 }
 
-// Cut returns the edge-cut as maintained incrementally across moves. Only
-// meaningful under the mcdebug build tag (setup seeds it from scratch);
-// release builds never seed it.
+// Cut returns the edge-cut as seeded by setup and maintained incrementally
+// across moves; valid after Refine/Balance.
 func (r *Refiner) Cut() int64 { return r.cut }
+
+// BoundarySize returns the current number of boundary vertices (vertices
+// with at least one neighbor in another subdomain); valid after
+// Refine/Balance.
+func (r *Refiner) BoundarySize() int { return len(r.bnd) }
 
 // PartWeights returns a copy of the current k*m subdomain weight vectors;
 // valid after Refine/Balance.
@@ -119,21 +225,17 @@ func (r *Refiner) PartWeights() []int64 {
 // exhausted. It returns the number of vertex moves made.
 func (r *Refiner) Refine(g *graph.Graph, part []int32, rand *rng.RNG) int {
 	r.setup(g, part)
-	n := g.NumVertices()
-	if cap(r.order) < n {
-		r.order = make([]int32, n)
-	}
-	r.order = r.order[:n]
-
 	totalMoves := 0
 	for pass := 0; pass < r.opt.Passes; pass++ {
 		if r.opt.Stop != nil && r.opt.Stop() {
 			break
 		}
+		updates0 := r.updates
 		if r.opt.Trace != nil {
 			r.opt.Trace.Begin("refine.pass",
 				trace.I64("pass", int64(pass)),
-				trace.I64("n", int64(n)))
+				trace.I64("n", int64(g.NumVertices())),
+				trace.I64("boundary_n", int64(len(r.bnd))))
 		}
 		moves := 0
 		if r.imbalanced() {
@@ -142,7 +244,13 @@ func (r *Refiner) Refine(g *graph.Graph, part []int32, rand *rng.RNG) int {
 		moves += r.greedyPass(g, part, rand)
 		totalMoves += moves
 		if r.opt.Trace != nil {
-			r.opt.Trace.End(trace.I64("moves", int64(moves)))
+			r.opt.Trace.End(
+				trace.I64("moves", int64(moves)),
+				trace.I64("gain_cache_updates", r.updates-updates0))
+		}
+		if check.Enabled {
+			check.GainCache("kwayrefine: after refine pass", g, part,
+				r.id, r.ed, r.nfr, r.bnd, r.bndptr)
 		}
 		if moves == 0 {
 			break
@@ -155,11 +263,6 @@ func (r *Refiner) Refine(g *graph.Graph, part []int32, rand *rng.RNG) int {
 // too imbalanced for greedy refinement to help (ablation 4 harness).
 func (r *Refiner) Balance(g *graph.Graph, part []int32, rand *rng.RNG) int {
 	r.setup(g, part)
-	n := g.NumVertices()
-	if cap(r.order) < n {
-		r.order = make([]int32, n)
-	}
-	r.order = r.order[:n]
 	total := 0
 	for pass := 0; pass < r.opt.Passes && r.imbalanced(); pass++ {
 		if r.opt.Stop != nil && r.opt.Stop() {
@@ -167,6 +270,10 @@ func (r *Refiner) Balance(g *graph.Graph, part []int32, rand *rng.RNG) int {
 		}
 		moves := r.balancePass(g, part, rand)
 		total += moves
+		if check.Enabled {
+			check.GainCache("kwayrefine: after balance pass", g, part,
+				r.id, r.ed, r.nfr, r.bnd, r.bndptr)
+		}
 		if moves == 0 {
 			break
 		}
@@ -192,23 +299,37 @@ func (r *Refiner) imbalanced() bool {
 
 // greedyPass visits vertices in random order and applies the best
 // cut-reducing (or cut-neutral, balance-improving) legal move for each
-// boundary vertex. Returns the number of moves.
+// boundary vertex. The permutation always covers all n vertices — the RNG
+// stream is part of the determinism contract — but the boundary-driven path
+// skips interior vertices with one O(1) boundary-set lookup where the
+// full-scan reference pays O(degree) to rediscover that they are interior.
+// Returns the number of moves.
 func (r *Refiner) greedyPass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 	rand.Perm(r.order)
 	m := r.m
 	moves := 0
 	for _, v := range r.order {
 		a := part[v]
-		id, ok := r.gatherExternal(g, part, v)
-		if !ok {
-			continue // interior vertex
+		var id int64
+		if r.opt.FullScan {
+			var boundary bool
+			id, boundary = r.gatherScan(g, part, v)
+			if !boundary {
+				continue
+			}
+		} else {
+			if r.bndptr[v] < 0 {
+				continue // interior vertex
+			}
+			r.gatherRows(g, part, v)
+			id = r.id[v]
 		}
 		vw := g.VertexWeight(v)
 		bestB := int32(-1)
 		var bestGain int64
 		bestBal := 0.0
-		for _, b := range r.touched {
-			gain := r.edw[b] - id
+		for _, b := range r.rows.Touched() {
+			gain := r.rows.Weight(b) - id
 			if gain < 0 || (bestB >= 0 && gain < bestGain) {
 				continue
 			}
@@ -224,7 +345,7 @@ func (r *Refiner) greedyPass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 			}
 		}
 		if bestB >= 0 && bestB != a {
-			r.apply(part, v, a, bestB, vw, bestGain)
+			r.apply(g, part, v, a, bestB, vw, bestGain)
 			moves++
 		}
 	}
@@ -234,7 +355,10 @@ func (r *Refiner) greedyPass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 // balancePass drains overweight subdomains: every vertex in an overweight
 // subdomain may be moved — regardless of edge-cut gain — to the adjacent
 // (or, failing that, any) subdomain that can take it, preferring the
-// smallest cut damage. Returns the number of moves.
+// smallest cut damage. Interior vertices of overweight subdomains are
+// eligible too (they become fully exposed), so the pass cannot filter
+// through the boundary set; it does use the cache to skip the adjacency
+// scan for them. Returns the number of moves.
 func (r *Refiner) balancePass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 	rand.Perm(r.order)
 	m := r.m
@@ -245,26 +369,34 @@ func (r *Refiner) balancePass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 			continue
 		}
 		vw := g.VertexWeight(v)
-		id, _ := r.gatherExternal(g, part, v)
+		var id int64
+		if r.opt.FullScan {
+			id, _ = r.gatherScan(g, part, v)
+		} else {
+			// Interior vertices (overweight subdomains may drain them too)
+			// gather an empty row set — O(1) when the cache entry is clean.
+			r.gatherRows(g, part, v)
+			id = r.id[v]
+		}
 		bestB := int32(-1)
 		var bestGain int64
 		bestBal := 0.0
-		for _, b := range r.touched {
-			if gain := r.edw[b] - id; r.tryCandidate(v, a, b, vw, gain, &bestB, &bestGain, &bestBal) {
+		for _, b := range r.rows.Touched() {
+			if gain := r.rows.Weight(b) - id; r.tryCandidate(a, b, vw, gain, &bestB, &bestGain, &bestBal) {
 			}
 		}
 		if bestB < 0 {
 			// No adjacent subdomain can take v: consider all subdomains
 			// (gain is then -id: v becomes fully exposed).
 			for b := int32(0); int(b) < r.k; b++ {
-				if b == a || r.mark[b] == v {
+				if b == a || r.rows.Marked(v, b) {
 					continue
 				}
-				r.tryCandidate(v, a, b, vw, -id, &bestB, &bestGain, &bestBal)
+				r.tryCandidate(a, b, vw, -id, &bestB, &bestGain, &bestBal)
 			}
 		}
 		if bestB >= 0 {
-			r.apply(part, v, a, bestB, vw, bestGain)
+			r.apply(g, part, v, a, bestB, vw, bestGain)
 			moves++
 			if !vecw.AnyOver(r.pwgts[int(a)*m:(int(a)+1)*m], r.limit[int(a)*m:(int(a)+1)*m]) &&
 				!r.imbalanced() {
@@ -277,7 +409,7 @@ func (r *Refiner) balancePass(g *graph.Graph, part []int32, rand *rng.RNG) int {
 
 // tryCandidate updates the running best (b, gain) if moving v (weight vw)
 // from a to b is legal and better: balance improvement first, then gain.
-func (r *Refiner) tryCandidate(v, a, b int32, vw []int32, gain int64, bestB *int32, bestGain *int64, bestBal *float64) bool {
+func (r *Refiner) tryCandidate(a, b int32, vw []int32, gain int64, bestB *int32, bestGain *int64, bestBal *float64) bool {
 	m := r.m
 	if !vecw.FitsUnder(r.pwgts[int(b)*m:(int(b)+1)*m], vw, r.limit[int(b)*m:(int(b)+1)*m]) {
 		return false
@@ -293,30 +425,124 @@ func (r *Refiner) tryCandidate(v, a, b int32, vw []int32, gain int64, bestB *int
 	return false
 }
 
-// gatherExternal accumulates v's edge weight per foreign subdomain into
-// r.edw/r.touched (marker-based, O(deg)) and returns the internal degree.
-// ok is false for interior vertices (no foreign neighbors).
-func (r *Refiner) gatherExternal(g *graph.Graph, part []int32, v int32) (id int64, ok bool) {
-	for _, b := range r.touched {
-		r.mark[b] = -1
-		r.edw[b] = 0
+// gatherRows loads v's gain rows into r.rows: from the connectivity-row
+// cache when the entry is clean (O(rows), typically a handful of entries),
+// else by scanning the adjacency list and refreshing the cache (O(degree)).
+// The internal degree is not recomputed either way — boundary-driven
+// callers read the cached r.id[v], which apply keeps equal to what a scan
+// would yield (mcdebug validates the equality after every pass).
+func (r *Refiner) gatherRows(g *graph.Graph, part []int32, v int32) {
+	r.rows.Clear()
+	base := g.Xadj[v]
+	if rn := r.rowLen[v]; rn >= 0 {
+		for i := int32(0); i < rn; i++ {
+			r.rows.Add(v, r.rowPart[base+i], r.rowWgt[base+i])
+		}
+		return
 	}
-	r.touched = r.touched[:0]
 	a := part[v]
 	adj, wgt := g.Neighbors(v)
 	for i, u := range adj {
-		b := part[u]
-		if b == a {
-			id += int64(wgt[i])
-			continue
+		if b := part[u]; b != a {
+			r.rows.Add(v, b, int64(wgt[i]))
 		}
-		if r.mark[b] != v {
-			r.mark[b] = v
-			r.touched = append(r.touched, b)
-		}
-		r.edw[b] += int64(wgt[i])
 	}
-	return id, len(r.touched) > 0
+	touched := r.rows.Touched()
+	for i, b := range touched {
+		r.rowPart[base+int32(i)] = b
+		r.rowWgt[base+int32(i)] = r.rows.Weight(b)
+	}
+	r.rowLen[v] = int32(len(touched))
+	r.updates += int64(len(touched))
+}
+
+// gatherScan is the full-scan reference gather: rows plus a from-scratch
+// internal degree, with boundary-ness decided by the scan rather than the
+// boundary set. Exactly the pre-boundary implementation's per-vertex work.
+func (r *Refiner) gatherScan(g *graph.Graph, part []int32, v int32) (id int64, boundary bool) {
+	r.rows.Clear()
+	a := part[v]
+	adj, wgt := g.Neighbors(v)
+	for i, u := range adj {
+		if b := part[u]; b != a {
+			r.rows.Add(v, b, int64(wgt[i]))
+		} else {
+			id += int64(wgt[i])
+		}
+	}
+	return id, len(r.rows.Touched()) > 0
+}
+
+// apply commits the move of v (weight vw, cut reduction gain) from a to b
+// and repairs the gain cache: v's own id/ed/nfr are rebuilt from its
+// adjacency, each neighbor's entry is adjusted by the edge it shares with v,
+// and boundary membership is updated where a foreign-neighbor count crossed
+// zero. O(degree(v)) total — the incremental update that makes
+// boundary-driven passes sound.
+func (r *Refiner) apply(g *graph.Graph, part []int32, v, a, b int32, vw []int32, gain int64) {
+	m := r.m
+	vecw.Move(r.pwgts[int(a)*m:(int(a)+1)*m], r.pwgts[int(b)*m:(int(b)+1)*m], vw)
+	part[v] = b
+	r.cut -= gain
+
+	var idv, edv int64
+	nfrv := int32(0)
+	adj, wgt := g.Neighbors(v)
+	for i, u := range adj {
+		w := int64(wgt[i])
+		// Every neighbor's rows shift weight from the a-row to the b-row,
+		// so all of them (and v itself, below) go stale.
+		r.rowLen[u] = -1
+		switch part[u] {
+		case b:
+			// v was foreign to u (a != b), now internal.
+			idv += w
+			r.id[u] += w
+			r.ed[u] -= w
+			r.nfr[u]--
+			if r.nfr[u] == 0 {
+				r.bndRemove(u)
+			}
+		case a:
+			// v was internal to u, now foreign.
+			edv += w
+			nfrv++
+			r.id[u] -= w
+			r.ed[u] += w
+			r.nfr[u]++
+			if r.nfr[u] == 1 {
+				r.bndAdd(u)
+			}
+		default:
+			// v was foreign to u before and after: only u's rows change.
+			edv += w
+			nfrv++
+		}
+	}
+	r.id[v], r.ed[v], r.nfr[v] = idv, edv, nfrv
+	r.rowLen[v] = -1
+	if nfrv > 0 {
+		if r.bndptr[v] < 0 {
+			r.bndAdd(v)
+		}
+	} else if r.bndptr[v] >= 0 {
+		r.bndRemove(v)
+	}
+	r.updates += int64(len(adj)) + 1
+}
+
+func (r *Refiner) bndAdd(v int32) {
+	r.bndptr[v] = int32(len(r.bnd))
+	r.bnd = append(r.bnd, v)
+}
+
+func (r *Refiner) bndRemove(v int32) {
+	i := r.bndptr[v]
+	last := r.bnd[len(r.bnd)-1]
+	r.bnd[i] = last
+	r.bndptr[last] = i
+	r.bnd = r.bnd[:len(r.bnd)-1]
+	r.bndptr[v] = -1
 }
 
 // balanceDelta returns the change in Σ_c (load/avg)² over subdomains a and
@@ -336,12 +562,4 @@ func (r *Refiner) balanceDelta(a, b int32, vw []int32) float64 {
 		after += ((wa-w)*(wa-w) + (wb+w)*(wb+w)) / (r.avg[c] * r.avg[c])
 	}
 	return after - before
-}
-
-// apply commits the move of v (weight vw, cut reduction gain) from a to b.
-func (r *Refiner) apply(part []int32, v, a, b int32, vw []int32, gain int64) {
-	m := r.m
-	vecw.Move(r.pwgts[int(a)*m:(int(a)+1)*m], r.pwgts[int(b)*m:(int(b)+1)*m], vw)
-	part[v] = b
-	r.cut -= gain
 }

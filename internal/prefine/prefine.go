@@ -38,6 +38,7 @@ package prefine
 import (
 	"sort"
 
+	"repro/internal/gaincache"
 	"repro/internal/pgraph"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -126,11 +127,10 @@ type Refiner struct {
 	limit []int64
 	avg   []float64
 
-	// scratch
-	edw     []int64
-	mark    []int32
-	touched []int32
-	order   []int32
+	// scratch: rows is the per-vertex gain accumulator shared (as a
+	// structure) with the serial refiner — see internal/gaincache.
+	rows  *gaincache.Rows
+	order []int32
 
 	// proposal buffers
 	propV    []int32
@@ -141,6 +141,9 @@ type Refiner struct {
 	// conflicts counts this rank's tentative moves rolled back by the
 	// reservation protocol (diagnostic; reported on trace spans).
 	conflicts int64
+	// bndSeen counts this rank's boundary vertices seen during the pass's
+	// up-sweep (diagnostic; reported as boundary_n on trace spans).
+	bndSeen int64
 }
 
 // proposed move bookkeeping sizes: inflow and net deltas are k*m each.
@@ -162,13 +165,8 @@ func NewRefiner(dg *pgraph.DGraph, part []int32, k int, opt Options) *Refiner {
 		pwgts:     make([]int64, k*m),
 		limit:     make([]int64, k*m),
 		avg:       make([]float64, m),
-		edw:       make([]int64, k),
-		mark:      make([]int32, k),
-		touched:   make([]int32, 0, k),
+		rows:      gaincache.NewRows(k),
 		order:     make([]int32, dg.NLocal()),
-	}
-	for i := range r.mark {
-		r.mark[i] = -1
 	}
 	for v := 0; v < dg.NLocal(); v++ {
 		vecw.Add(r.pwgts[int(part[v])*m:(int(part[v])+1)*m], dg.Vwgt[v*m:(v+1)*m])
@@ -229,6 +227,7 @@ func (r *Refiner) Refine(rand *rng.RNG) int64 {
 		var conflicts0 int64
 		if r.opt.Trace != nil {
 			conflicts0 = r.conflicts
+			r.bndSeen = 0
 			r.opt.Trace.Begin("refine.pass",
 				trace.I64("pass", int64(pass)),
 				trace.I64("local_n", int64(r.dg.NLocal())))
@@ -265,6 +264,7 @@ func (r *Refiner) Refine(rand *rng.RNG) int64 {
 			r.opt.Trace.End(
 				trace.I64("moves", moves),
 				trace.I64("cut", cut),
+				trace.I64("boundary_n", r.bndSeen),
 				trace.I64("conflicts", r.conflicts-conflicts0))
 		}
 		if moves == 0 {
@@ -425,6 +425,9 @@ func (r *Refiner) round(rand *rng.RNG, kind phaseKind, verts []int32) int64 {
 		}
 		id, boundary := r.gatherExternal(v)
 		work += dg.Degree(int(v))
+		if boundary && kind == phaseUp {
+			r.bndSeen++
+		}
 		if !boundary && kind != phaseBalance {
 			continue
 		}
@@ -432,8 +435,8 @@ func (r *Refiner) round(rand *rng.RNG, kind phaseKind, verts []int32) int64 {
 		bestB := int32(-1)
 		var bestGain int64
 		bestBal := 0.0
-		for _, b := range r.touched {
-			gain := r.edw[b] - id
+		for _, b := range r.rows.Touched() {
+			gain := r.rows.Weight(b) - id
 			if kind != phaseBalance && gain <= 0 {
 				// Unlike the serial greedy pass, zero-gain balance-improving
 				// moves are not worth proposing here: their realized gain
@@ -456,7 +459,7 @@ func (r *Refiner) round(rand *rng.RNG, kind phaseKind, verts []int32) int64 {
 		if bestB < 0 && kind == phaseBalance {
 			// Overweight subdomain with no adjacent relief: consider all.
 			for b := int32(0); int(b) < k; b++ {
-				if b == a || r.mark[b] == v {
+				if b == a || r.rows.Marked(v, b) {
 					continue
 				}
 				gain := -id
@@ -561,11 +564,11 @@ func (r *Refiner) smartSlices() []int64 {
 		a := r.part[v]
 		bestB := int32(-1)
 		var bestGain int64
-		for _, b := range r.touched {
+		for _, b := range r.rows.Touched() {
 			if b == a {
 				continue
 			}
-			if gain := r.edw[b] - id; gain > 0 && (bestB < 0 || gain > bestGain) {
+			if gain := r.rows.Weight(b) - id; gain > 0 && (bestB < 0 || gain > bestGain) {
 				bestB, bestGain = b, gain
 			}
 		}
@@ -695,11 +698,7 @@ func (r *Refiner) acceptable(kind phaseKind, a, b int32, vw []int32, gain int64,
 // internal degree and whether v is a boundary vertex.
 func (r *Refiner) gatherExternal(v int32) (id int64, boundary bool) {
 	dg := r.dg
-	for _, b := range r.touched {
-		r.mark[b] = -1
-		r.edw[b] = 0
-	}
-	r.touched = r.touched[:0]
+	r.rows.Clear()
 	a := r.part[v]
 	nlocal := dg.NLocal()
 	start, end := dg.Xadj[v], dg.Xadj[v+1]
@@ -715,13 +714,9 @@ func (r *Refiner) gatherExternal(v int32) (id int64, boundary bool) {
 			id += int64(dg.Adjwgt[e])
 			continue
 		}
-		if r.mark[b] != v {
-			r.mark[b] = v
-			r.touched = append(r.touched, b)
-		}
-		r.edw[b] += int64(dg.Adjwgt[e])
+		r.rows.Add(v, b, int64(dg.Adjwgt[e]))
 	}
-	return id, len(r.touched) > 0
+	return id, len(r.rows.Touched()) > 0
 }
 
 // balanceDelta mirrors the serial refiner: change in Σ_c (load/avg)² over

@@ -223,6 +223,10 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *
 		Stop:   stop,
 		Trace:  rk,
 	})
+	// One refiner serves the whole hierarchy; reserving at the finest
+	// level's size up front means no per-level scratch reallocation as the
+	// uncoarsening walks toward larger graphs.
+	refiner.Reserve(g)
 	if rk != nil {
 		rk.Begin("refine.level",
 			trace.I64("level", int64(len(levels)-1)),

@@ -105,6 +105,11 @@ type Summary struct {
 	ProcessName string
 	// Spans maps tid → span name → number of balanced B/E pairs.
 	Spans map[int]map[string]int
+	// SpanAttrs maps tid → span name → attr key → number of spans carrying
+	// the key (on the B event, the E event, or both). It is how schema
+	// checks pin span attributes like refine.pass's boundary_n without
+	// caring which end of the span emitted them.
+	SpanAttrs map[int]map[string]map[string]int
 	// Counters maps tid → counter name → number of samples.
 	Counters map[int]map[string]int
 }
@@ -143,11 +148,16 @@ func Validate(data []byte) (*Summary, error) {
 	}
 
 	sum := &Summary{
-		Spans:    make(map[int]map[string]int),
-		Counters: make(map[int]map[string]int),
+		Spans:     make(map[int]map[string]int),
+		SpanAttrs: make(map[int]map[string]map[string]int),
+		Counters:  make(map[int]map[string]int),
+	}
+	type openSpan struct {
+		name  string
+		attrs map[string]bool // arg keys seen on the B event
 	}
 	type track struct {
-		stack  []string
+		stack  []openSpan
 		lastTS float64
 	}
 	tracks := make(map[int]*track)
@@ -184,20 +194,45 @@ func Validate(data []byte) (*Summary, error) {
 			if e.Name == "" {
 				return nil, fmt.Errorf("trace: event %d: B event without a name", i)
 			}
-			tr.stack = append(tr.stack, e.Name)
+			var attrs map[string]bool
+			if len(e.Args) > 0 {
+				attrs = make(map[string]bool, len(e.Args))
+				for k := range e.Args {
+					attrs[k] = true
+				}
+			}
+			tr.stack = append(tr.stack, openSpan{name: e.Name, attrs: attrs})
 		case "E":
 			if len(tr.stack) == 0 {
 				return nil, fmt.Errorf("trace: event %d (%q): E without open span on tid %d", i, e.Name, *e.Tid)
 			}
 			open := tr.stack[len(tr.stack)-1]
-			if e.Name != "" && e.Name != open {
-				return nil, fmt.Errorf("trace: event %d: E %q does not match open span %q on tid %d", i, e.Name, open, *e.Tid)
+			if e.Name != "" && e.Name != open.name {
+				return nil, fmt.Errorf("trace: event %d: E %q does not match open span %q on tid %d", i, e.Name, open.name, *e.Tid)
 			}
 			tr.stack = tr.stack[:len(tr.stack)-1]
 			if sum.Spans[*e.Tid] == nil {
 				sum.Spans[*e.Tid] = make(map[string]int)
 			}
-			sum.Spans[*e.Tid][open]++
+			sum.Spans[*e.Tid][open.name]++
+			if len(open.attrs) > 0 || len(e.Args) > 0 {
+				if sum.SpanAttrs[*e.Tid] == nil {
+					sum.SpanAttrs[*e.Tid] = make(map[string]map[string]int)
+				}
+				byKey := sum.SpanAttrs[*e.Tid][open.name]
+				if byKey == nil {
+					byKey = make(map[string]int)
+					sum.SpanAttrs[*e.Tid][open.name] = byKey
+				}
+				for k := range open.attrs {
+					byKey[k]++
+				}
+				for k := range e.Args {
+					if !open.attrs[k] { // carried on both ends: count once
+						byKey[k]++
+					}
+				}
+			}
 		case "C":
 			if e.Name == "" {
 				return nil, fmt.Errorf("trace: event %d: C event without a name", i)
@@ -215,7 +250,7 @@ func Validate(data []byte) (*Summary, error) {
 	}
 	for tid, tr := range tracks {
 		if len(tr.stack) != 0 {
-			return nil, fmt.Errorf("trace: tid %d has %d unclosed span(s), first %q", tid, len(tr.stack), tr.stack[0])
+			return nil, fmt.Errorf("trace: tid %d has %d unclosed span(s), first %q", tid, len(tr.stack), tr.stack[0].name)
 		}
 	}
 	return sum, nil

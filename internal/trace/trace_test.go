@@ -60,6 +60,16 @@ func TestExportValidates(t *testing.T) {
 	if sum.Counters[0]["mpi.allreduce"] != 1 {
 		t.Errorf("rank 0 counters = %v", sum.Counters[0])
 	}
+	// Span attrs are collected from both ends of the span: "pass" rides the
+	// B event, "moves" the E event, and both must count for the one
+	// refine.pass span.
+	attrs := sum.SpanAttrs[0]["refine.pass"]
+	if attrs["pass"] != 1 || attrs["moves"] != 1 {
+		t.Errorf("refine.pass span attrs = %v, want pass and moves counted once", attrs)
+	}
+	if got := sum.SpanAttrs[0]["coarsen.level"]; got["level"] != 1 || got["coarse_n"] != 1 {
+		t.Errorf("coarsen.level span attrs = %v", got)
+	}
 }
 
 func TestExportBalancesAbortedSpans(t *testing.T) {

@@ -1,17 +1,34 @@
 // Command mcvet runs the project's custom static checks (package
 // repro/internal/analysis) over the whole module: determinism escapes
 // (math/rand outside internal/rng, unsorted map iteration in partitioning
-// hot packages), narrow weight accumulators, and MPI collectives inside
-// rank-dependent conditionals.
+// hot packages), narrow weight accumulators, and the CFG-based contract
+// checks — collective symmetry (collsym), arena Mark/Release pairing
+// (arenapair) and trace span balance (spanpair).
 //
 // Usage:
 //
-//	go run ./cmd/mcvet ./...
+//	go run ./cmd/mcvet [flags] [packages]
 //
-// The package-pattern argument is accepted for familiarity but mcvet always
-// analyzes the entire module containing the working directory (the checks
-// are whole-module by nature: the collective check needs the full call
-// graph). Exit status: 0 = clean, 1 = findings, 2 = analysis failure.
+// mcvet always type-checks the entire module containing the working
+// directory (the checks are whole-module by nature: collsym needs the full
+// call graph). Package-pattern arguments filter which findings are
+// *reported*: `./...` (or no argument) reports everything, while e.g.
+// `./internal/analysis/... ./cmd/mcvet/...` reports only findings in those
+// subtrees — used by CI's self-check step.
+//
+// Flags:
+//
+//	-tests            analyze _test.go files too (default true)
+//	-strict-ignores   reject bare //mcvet:ignore directives and directives
+//	                  without a "— reason" justification
+//	-sarif FILE       also write findings as SARIF 2.1.0 (GitHub code scanning)
+//	-baseline FILE    subtract the committed baseline from the findings
+//	-write-baseline FILE
+//	                  write the current findings as a new baseline and exit 0
+//	-list             list available checks and exit
+//	-v                print per-package type-check diagnostics
+//
+// Exit status: 0 = clean, 1 = findings, 2 = analysis failure.
 //
 // Findings are suppressed with a comment on the same line or the line
 // above:
@@ -23,15 +40,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
 
 func main() {
 	var (
-		noTests = flag.Bool("notests", false, "skip _test.go files")
-		verbose = flag.Bool("v", false, "print per-package type-check diagnostics")
-		list    = flag.Bool("list", false, "list available checks and exit")
+		tests         = flag.Bool("tests", true, "analyze _test.go files")
+		noTests       = flag.Bool("notests", false, "skip _test.go files (alias for -tests=false)")
+		strictIgnores = flag.Bool("strict-ignores", false, "reject bare or reasonless //mcvet:ignore directives")
+		sarifOut      = flag.String("sarif", "", "write findings as SARIF 2.1.0 to `file`")
+		baselineIn    = flag.String("baseline", "", "subtract the baseline in `file` from the findings")
+		baselineOut   = flag.String("write-baseline", "", "write current findings as a baseline to `file` and exit 0")
+		verbose       = flag.Bool("v", false, "print per-package type-check diagnostics")
+		list          = flag.Bool("list", false, "list available checks and exit")
 	)
 	flag.Parse()
 
@@ -47,7 +71,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcvet:", err)
 		os.Exit(2)
 	}
-	findings, mod, err := analysis.Run(root, analysis.LoadOptions{Tests: !*noTests}, nil)
+	opt := analysis.LoadOptions{Tests: *tests && !*noTests}
+	findings, rep, mod, err := analysis.RunWithReporter(root, opt, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcvet:", err)
 		os.Exit(2)
@@ -70,6 +95,64 @@ func main() {
 		}
 	}
 
+	if *strictIgnores {
+		findings = append(findings, rep.StrictIgnoreViolations()...)
+	}
+	findings = filterByPatterns(root, findings, flag.Args())
+
+	if *baselineIn != "" {
+		f, err := os.Open(*baselineIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", err)
+			os.Exit(2)
+		}
+		base, err := analysis.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", err)
+			os.Exit(2)
+		}
+		var suppressed []analysis.Finding
+		findings, suppressed = base.Apply(root, findings)
+		if *verbose && len(suppressed) > 0 {
+			fmt.Fprintf(os.Stderr, "mcvet: %d baselined finding(s) suppressed\n", len(suppressed))
+		}
+	}
+
+	if *baselineOut != "" {
+		f, err := os.Create(*baselineOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", err)
+			os.Exit(2)
+		}
+		werr := analysis.NewBaseline(root, findings).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", werr)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mcvet: wrote %d finding(s) to %s\n", len(findings), *baselineOut)
+		return
+	}
+
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", err)
+			os.Exit(2)
+		}
+		werr := analysis.WriteSARIF(f, root, analysis.Checks(), findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", werr)
+			os.Exit(2)
+		}
+	}
+
 	for _, f := range findings {
 		fmt.Println(f)
 	}
@@ -80,4 +163,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// filterByPatterns keeps findings under the subtrees named by go-style
+// package patterns ("./...", "./internal/analysis/...", "./cmd/mcvet").
+// Patterns are treated as directory prefixes; no patterns, or any pattern
+// covering the whole module, keeps everything.
+func filterByPatterns(root string, findings []analysis.Finding, patterns []string) []analysis.Finding {
+	if len(patterns) == 0 {
+		return findings
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "/...")
+		if p == "..." {
+			p = "."
+		}
+		p = strings.TrimPrefix(filepath.ToSlash(filepath.Clean(p)), "./")
+		if p == "." || p == "" {
+			return findings // ./... (or .) covers the module
+		}
+		prefixes = append(prefixes, p)
+	}
+	var out []analysis.Finding
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			out = append(out, f)
+			continue
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		for _, p := range prefixes {
+			if dir == p || strings.HasPrefix(dir, p+"/") {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
 }

@@ -17,17 +17,32 @@
 //     scalar inside a loop. Per-vertex weights are int32 by convention, but
 //     aggregates over many vertices/edges must be int64 (a 7.5M-vertex
 //     graph with 20-unit weights already overflows int32).
-//   - collective: an mpi.Comm collective (or any module function that
-//     transitively performs one) called lexically inside a rank-dependent
-//     conditional. In an SPMD body every rank must reach every collective:
-//     a collective guarded by Rank() is a deadlock by construction.
+//   - collsym: an mpi.Comm collective (or any module function that
+//     transitively performs one) whose execution is control-dependent on a
+//     rank-derived condition anywhere in the function (CFG-based; catches
+//     early returns under rank conditionals and rank-bounded loops, not
+//     just lexical nesting). In an SPMD body every rank must reach every
+//     collective: a collective guarded by Rank() is a deadlock by
+//     construction.
+//   - arenapair: arena.Arena Mark/Release stack pairing on every path out
+//     of a function (defer-aware), plus arena-backed slices escaping via
+//     return or struct-field stores.
+//   - spanpair: trace.Rank Begin/End balance on every normally-completing
+//     path (defer-aware), honoring the abort-balancing idiom — error
+//     returns may leave spans open because trace.Export closes them.
+//
+// The three flow-sensitive checks run on intraprocedural control-flow
+// graphs built by the internal/analysis/cfg package and documented in
+// DESIGN.md ("Static contracts").
 //
 // Any finding can be suppressed with a comment on the same line or the
 // line above:
 //
 //	//mcvet:ignore <check>[,<check>...] — reason
 //
-// A bare `//mcvet:ignore` suppresses every check on that line.
+// A bare `//mcvet:ignore` suppresses every check on that line. Strict
+// mode (mcvet -strict-ignores) rejects bare directives and directives
+// whose reason is missing.
 package analysis
 
 import (
@@ -75,9 +90,19 @@ func Checks() []*Check {
 			Run:  checkWeightInt,
 		},
 		{
-			Name: "collective",
-			Doc:  "MPI collective called inside a rank-dependent conditional (deadlock by construction)",
-			Run:  checkCollective,
+			Name: "collsym",
+			Doc:  "MPI collective control-dependent on a rank-derived condition (deadlock by construction)",
+			Run:  checkCollSym,
+		},
+		{
+			Name: "arenapair",
+			Doc:  "arena Mark without matching Release on some path, or arena-backed slice escaping the function",
+			Run:  checkArenaPair,
+		},
+		{
+			Name: "spanpair",
+			Doc:  "trace span Begin without matching End on a normally-completing path",
+			Run:  checkSpanPair,
 		},
 	}
 }
@@ -90,12 +115,21 @@ type Reporter struct {
 	suppressed map[suppressKey]bool
 	seen       map[string]bool
 	findings   []Finding
+	directives []ignoreDirective
 }
 
 type suppressKey struct {
 	file  string
 	line  int
 	check string // "" = all checks
+}
+
+// ignoreDirective records one parsed //mcvet:ignore comment so strict mode
+// can audit the suppressions themselves.
+type ignoreDirective struct {
+	pos       token.Position
+	bare      bool // no check names: suppresses everything on the line
+	hasReason bool // a "—"/"--" separator followed by justification text
 }
 
 // NewReporter builds a reporter over the module, scanning every file's
@@ -131,12 +165,19 @@ func (r *Reporter) scanIgnores(f *ast.File) {
 			// Everything up to an optional "—"/"--" separator is the check
 			// list; the rest is the human justification.
 			list := text
+			reason := ""
 			for _, sep := range []string{"—", "--", " - "} {
 				if i := strings.Index(list, sep); i >= 0 {
+					reason = strings.TrimSpace(list[i+len(sep):])
 					list = list[:i]
 				}
 			}
 			list = strings.TrimSpace(list)
+			r.directives = append(r.directives, ignoreDirective{
+				pos:       pos,
+				bare:      list == "",
+				hasReason: reason != "",
+			})
 			if list == "" {
 				r.suppressed[suppressKey{pos.Filename, pos.Line, ""}] = true
 				continue
@@ -188,11 +229,43 @@ func (r *Reporter) Findings() []Finding {
 	return r.findings
 }
 
+// StrictIgnoreViolations audits the //mcvet:ignore directives themselves:
+// bare directives (which silence every check) and directives without a
+// "— reason" justification are reported as findings under the synthetic
+// check name "strictignore". Used by mcvet -strict-ignores.
+func (r *Reporter) StrictIgnoreViolations() []Finding {
+	var out []Finding
+	for _, d := range r.directives {
+		switch {
+		case d.bare:
+			out = append(out, Finding{
+				Pos:     d.pos,
+				Check:   "strictignore",
+				Message: "bare //mcvet:ignore suppresses every check; name the check(s) and add a \"— reason\"",
+			})
+		case !d.hasReason:
+			out = append(out, Finding{
+				Pos:     d.pos,
+				Check:   "strictignore",
+				Message: "//mcvet:ignore without a \"— reason\" justification",
+			})
+		}
+	}
+	return out
+}
+
 // Run loads the module at root and runs the given checks (nil = all).
 func Run(root string, opt LoadOptions, checks []*Check) ([]Finding, *Module, error) {
+	findings, _, m, err := RunWithReporter(root, opt, checks)
+	return findings, m, err
+}
+
+// RunWithReporter is Run exposing the Reporter, so callers can audit the
+// suppression directives (mcvet -strict-ignores).
+func RunWithReporter(root string, opt LoadOptions, checks []*Check) ([]Finding, *Reporter, *Module, error) {
 	m, err := Load(root, opt)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if checks == nil {
 		checks = Checks()
@@ -201,5 +274,5 @@ func Run(root string, opt LoadOptions, checks []*Check) ([]Finding, *Module, err
 	for _, c := range checks {
 		c.Run(m, r)
 	}
-	return r.Findings(), m, nil
+	return r.Findings(), r, m, nil
 }

@@ -193,8 +193,8 @@ func SliceElem(dst []int32, adjwgt []int32) {
 			},
 		},
 		{
-			name:   "collective flags direct and transitive calls under rank conditionals",
-			checks: []string{"collective"},
+			name:   "collsym flags direct and transitive calls under rank conditionals",
+			checks: []string{"collsym"},
 			files: map[string]string{
 				"internal/mpi/mpi.go": `package mpi
 
@@ -234,8 +234,8 @@ func Fine(c *mpi.Comm) {
 `,
 			},
 			want: []string{
-				"internal/par/par.go:7:3 [collective]",
-				"internal/par/par.go:18:3 [collective]",
+				"internal/par/par.go:7:3 [collsym]",
+				"internal/par/par.go:18:3 [collsym]",
 			},
 		},
 		{
@@ -301,7 +301,7 @@ func Direct(c *mpi.Comm) {
 }
 `,
 	})
-	findings, _, err := Run(root, LoadOptions{}, named(t, "collective"))
+	findings, _, err := Run(root, LoadOptions{}, named(t, "collsym"))
 	if err != nil {
 		t.Fatal(err)
 	}

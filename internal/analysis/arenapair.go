@@ -1,0 +1,498 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// checkArenaPair verifies the arena scratch discipline (internal/arena,
+// DESIGN.md "Memory discipline & parallel trials") with two sub-analyses:
+//
+//  1. Mark/Release pairing: every arena.Arena.Mark must be released by a
+//     Release on every path out of the function — including early returns —
+//     either inline or via defer. Unlike spans, error returns are NOT
+//     exempt: a leaked mark leaves the arena cursor high and every later
+//     allocation in the pooled arena grows the slab forever. Only paths
+//     that terminate the process (panic, t.Fatal, os.Exit) are ignored.
+//     Release(m) models the stack discipline: it frees m and every mark
+//     taken after it. Reset frees everything.
+//
+//  2. Escape: a slice carved from the arena (I32/I64/F64/Bool and the
+//     *Zero variants) must not be returned to the caller or stored into a
+//     struct field, where it can outlive the Release/Reset that recycles
+//     its backing slab — the arena equivalent of use-after-free, and worse,
+//     a nondeterminism source (the slab is handed out again and
+//     overwritten). Passing arena slices DOWN into calls is fine; handing
+//     them UP is flagged. Sanctioned escapes (e.g. a subgraph consumed
+//     strictly before the release) carry //mcvet:ignore arenapair with a
+//     reason.
+//
+// Both analyses are intraprocedural: a function that Marks and returns the
+// mark for its caller to Release needs an annotation.
+func checkArenaPair(m *Module, r *Reporter) {
+	arenaPath := m.Path + "/internal/arena"
+	for _, fb := range funcBodies(m) {
+		// The arena package itself (and its tests) manipulates the slabs
+		// and exercises deliberate imbalance.
+		if fb.pkg.ImportPath == arenaPath {
+			continue
+		}
+		checkArenaPairFunc(m, r, fb, arenaPath)
+		checkArenaEscapeFunc(m, r, fb, arenaPath)
+	}
+}
+
+var arenaAllocMethods = map[string]bool{
+	"I32": true, "I32Zero": true,
+	"I64": true, "I64Zero": true,
+	"F64": true, "F64Zero": true,
+	"Bool": true, "BoolZero": true,
+}
+
+type arenaOps struct {
+	pkg *Package
+}
+
+func (a arenaOps) is(call *ast.CallExpr, name, arenaPath string) bool {
+	return isMethodOn(methodCallee(a.pkg, call), name, "Arena", arenaPath)
+}
+
+func (a arenaOps) isAlloc(call *ast.CallExpr, arenaPath string) bool {
+	obj := methodCallee(a.pkg, call)
+	if obj == nil || !arenaAllocMethods[obj.Name()] {
+		return false
+	}
+	return isMethodOn(obj, obj.Name(), "Arena", arenaPath)
+}
+
+const (
+	maxMarkDepth = 16
+	maxMarkPaths = 32
+)
+
+// markPath is one abstract execution of the Mark/Release analysis.
+type markPath struct {
+	// open is the stack of live marks, outermost first. obj is the
+	// variable the Mark was bound to (nil when the result was discarded).
+	open []markElem
+	// deferred are the Release/Reset effects registered with defer, in
+	// registration order (applied in reverse at exit).
+	deferred []deferredRelease
+	poisoned token.Pos
+}
+
+type markElem struct {
+	pos token.Pos
+	obj types.Object
+}
+
+type deferredRelease struct {
+	reset bool
+	obj   types.Object // Release argument's object, nil if unresolvable
+}
+
+func (p markPath) key() string {
+	var sb strings.Builder
+	for _, o := range p.open {
+		sb.WriteString(strconv.Itoa(int(o.pos)))
+		sb.WriteByte('|')
+	}
+	sb.WriteByte('#')
+	for _, d := range p.deferred {
+		if d.reset {
+			sb.WriteString("R|")
+		} else if d.obj != nil {
+			sb.WriteString(strconv.Itoa(int(d.obj.Pos())))
+			sb.WriteByte('|')
+		} else {
+			sb.WriteString("?|")
+		}
+	}
+	if p.poisoned != token.NoPos {
+		sb.WriteString("#p")
+		sb.WriteString(strconv.Itoa(int(p.poisoned)))
+	}
+	return sb.String()
+}
+
+func (p markPath) clone() markPath {
+	q := p
+	q.open = append([]markElem(nil), p.open...)
+	q.deferred = append([]deferredRelease(nil), p.deferred...)
+	return q
+}
+
+type markState struct {
+	paths map[string]markPath
+}
+
+func (s markState) join(o markState) markState {
+	out := markState{paths: make(map[string]markPath, len(s.paths)+len(o.paths))}
+	for k, p := range s.paths {
+		out.paths[k] = p
+	}
+	for k, p := range o.paths {
+		out.paths[k] = p
+	}
+	if len(out.paths) > maxMarkPaths {
+		keys := make([]string, 0, len(out.paths))
+		for k := range out.paths {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys[maxMarkPaths:] {
+			delete(out.paths, k)
+		}
+	}
+	return out
+}
+
+func (s markState) equal(o markState) bool {
+	if len(s.paths) != len(o.paths) {
+		return false
+	}
+	for k := range s.paths {
+		if _, ok := o.paths[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkArenaPairFunc(m *Module, r *Reporter, fb funcBody, arenaPath string) {
+	pkg := fb.pkg
+	ops := arenaOps{pkg: pkg}
+
+	touches := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if touches {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && ops.is(call, "Mark", arenaPath) {
+			touches = true
+		}
+		return true
+	})
+	if !touches {
+		return
+	}
+
+	g := cfgFor(fb, nil)
+
+	transfer := func(b *cfg.Block, in markState) markState {
+		out := markState{paths: make(map[string]markPath, len(in.paths))}
+		for _, p := range in.paths {
+			q := p.clone()
+			for _, node := range b.Nodes {
+				q = arenaTransferNode(pkg, ops, node, q, arenaPath)
+			}
+			out.paths[q.key()] = q
+		}
+		return out
+	}
+
+	entry := markState{paths: map[string]markPath{"": {}}}
+	in := cfg.Forward(g, entry,
+		func(a, b markState) markState { return a.join(b) },
+		func(a, b markState) bool { return a.equal(b) },
+		transfer)
+
+	type leak struct {
+		exitLine int
+	}
+	leaks := make(map[token.Pos]leak)
+	poisons := make(map[token.Pos]bool)
+	for _, pred := range g.Exit.Preds {
+		st, ok := in[pred]
+		if !ok {
+			continue
+		}
+		st = transfer(pred, st)
+
+		var exitPos token.Pos = fb.body.End()
+		skip := false
+		switch term := pred.Term.(type) {
+		case *ast.ReturnStmt:
+			exitPos = term.Pos()
+		case *ast.CallExpr:
+			skip = true // process is going down; the arena dies with it
+		}
+		for _, p := range st.paths {
+			if p.poisoned != token.NoPos {
+				poisons[p.poisoned] = true
+			}
+			if skip {
+				continue
+			}
+			// Apply deferred releases in reverse registration order.
+			for i := len(p.deferred) - 1; i >= 0; i-- {
+				p.open = applyRelease(p.open, p.deferred[i])
+			}
+			for _, o := range p.open {
+				if _, seen := leaks[o.pos]; !seen {
+					leaks[o.pos] = leak{exitLine: m.Fset.Position(exitPos).Line}
+				}
+			}
+		}
+	}
+
+	for pos := range poisons {
+		r.Report(pos, "arenapair",
+			"arena mark taken here accumulates on every loop iteration: Mark inside a loop needs a Release on the same iteration")
+	}
+	for pos, l := range leaks {
+		if poisons[pos] {
+			continue
+		}
+		r.Report(pos, "arenapair",
+			"arena mark taken here is not released on the exit path at line %d: every Mark must reach exactly one Release on all paths out of the function",
+			l.exitLine)
+	}
+}
+
+func applyRelease(open []markElem, d deferredRelease) []markElem {
+	if d.reset {
+		return nil
+	}
+	return releaseThrough(open, d.obj)
+}
+
+// releaseThrough pops the mark bound to obj and everything above it
+// (Release's stack semantics). Unknown obj releases nothing.
+func releaseThrough(open []markElem, obj types.Object) []markElem {
+	if obj == nil {
+		return open
+	}
+	for i := len(open) - 1; i >= 0; i-- {
+		if open[i].obj == obj {
+			return open[:i:i]
+		}
+	}
+	return open
+}
+
+func arenaTransferNode(pkg *Package, ops arenaOps, node ast.Node, p markPath, arenaPath string) markPath {
+	if d, ok := node.(*ast.DeferStmt); ok {
+		return arenaTransferDefer(pkg, ops, d, p, arenaPath)
+	}
+	// Binding forms first: `m := a.Mark()` attaches the lhs object.
+	bound := map[*ast.CallExpr]types.Object{}
+	switch s := node.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && ops.is(call, "Mark", arenaPath) {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok {
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						bound[call] = obj
+					} else if obj := pkg.Info.Uses[id]; obj != nil {
+						bound[call] = obj
+					}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok && ops.is(call, "Mark", arenaPath) {
+					if obj := pkg.Info.Defs[vs.Names[0]]; obj != nil {
+						bound[call] = obj
+					}
+				}
+			}
+		}
+	}
+	forEachCall(node, func(call *ast.CallExpr) {
+		switch {
+		case ops.is(call, "Mark", arenaPath):
+			if len(p.open) >= maxMarkDepth {
+				if p.poisoned == token.NoPos {
+					p.poisoned = call.Pos()
+				}
+				return
+			}
+			p.open = append(p.open, markElem{pos: call.Pos(), obj: bound[call]})
+		case ops.is(call, "Release", arenaPath):
+			p.open = releaseThrough(p.open, releaseArgObj(pkg, call))
+		case ops.is(call, "Reset", arenaPath):
+			p.open = nil
+		}
+	})
+	return p
+}
+
+func arenaTransferDefer(pkg *Package, ops arenaOps, d *ast.DeferStmt, p markPath, arenaPath string) markPath {
+	reg := func(call *ast.CallExpr) {
+		switch {
+		case ops.is(call, "Release", arenaPath):
+			p.deferred = append(p.deferred, deferredRelease{obj: releaseArgObj(pkg, call)})
+		case ops.is(call, "Reset", arenaPath):
+			p.deferred = append(p.deferred, deferredRelease{reset: true})
+		}
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				reg(call)
+			}
+			return true
+		})
+		return p
+	}
+	reg(d.Call)
+	return p
+}
+
+func releaseArgObj(pkg *Package, call *ast.CallExpr) types.Object {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// checkArenaEscapeFunc flags arena-carved slices that are returned or
+// stored into struct fields. Derivation is a small intra-function fixpoint:
+// a value is arena-derived if it is an alloc call, a variable assigned from
+// a derived value, a reslice/indexed view of one, the address of a derived
+// composite, or a composite literal embedding one.
+func checkArenaEscapeFunc(m *Module, r *Reporter, fb funcBody, arenaPath string) {
+	pkg := fb.pkg
+	ops := arenaOps{pkg: pkg}
+
+	touches := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if touches {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && ops.isAlloc(call, arenaPath) {
+			touches = true
+		}
+		return true
+	})
+	if !touches {
+		return
+	}
+
+	derived := make(map[types.Object]bool)
+	var isDerived func(e ast.Expr) bool
+	isDerived = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return ops.isAlloc(e, arenaPath)
+		case *ast.Ident:
+			obj := pkg.Info.Uses[e]
+			if obj == nil {
+				obj = pkg.Info.Defs[e]
+			}
+			return obj != nil && derived[obj]
+		case *ast.SliceExpr:
+			return isDerived(e.X)
+		case *ast.UnaryExpr:
+			return e.Op == token.AND && isDerived(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if isDerived(kv.Value) {
+						return true
+					}
+				} else if isDerived(el) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	mark := func(lhs ast.Expr, rhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" || !isDerived(rhs) {
+			return false
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || derived[obj] {
+			return false
+		}
+		derived[obj] = true
+		return true
+	}
+
+	// Fixpoint over simple assignments (bounded: each round marks at least
+	// one new object).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if n.Body != fb.body {
+					return false
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if mark(n.Lhs[i], n.Rhs[i]) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						if mark(n.Names[i], n.Values[i]) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != fb.body {
+				return false // analyzed as its own funcBody
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if isDerived(e) {
+					r.Report(e.Pos(), "arenapair",
+						"arena-backed slice escapes via return: the backing slab is recycled on Release/Reset, so the caller holds dangling, soon-overwritten memory")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); !ok {
+					continue
+				}
+				if i < len(n.Rhs) && isDerived(n.Rhs[i]) {
+					r.Report(n.Rhs[i].Pos(), "arenapair",
+						"arena-backed slice stored into a struct field: the field outlives Release/Reset of the backing slab")
+				}
+			}
+		}
+		return true
+	})
+}

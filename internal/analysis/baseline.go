@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Baseline is a committed snapshot of accepted findings. mcvet subtracts
+// the baseline from a run's findings, so the tree gates on "no findings
+// beyond the baseline" while the baseline itself shrinks over time. The
+// project keeps the committed baseline empty — every finding is either
+// fixed or carries an in-source //mcvet:ignore with a reason — but the
+// mechanism exists so a future check can land before its triage completes
+// without turning CI red.
+//
+// Entries match on (file, check, message), deliberately not line numbers:
+// unrelated edits above a finding must not invalidate the baseline.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// NewBaseline converts findings into a baseline with paths rebased onto
+// root, sorted for stable diffs.
+func NewBaseline(root string, findings []Finding) *Baseline {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			File:    relModulePath(root, f.Pos.Filename),
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline encodes b as indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline decodes a baseline file.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("analysis: invalid baseline: %w", err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("analysis: unsupported baseline version %d", b.Version)
+	}
+	return &b, nil
+}
+
+// Apply splits findings into (new, suppressed): a finding is suppressed if
+// the baseline holds a matching entry, consuming multiplicity — two
+// identical findings need two baseline entries.
+func (b *Baseline) Apply(root string, findings []Finding) (fresh, suppressed []Finding) {
+	budget := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[e]++
+	}
+	for _, f := range findings {
+		key := BaselineEntry{
+			File:    relModulePath(root, f.Pos.Filename),
+			Check:   f.Check,
+			Message: f.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed = append(suppressed, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, suppressed
+}

@@ -1,0 +1,482 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies for the mcvet flow-sensitive checks (arenapair, spanpair,
+// collsym). It is deliberately small and standard-library-only, like the
+// rest of internal/analysis: basic blocks hold the statements and
+// controlling expressions in execution order, edges follow Go's structured
+// control flow (if/for/range/switch/type switch/select, labeled
+// break/continue, goto, fallthrough), and every function exit — explicit
+// returns, falling off the end, and calls the caller marks as terminating
+// (panic, t.Fatal, os.Exit) — funnels into a single virtual Exit block so
+// postdominance is well defined.
+//
+// Defer is handled at the dataflow layer, not with synthetic edges: a
+// DeferStmt appears as an ordinary node in its block, and a check's
+// transfer function records the deferred effect in its path state, applying
+// it when the path reaches Exit. That models conditional defers for free
+// (the defer is only in the states of paths that executed it).
+//
+// The builder is syntax-directed and makes no soundness claims about
+// dynamic control transfer it cannot see (recover resuming a panicking
+// function, runtime.Goexit in callees); the checks built on it are
+// explicitly intraprocedural best-effort detectors, with their limits
+// documented in DESIGN.md ("Static contracts").
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: straight-line code plus the expressions that
+// steer its outgoing branch.
+type Block struct {
+	Index int
+	// Nodes are the block's executable statements and controlling
+	// expressions in evaluation order. Composite statements never appear
+	// whole: an IfStmt contributes only its Cond, a SwitchStmt its Tag, a
+	// RangeStmt its X, so walking a node never re-enters a nested body.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Branch is the statement that makes this block multi-way (IfStmt,
+	// ForStmt, RangeStmt, SwitchStmt, TypeSwitchStmt, SelectStmt), or nil.
+	Branch ast.Stmt
+	// Conds are the value expressions the branch decision reads: the
+	// if/for condition, the switch tag and every case expression, the
+	// range operand. Type-switch and select branches carry no Conds.
+	Conds []ast.Expr
+	// Term is the node that terminates the block abnormally early: a
+	// *ast.ReturnStmt, or the *ast.CallExpr of a terminating call. Nil for
+	// fallthrough into a successor and for the plain end of the function.
+	Term ast.Node
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the virtual sink every function exit edges into. It holds no
+	// nodes.
+	Exit *Block
+	// Blocks lists all blocks including Entry and Exit; some may be
+	// unreachable (code after return, empty loop exits).
+	Blocks []*Block
+}
+
+// Options configures graph construction.
+type Options struct {
+	// AssumeTrue, when non-nil, reports branch conditions the analysis may
+	// treat as always satisfied: the false edge of an `if` with such a
+	// condition is dropped. The spanpair check uses it to model the
+	// nil-safe no-op *trace.Rank receiver — `if rk != nil { rk.Begin(..) }`
+	// guards are pure overhead avoidance, and the nil-rk execution is
+	// trivially balanced, so assuming the guard true checks the only
+	// interesting execution.
+	AssumeTrue func(cond ast.Expr) bool
+	// IsTerminating, when non-nil, reports calls that never return
+	// (panic, os.Exit, (*testing.T).Fatal, ...). A statement making such a
+	// call ends its block with an edge to Exit and Term set to the call.
+	IsTerminating func(call *ast.CallExpr) bool
+}
+
+// New builds the CFG of body.
+func New(body *ast.BlockStmt, opt Options) *Graph {
+	b := &builder{opt: opt, labels: make(map[string]*Block)}
+	b.g = &Graph{}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is a normal exit.
+	b.edge(b.cur, b.g.Exit)
+	for _, pg := range b.gotos {
+		if target := b.labels[pg.label]; target != nil {
+			b.edge(pg.from, target)
+		}
+	}
+	return b.g
+}
+
+// Reachable returns the blocks reachable from Entry, in a deterministic
+// (DFS preorder) order.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var out []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		out = append(out, b)
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return out
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type loopFrame struct {
+	label         string
+	brk, cont     *Block
+	isSwitchOrSel bool
+}
+
+type builder struct {
+	g      *Graph
+	opt    Options
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel names the label lexically attached to the statement
+	// about to be built, so `continue L` / `break L` resolve.
+	pendingLabel string
+	// lastFallthrough is the block a `fallthrough` statement ended;
+	// switchStmt wires it to the next case clause.
+	lastFallthrough *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// seal ends the current block after a jump/return: subsequent statements
+// land in a fresh, initially unreachable block.
+func (b *builder) seal() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) breakTarget(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" || f.label == label {
+			return f.brk
+		}
+	}
+	return b.g.Exit
+}
+
+func (b *builder) continueTarget(label string) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.isSwitchOrSel {
+			continue // continue skips switch/select frames
+		}
+		if label == "" || f.label == label {
+			return f.cont
+		}
+	}
+	return b.g.Exit
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.takeLabel()
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// A label is a join point (goto may enter here).
+		lblk := b.newBlock()
+		b.edge(b.cur, lblk)
+		b.cur = lblk
+		b.labels[s.Label.Name] = lblk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur.Term = s
+		b.edge(b.cur, b.g.Exit)
+		b.seal()
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Straight-line statement (assign, decl, expr, send, incdec,
+		// defer, go, empty). Terminating calls end the block.
+		b.takeLabel()
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call := terminatingCall(s, b.opt.IsTerminating); call != nil {
+			b.cur.Term = call
+			b.edge(b.cur, b.g.Exit)
+			b.seal()
+		}
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		b.edge(b.cur, b.breakTarget(label))
+		b.seal()
+	case "continue":
+		b.edge(b.cur, b.continueTarget(label))
+		b.seal()
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.seal()
+	case "fallthrough":
+		// Resolved by switchStmt (edge to the next clause); remember where
+		// the fallthrough happened and seal.
+		b.lastFallthrough = b.cur
+		b.seal()
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	cond := b.cur
+	cond.Nodes = append(cond.Nodes, s.Cond)
+	cond.Branch = s
+	cond.Conds = append(cond.Conds, s.Cond)
+	assumed := b.opt.AssumeTrue != nil && b.opt.AssumeTrue(s.Cond)
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	afterThen := b.cur
+
+	join := b.newBlock()
+	b.edge(afterThen, join)
+	if s.Else != nil && !assumed {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else if !assumed {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	exit := b.newBlock()
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Conds = append(head.Conds, s.Cond)
+		b.edge(head, exit)
+	}
+	head.Branch = s
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	b.frames = append(b.frames, loopFrame{label: label, brk: exit, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	head.Nodes = append(head.Nodes, s.X)
+	head.Branch = s
+	head.Conds = append(head.Conds, s.X)
+
+	exit := b.newBlock()
+	b.edge(head, exit)
+	body := b.newBlock()
+	b.edge(head, body)
+	b.frames = append(b.frames, loopFrame{label: label, brk: exit, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, head)
+	b.cur = exit
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.cur
+	if s.Tag != nil {
+		head.Nodes = append(head.Nodes, s.Tag)
+		head.Conds = append(head.Conds, s.Tag)
+	}
+	head.Branch = s
+	join := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+		head.Conds = append(head.Conds, c.List...)
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.frames = append(b.frames, loopFrame{label: label, brk: join, isSwitchOrSel: true})
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		b.lastFallthrough = nil
+		b.stmtList(c.Body)
+		if fallsThrough(c.Body) && i+1 < len(blocks) && b.lastFallthrough != nil {
+			// The sealed block after `fallthrough` is unreachable; wire the
+			// block the fallthrough ended to the next clause instead.
+			b.edge(b.lastFallthrough, blocks[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.cur
+	head.Nodes = append(head.Nodes, s.Assign)
+	head.Branch = s
+	join := b.newBlock()
+
+	hasDefault := false
+	b.frames = append(b.frames, loopFrame{label: label, brk: join, isSwitchOrSel: true})
+	for _, raw := range s.Body.List {
+		c := raw.(*ast.CaseClause)
+		if c.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmtList(c.Body)
+		b.edge(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	head.Branch = s
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, brk: join, isSwitchOrSel: true})
+	for _, raw := range s.Body.List {
+		c := raw.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if c.Comm != nil {
+			b.cur.Nodes = append(b.cur.Nodes, c.Comm)
+		}
+		b.stmtList(c.Body)
+		b.edge(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if len(s.Body.List) == 0 {
+		// `select {}` blocks forever: no edge to join.
+		b.edge(head, b.g.Exit)
+	}
+	b.cur = join
+}
+
+// terminatingCall returns the call expression of s if s is a statement
+// whose execution never returns: the builtin panic, or any call the
+// caller-provided predicate classifies as terminating.
+func terminatingCall(s ast.Stmt, isTerm func(*ast.CallExpr) bool) *ast.CallExpr {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return call
+	}
+	if isTerm != nil && isTerm(call) {
+		return call
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as the body of `func f() { ... }` and returns its CFG.
+func buildFunc(t *testing.T, body string, opt Options) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body, opt)
+}
+
+// blockCalling finds the unique reachable block containing a call to name.
+func blockCalling(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				if found != nil && found != b {
+					t.Fatalf("call %s appears in blocks %d and %d", name, found.Index, b.Index)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no reachable block calls %s", name)
+	}
+	return found
+}
+
+// dependsOnBranch reports whether b is in the transitive control-dependence
+// closure of any reachable multi-way block.
+func dependsOnAnyBranch(g *Graph, b *Block) bool {
+	var roots []*Block
+	for _, blk := range g.Reachable() {
+		if len(blk.Succs) >= 2 {
+			roots = append(roots, blk)
+		}
+	}
+	return g.TransitiveControlDeps(roots)[b]
+}
+
+func TestIfWithJoinIsNotControlDependentAfterRejoin(t *testing.T) {
+	g := buildFunc(t, `
+	if cond() {
+		a()
+	}
+	b()`, Options{})
+	if !dependsOnAnyBranch(g, blockCalling(t, g, "a")) {
+		t.Error("a() inside the if should be control-dependent on the branch")
+	}
+	if dependsOnAnyBranch(g, blockCalling(t, g, "b")) {
+		t.Error("b() after the rejoin must NOT be control-dependent (both arms reach it)")
+	}
+}
+
+func TestEarlyReturnMakesTailControlDependent(t *testing.T) {
+	g := buildFunc(t, `
+	if cond() {
+		return
+	}
+	b()`, Options{})
+	if !dependsOnAnyBranch(g, blockCalling(t, g, "b")) {
+		t.Error("b() after an early return must be control-dependent on the branch")
+	}
+}
+
+func TestPanicArmMakesTailControlDependent(t *testing.T) {
+	g := buildFunc(t, `
+	if cond() {
+		panic("boom")
+	}
+	b()`, Options{})
+	if !dependsOnAnyBranch(g, blockCalling(t, g, "b")) {
+		t.Error("b() after a panicking arm must be control-dependent on the branch")
+	}
+	// The panic block must be terminated and edge straight to Exit.
+	for _, blk := range g.Reachable() {
+		if blk.Term == nil {
+			continue
+		}
+		if call, ok := blk.Term.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if len(blk.Succs) != 1 || blk.Succs[0] != g.Exit {
+					t.Errorf("panic block succs = %v, want [Exit]", blk.Succs)
+				}
+				return
+			}
+		}
+	}
+	t.Error("no block terminated by the panic call")
+}
+
+func TestCustomTerminatingPredicate(t *testing.T) {
+	opt := Options{IsTerminating: func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "die"
+	}}
+	g := buildFunc(t, `
+	if cond() {
+		die()
+	}
+	b()`, opt)
+	blk := blockCalling(t, g, "die")
+	if blk.Term == nil {
+		t.Error("die() should terminate its block under the predicate")
+	}
+	if !dependsOnAnyBranch(g, blockCalling(t, g, "b")) {
+		t.Error("b() after a terminating arm must be control-dependent")
+	}
+}
+
+func TestAssumeTrueDropsFalseEdge(t *testing.T) {
+	opt := Options{AssumeTrue: func(cond ast.Expr) bool { return true }}
+	g := buildFunc(t, `
+	if guard() {
+		a()
+	}
+	b()`, opt)
+	if dependsOnAnyBranch(g, blockCalling(t, g, "a")) {
+		t.Error("with the guard assumed true, a() must be unconditional")
+	}
+	for _, blk := range g.Reachable() {
+		if blk.Branch != nil && len(blk.Succs) != 1 {
+			t.Errorf("assumed-true branch block %d has %d successors, want 1", blk.Index, len(blk.Succs))
+		}
+	}
+}
+
+func TestLoopBodyDependentButLoopExitNot(t *testing.T) {
+	g := buildFunc(t, `
+	for cond() {
+		a()
+	}
+	b()`, Options{})
+	if !dependsOnAnyBranch(g, blockCalling(t, g, "a")) {
+		t.Error("loop body must be control-dependent on the loop condition")
+	}
+	if dependsOnAnyBranch(g, blockCalling(t, g, "b")) {
+		t.Error("code after the loop must NOT be control-dependent (naive reachability would flag it)")
+	}
+}
+
+func TestSwitchFallthroughReachesNextClause(t *testing.T) {
+	g := buildFunc(t, `
+	switch tag() {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	d()`, Options{})
+	ablk := blockCalling(t, g, "a")
+	bblk := blockCalling(t, g, "b")
+	linked := false
+	for _, s := range ablk.Succs {
+		if s == bblk {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Errorf("fallthrough: case-1 block %d should edge to case-2 block %d (succs %v)",
+			ablk.Index, bblk.Index, ablk.Succs)
+	}
+	if dependsOnAnyBranch(g, blockCalling(t, g, "d")) {
+		t.Error("d() after an exhaustive switch must not be control-dependent")
+	}
+}
+
+func TestLabeledBreakExitsOuterLoop(t *testing.T) {
+	g := buildFunc(t, `
+outer:
+	for {
+		for cond() {
+			if done() {
+				break outer
+			}
+			a()
+		}
+	}
+	b()`, Options{})
+	// b() is only reachable via break outer; the graph must reach it. (It is
+	// NOT control-dependent in the FOW sense: every *terminating* execution
+	// passes through it, since the loop's only exit is the labeled break.)
+	bblk := blockCalling(t, g, "b")
+	if dependsOnAnyBranch(g, bblk) {
+		t.Error("b() lies on the only path to Exit and must postdominate every branch")
+	}
+	if !dependsOnAnyBranch(g, blockCalling(t, g, "a")) {
+		t.Error("a() inside the conditional loop body must be control-dependent")
+	}
+}
+
+func TestGotoEdgesResolve(t *testing.T) {
+	g := buildFunc(t, `
+	if cond() {
+		goto done
+	}
+	a()
+done:
+	b()`, Options{})
+	// Both a() and b() reachable; b() has two predecessors paths.
+	blockCalling(t, g, "a")
+	bblk := blockCalling(t, g, "b")
+	if dependsOnAnyBranch(g, bblk) {
+		t.Error("b() is reached on both arms (goto and fallthrough) and must not be control-dependent")
+	}
+}
+
+func TestSelectEmptyBlocksForever(t *testing.T) {
+	g := buildFunc(t, `
+	select {}
+	b()`, Options{})
+	for _, blk := range g.Reachable() {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "b" {
+						t.Error("b() after select{} must be unreachable")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForwardLoopConvergesToSaturation(t *testing.T) {
+	g := buildFunc(t, `
+	for cond() {
+		a()
+	}`, Options{})
+	body := blockCalling(t, g, "a")
+	const cap = 5
+	join := func(x, y int) int {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	in := Forward(g, 0, join, func(x, y int) bool { return x == y }, func(b *Block, s int) int {
+		if b == body && s < cap {
+			return s + 1
+		}
+		return s
+	})
+	if got := in[g.Exit]; got != cap {
+		t.Errorf("saturating loop counter at Exit = %d, want %d", got, cap)
+	}
+}
+
+func TestForwardBranchJoin(t *testing.T) {
+	g := buildFunc(t, `
+	if cond() {
+		a()
+	}
+	b()`, Options{})
+	ablk := blockCalling(t, g, "a")
+	// Fact: "did this path execute a()". Join = or.
+	in := Forward(g, false,
+		func(x, y bool) bool { return x || y },
+		func(x, y bool) bool { return x == y },
+		func(b *Block, s bool) bool { return s || b == ablk })
+	if !in[g.Exit] {
+		t.Error("Exit must see the then-path fact through the join")
+	}
+	if in[ablk] {
+		t.Error("a()'s own in-state must not already contain its effect")
+	}
+}

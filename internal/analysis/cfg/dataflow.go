@@ -1,0 +1,209 @@
+package cfg
+
+// Forward runs a forward dataflow analysis to fixpoint and returns the
+// in-state of every reachable block. S is the analysis fact; join merges
+// the facts of converging paths, equal detects the fixpoint, and transfer
+// pushes a fact through one block. The driver iterates a worklist in
+// reverse postorder, so loop-free functions converge in one sweep and
+// loops iterate only until their facts stabilize. transfer must be a pure
+// function of its inputs (the driver may call it several times per block).
+func Forward[S any](g *Graph, entry S, join func(a, b S) S, equal func(a, b S) bool, transfer func(b *Block, in S) S) map[*Block]S {
+	order := g.postorder()
+	rpo := make(map[*Block]int, len(order))
+	for i, blk := range order {
+		rpo[blk] = len(order) - 1 - i
+	}
+
+	in := make(map[*Block]S, len(order))
+	in[g.Entry] = entry
+	work := []*Block{g.Entry}
+	inWork := map[*Block]bool{g.Entry: true}
+	pop := func() *Block {
+		// Lowest reverse-postorder number first: predecessors before
+		// successors wherever the graph allows.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if rpo[work[i]] < rpo[work[best]] {
+				best = i
+			}
+		}
+		blk := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[blk] = false
+		return blk
+	}
+
+	for len(work) > 0 {
+		blk := pop()
+		out := transfer(blk, in[blk])
+		for _, succ := range blk.Succs {
+			cur, ok := in[succ]
+			next := out
+			if ok {
+				next = join(cur, out)
+			}
+			if !ok || !equal(cur, next) {
+				in[succ] = next
+				if !inWork[succ] {
+					work = append(work, succ)
+					inWork[succ] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder.
+func (g *Graph) postorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var out []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		out = append(out, b)
+	}
+	visit(g.Entry)
+	return out
+}
+
+// Postdominators returns, per block, the set of blocks that postdominate
+// it (every path from the block to Exit passes through them; a block
+// postdominates itself). Blocks with no path to Exit (infinite loops)
+// conservatively report every block as a postdominator, which makes
+// ControlDeps treat them as unconditional — the checks built on this
+// prefer missing a finding to inventing one.
+func (g *Graph) Postdominators() map[*Block]map[*Block]bool {
+	blocks := g.Reachable()
+	all := make(map[*Block]bool, len(blocks))
+	for _, b := range blocks {
+		all[b] = true
+	}
+	pdom := make(map[*Block]map[*Block]bool, len(blocks))
+	for _, b := range blocks {
+		if b == g.Exit {
+			pdom[b] = map[*Block]bool{b: true}
+		} else {
+			full := make(map[*Block]bool, len(all))
+			for k := range all {
+				full[k] = true
+			}
+			pdom[b] = full
+		}
+	}
+	// Iterate to fixpoint: pdom(b) = {b} ∪ ⋂ pdom(succ). Function CFGs
+	// are small; the quadratic set representation is simpler than a
+	// dominator-tree algorithm and fast enough by orders of magnitude.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			if b == g.Exit {
+				continue
+			}
+			var inter map[*Block]bool
+			for _, s := range b.Succs {
+				sp, ok := pdom[s]
+				if !ok {
+					continue
+				}
+				if inter == nil {
+					inter = make(map[*Block]bool, len(sp))
+					for k := range sp {
+						inter[k] = true
+					}
+					continue
+				}
+				for k := range inter {
+					if !sp[k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[*Block]bool)
+			}
+			inter[b] = true
+			if len(inter) != len(pdom[b]) {
+				pdom[b] = inter
+				changed = true
+				continue
+			}
+			for k := range inter {
+				if !pdom[b][k] {
+					pdom[b] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return pdom
+}
+
+// ControlDeps computes the control-dependence relation (Ferrante–
+// Ottenstein–Warren): block X is control-dependent on branch block B when
+// B has a successor S with X postdominating S but X not postdominating B —
+// B's decision determines whether X executes at all. The result maps each
+// block to the branch blocks it directly depends on; callers needing
+// "depends anywhere in the function" close the relation transitively
+// (see TransitiveControlDeps).
+func (g *Graph) ControlDeps() map[*Block][]*Block {
+	pdom := g.Postdominators()
+	deps := make(map[*Block][]*Block)
+	seen := make(map[[2]*Block]bool)
+	for b := range pdom {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for _, s := range b.Succs {
+			sp, ok := pdom[s]
+			if !ok {
+				continue
+			}
+			for x := range sp {
+				if !pdom[b][x] && !seen[[2]*Block{x, b}] {
+					seen[[2]*Block{x, b}] = true
+					deps[x] = append(deps[x], b)
+				}
+			}
+		}
+	}
+	return deps
+}
+
+// TransitiveControlDeps returns the set of blocks whose execution depends,
+// directly or through intermediate branches, on any of the given branch
+// blocks: the closure of ControlDeps seeded with roots. A block in the
+// result either is control-dependent on a root, or is control-dependent on
+// a branch block that is itself in the result.
+func (g *Graph) TransitiveControlDeps(roots []*Block) map[*Block]bool {
+	deps := g.ControlDeps()
+	rootSet := make(map[*Block]bool, len(roots))
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	controlled := make(map[*Block]bool)
+	for changed := true; changed; {
+		changed = false
+		for x, branches := range deps {
+			if controlled[x] {
+				continue
+			}
+			for _, b := range branches {
+				if rootSet[b] || controlled[b] {
+					controlled[x] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return controlled
+}

@@ -4,24 +4,39 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"repro/internal/analysis/cfg"
 )
 
-// checkCollective reports calls to MPI collectives made lexically inside a
-// rank-dependent conditional. The mpi substrate's collectives (Barrier,
-// Allreduce*, Allgatherv, Alltoallv, Bcast*, and anything built on them)
-// synchronize all ranks of the world: if one rank skips a collective that
-// the others enter, the barrier never fills and the SPMD body deadlocks by
-// construction. The check computes the set of collective functions
-// transitively — any module function whose body (statically) calls a
-// collective is itself collective — so wrappers like
-// pgraph.ExchangeGhostsI32 or prefine.Refine are flagged just like a bare
-// Barrier.
+// checkCollSym verifies SPMD collective symmetry: every rank of the
+// simulated MPI world must execute the same sequence of collectives, so a
+// collective whose execution depends on a rank-derived value deadlocks the
+// world by construction (the ranks that skip it never fill the barrier).
 //
-// A conditional is rank-dependent when its condition mentions a Comm.Rank()
-// call, or a local variable directly assigned from one (one level of data
-// flow; deeper derivations need a manual //mcvet:ignore or, better, a
-// restructure).
-func checkCollective(m *Module, r *Reporter) {
+// This is the CFG upgrade of the original lexical `collective` check: a
+// collective call is flagged when its basic block is control-dependent
+// (Ferrante–Ottenstein–Warren, transitively) on a branch whose condition
+// reads Comm.Rank() or a variable assigned from it — anywhere in the
+// function, not just the immediately-enclosing if. That catches the
+// shapes the lexical check could not see:
+//
+//	if c.Rank() == 0 {
+//	        return // rank 0 leaves ...
+//	}
+//	c.Barrier() // ... so this collective hangs the other ranks
+//
+// and rank-bounded loops (`for i := 0; i < c.Rank(); i++ { coll() }`),
+// while NOT flagging the symmetric rejoin shape (`if c.Rank() == 0 { log }
+// ; c.Barrier()`) that a naive reachability test would.
+//
+// The collective set is computed transitively over the static call graph:
+// any module function whose body calls a collective is itself collective,
+// so wrappers (pgraph.ExchangeGhostsI32, DGraph.Gather, prefine.Refine)
+// are flagged like a bare Barrier. Rank-derivation tracks one level of
+// data flow (a variable directly assigned from an expression containing
+// Rank()); deeper derivations need a restructure or a reasoned
+// //mcvet:ignore collsym.
+func checkCollSym(m *Module, r *Reporter) {
 	mpiPath := m.Path + "/internal/mpi"
 
 	// Index every function declaration in the module.
@@ -77,20 +92,41 @@ func checkCollective(m *Module, r *Reporter) {
 			break
 		}
 	}
+	isCollective := func(callee *types.Func) bool {
+		return collective[callee] || isBase(callee)
+	}
 
-	for obj, di := range decls {
-		_ = obj
-		checkCollectiveDecl(m, r, di.pkg, di.decl, mpiPath, func(callee *types.Func) bool {
-			return collective[callee] || isBase(callee)
+	for _, di := range decls {
+		if !di.pkg.Reportable(fileOf(di.pkg, di.decl)) {
+			continue
+		}
+		// Rank-derived variables are collected over the whole declaration,
+		// so closures see rank variables captured from the enclosing
+		// function.
+		rankVars := rankDerivedVars(di.pkg, di.decl.Body, mpiPath)
+		// The declared body and each nested function literal get their own
+		// CFG: a closure runs on its own schedule, so control dependence
+		// does not cross the boundary.
+		checkCollSymBody(m, r, di.pkg, di.decl.Body, rankVars, mpiPath, isCollective)
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkCollSymBody(m, r, di.pkg, lit.Body, rankVars, mpiPath, isCollective)
+			}
+			return true
 		})
 	}
 }
 
-// checkCollectiveDecl walks one function body tracking how many enclosing
-// rank-dependent conditionals surround each statement, and reports any
-// collective call at depth > 0.
-func checkCollectiveDecl(m *Module, r *Reporter, pkg *Package, decl *ast.FuncDecl, mpiPath string, isCollective func(*types.Func) bool) {
-	rankVars := rankDerivedVars(pkg, decl, mpiPath)
+func fileOf(pkg *Package, decl *ast.FuncDecl) *ast.File {
+	for _, f := range pkg.Files {
+		if f.Pos() <= decl.Pos() && decl.End() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+func checkCollSymBody(m *Module, r *Reporter, pkg *Package, body *ast.BlockStmt, rankVars map[types.Object]bool, mpiPath string, isCollective func(*types.Func) bool) {
 	rankDep := func(e ast.Expr) bool {
 		if e == nil {
 			return false
@@ -98,6 +134,8 @@ func checkCollectiveDecl(m *Module, r *Reporter, pkg *Package, decl *ast.FuncDec
 		dep := false
 		ast.Inspect(e, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
 			case *ast.CallExpr:
 				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
 					if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && isCommMethod(obj, mpiPath) {
@@ -114,83 +152,40 @@ func checkCollectiveDecl(m *Module, r *Reporter, pkg *Package, decl *ast.FuncDec
 		return dep
 	}
 
-	var walk func(n ast.Node, depth int)
-	walk = func(n ast.Node, depth int) {
-		switch n := n.(type) {
-		case nil:
-			return
-		case *ast.FuncLit:
-			// The closure may execute on a different rank schedule (or not
-			// at all); restart the lexical analysis inside it.
-			walk(n.Body, 0)
-			return
-		case *ast.IfStmt:
-			walk(n.Init, depth)
-			walk(n.Cond, depth)
-			d := depth
-			if rankDep(n.Cond) {
-				d++
-			}
-			walk(n.Body, d)
-			walk(n.Else, d)
-			return
-		case *ast.SwitchStmt:
-			walk(n.Init, depth)
-			walk(n.Tag, depth)
-			tagDep := rankDep(n.Tag)
-			for _, s := range n.Body.List {
-				cc := s.(*ast.CaseClause)
-				d := depth
-				if tagDep {
-					d++
-				} else {
-					for _, e := range cc.List {
-						if rankDep(e) {
-							d++
-							break
-						}
-					}
-				}
-				for _, body := range cc.Body {
-					walk(body, d)
-				}
-			}
-			return
-		case *ast.ForStmt:
-			walk(n.Init, depth)
-			walk(n.Cond, depth)
-			walk(n.Post, depth)
-			d := depth
-			if rankDep(n.Cond) {
-				d++
-			}
-			walk(n.Body, d)
-			return
-		case *ast.CallExpr:
-			if depth > 0 {
-				if callee := calleeFunc(pkg, n); callee != nil && isCollective(callee) {
-					r.Report(n.Pos(), "collective",
-						"collective %s called inside a rank-dependent conditional: ranks that skip it deadlock the world", callee.FullName())
-				}
+	// Cheap pre-pass: no rank-dependent condition or no collective call,
+	// nothing to do.
+	g := cfg.New(body, cfg.Options{
+		IsTerminating: func(call *ast.CallExpr) bool { return isTerminatingCall(pkg, call) },
+	})
+	var roots []*cfg.Block
+	for _, b := range g.Reachable() {
+		for _, cond := range b.Conds {
+			if rankDep(cond) {
+				roots = append(roots, b)
+				break
 			}
 		}
-		// Generic descent over direct children at the current depth.
-		ast.Inspect(n, func(child ast.Node) bool {
-			if child == n {
-				return true
-			}
-			if child != nil {
-				walk(child, depth)
-			}
-			return false
-		})
 	}
-	walk(decl.Body, 0)
+	if len(roots) == 0 {
+		return
+	}
+
+	controlled := g.TransitiveControlDeps(roots)
+	for b := range controlled {
+		for _, node := range b.Nodes {
+			forEachCall(node, func(call *ast.CallExpr) {
+				if callee := calleeFunc(pkg, call); callee != nil && isCollective(callee) {
+					r.Report(call.Pos(), "collsym",
+						"collective %s is control-dependent on a rank-derived condition: ranks that skip it deadlock the world", callee.FullName())
+				}
+			})
+		}
+	}
 }
 
-// rankDerivedVars collects local objects assigned (anywhere in decl) from
+// rankDerivedVars collects local objects assigned (anywhere in body) from
 // an expression containing a Comm.Rank() call.
-func rankDerivedVars(pkg *Package, decl *ast.FuncDecl, mpiPath string) map[types.Object]bool {
+func rankDerivedVars(pkg *Package, body *ast.BlockStmt, mpiPath string) map[types.Object]bool {
 	vars := make(map[types.Object]bool)
 	containsRank := func(e ast.Expr) bool {
 		found := false
@@ -215,7 +210,7 @@ func rankDerivedVars(pkg *Package, decl *ast.FuncDecl, mpiPath string) map[types
 			}
 		}
 	}
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			fromRank := false

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/cfg"
+)
+
+// This file holds the shared plumbing of the CFG-based contract checks
+// (arenapair, spanpair, collsym): enumerating analyzable function bodies,
+// resolving module-internal method calls, classifying terminating calls
+// and abort returns, and the nil-receiver guard idiom.
+
+// funcBody is one analyzable body: a declared function/method or a
+// function literal. Literals are analyzed as their own unit because they
+// run on their own schedule (goroutine, defer, callback) — open spans and
+// marks do not flow between a closure and its enclosing function.
+type funcBody struct {
+	pkg  *Package
+	file *ast.File
+	// name labels diagnostics ("(*Refiner).Refine", "func literal").
+	name string
+	body *ast.BlockStmt
+	// results is the function's result list (nil for literals without
+	// declared results); used to classify abort returns.
+	results *ast.FieldList
+}
+
+// funcBodies yields every function body of every reportable file: each
+// FuncDecl, and each FuncLit nested anywhere inside it, as separate
+// entries. Nested literals are not re-entered from the enclosing body.
+func funcBodies(m *Module) []funcBody {
+	var out []funcBody
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			if !pkg.Reportable(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, funcBody{pkg: pkg, file: f, name: fd.Name.Name, body: fd.Body, results: fd.Type.Results})
+				collectFuncLits(pkg, f, fd.Body, &out)
+			}
+			// Literals in package-level variable initializers.
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok {
+					collectFuncLits(pkg, f, gd, &out)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func collectFuncLits(pkg *Package, f *ast.File, root ast.Node, out *[]funcBody) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			*out = append(*out, funcBody{pkg: pkg, file: f, name: "func literal", body: lit.Body, results: lit.Type.Results})
+		}
+		return true
+	})
+}
+
+// isMethodOn reports whether obj is a method named name on the named type
+// typeName declared in the module package with import path pkgPath.
+func isMethodOn(obj *types.Func, name, typeName, pkgPath string) bool {
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Name() == typeName && tn.Pkg() != nil && tn.Pkg().Path() == pkgPath
+}
+
+// methodCallee resolves call to a method *types.Func, or nil.
+func methodCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return obj
+}
+
+// isTerminatingCall reports calls that never return: os.Exit, log.Fatal*,
+// runtime.Goexit, and the testing Fatal/Skip family. The builtin panic is
+// recognized by the cfg builder itself.
+func isTerminatingCall(pkg *Package, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		if obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "os":
+			return obj.Name() == "Exit"
+		case "log":
+			switch obj.Name() {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		case "runtime":
+			return obj.Name() == "Goexit"
+		case "testing":
+			switch obj.Name() {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isAbortReturn reports whether ret exits with a (possibly) non-nil error:
+// some result expression's type is the error interface and the expression
+// is not the literal nil, or the function declares an error result and ret
+// is a bare return of named results. Such exits are the sanctioned
+// abort paths of the trace contract — trace.Export balances spans an
+// aborted run left open — so spanpair exempts them.
+func isAbortReturn(pkg *Package, ret *ast.ReturnStmt, results *ast.FieldList) bool {
+	if len(ret.Results) == 0 {
+		// Bare return: exempt if any named result is error-typed.
+		if results == nil {
+			return false
+		}
+		for _, f := range results.List {
+			if tv, ok := pkg.Info.Types[f.Type]; ok && isErrorType(tv.Type) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range ret.Results {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if tv, ok := pkg.Info.Types[e]; ok && isErrorType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// assumeNonNilGuard returns an AssumeTrue predicate for cfg.Options that
+// treats `x != nil` as always satisfied when x's static type is a pointer
+// to one of the given named types (e.g. *trace.Rank, whose nil value is a
+// documented no-op recorder: the guarded calls are semantically
+// unconditional, the guard only skips argument evaluation).
+func assumeNonNilGuard(pkg *Package, typeName, pkgPath string) func(ast.Expr) bool {
+	isGuarded := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		p, ok := tv.Type.Underlying().(*types.Pointer)
+		if !ok {
+			return false
+		}
+		named, ok := p.Elem().(*types.Named)
+		if !ok {
+			return false
+		}
+		tn := named.Obj()
+		return tn.Name() == typeName && tn.Pkg() != nil && tn.Pkg().Path() == pkgPath
+	}
+	return func(cond ast.Expr) bool {
+		bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != "!=" {
+			return false
+		}
+		x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+		if isNilIdent(y) {
+			return isGuarded(x)
+		}
+		if isNilIdent(x) {
+			return isGuarded(y)
+		}
+		return false
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// cfgFor builds the CFG of one body with the package's terminating-call
+// predicate and an optional AssumeTrue predicate.
+func cfgFor(fb funcBody, assumeTrue func(ast.Expr) bool) *cfg.Graph {
+	return cfg.New(fb.body, cfg.Options{
+		AssumeTrue:    assumeTrue,
+		IsTerminating: func(call *ast.CallExpr) bool { return isTerminatingCall(fb.pkg, call) },
+	})
+}
+
+// forEachCall walks node (one cfg block entry: a statement or controlling
+// expression) and invokes fn on every call expression in evaluation order,
+// without descending into nested function literals — those are analyzed
+// as their own funcBody.
+func forEachCall(node ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}

@@ -1,0 +1,398 @@
+package analysis
+
+import "testing"
+
+// Stub packages matching the shapes the contract checks key on: the checks
+// resolve methods by (name, receiver type, module-relative import path), so
+// small stand-ins suffice.
+const arenaStub = `package arena
+
+type Marker int
+
+type Arena struct{ buf []int32 }
+
+func (a *Arena) Mark() Marker     { return Marker(len(a.buf)) }
+func (a *Arena) Release(m Marker) {}
+func (a *Arena) Reset()           {}
+
+func (a *Arena) I32(n int) []int32   { return make([]int32, n) }
+func (a *Arena) F64(n int) []float64 { return make([]float64, n) }
+`
+
+const traceStub = `package trace
+
+type Rank struct{}
+
+func (r *Rank) Begin(name string) {}
+func (r *Rank) End()              {}
+`
+
+const mpiStub = `package mpi
+
+type Comm struct{ rank int }
+
+func (c *Comm) Rank() int { return c.rank }
+
+func (c *Comm) Barrier() {}
+`
+
+func TestContractChecks(t *testing.T) {
+	cases := []struct {
+		name   string
+		checks []string
+		opt    LoadOptions
+		files  map[string]string
+		want   []string
+	}{
+		{
+			name:   "arenapair flags Mark without Release on an early return",
+			checks: []string{"arenapair"},
+			files: map[string]string{
+				"internal/arena/arena.go": arenaStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/arena"
+
+func Leak(a *arena.Arena, cond bool) {
+	m := a.Mark()
+	if cond {
+		return
+	}
+	a.Release(m)
+}
+`,
+			},
+			want: []string{"internal/p/p.go:6:7 [arenapair]"},
+		},
+		{
+			name:   "arenapair accepts deferred Release and Reset exits",
+			checks: []string{"arenapair"},
+			files: map[string]string{
+				"internal/arena/arena.go": arenaStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/arena"
+
+func DeferOK(a *arena.Arena, cond bool) {
+	m := a.Mark()
+	defer a.Release(m)
+	if cond {
+		return
+	}
+}
+
+func ResetOK(a *arena.Arena, cond bool) {
+	_ = a.Mark()
+	if cond {
+		a.Reset()
+		return
+	}
+	a.Reset()
+}
+`,
+			},
+			want: nil,
+		},
+		{
+			name:   "arenapair flags arena-backed slices escaping via return",
+			checks: []string{"arenapair"},
+			files: map[string]string{
+				"internal/arena/arena.go": arenaStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/arena"
+
+func Carve(a *arena.Arena) []int32 {
+	v := a.I32(8)
+	return v
+}
+`,
+			},
+			want: []string{"internal/p/p.go:7:9 [arenapair]"},
+		},
+		{
+			name:   "arenapair flags arena-backed slices stored into struct fields",
+			checks: []string{"arenapair"},
+			files: map[string]string{
+				"internal/arena/arena.go": arenaStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/arena"
+
+type H struct{ S []int32 }
+
+func Store(a *arena.Arena, h *H) {
+	h.S = a.I32(8)
+}
+`,
+			},
+			want: []string{"internal/p/p.go:8:8 [arenapair]"},
+		},
+		{
+			name:   "arenapair accepts slices passed down and released in order",
+			checks: []string{"arenapair"},
+			files: map[string]string{
+				"internal/arena/arena.go": arenaStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/arena"
+
+func use(v []int32) {}
+
+func PassDown(a *arena.Arena) {
+	m := a.Mark()
+	v := a.I32(8)
+	use(v)
+	use(v[2:4])
+	a.Release(m)
+}
+`,
+			},
+			want: nil,
+		},
+		{
+			name:   "arenapair flags marks accumulating across loop iterations",
+			checks: []string{"arenapair"},
+			files: map[string]string{
+				"internal/arena/arena.go": arenaStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/arena"
+
+func Loop(a *arena.Arena, n int) {
+	for i := 0; i < n; i++ {
+		_ = a.Mark()
+	}
+}
+`,
+			},
+			want: []string{"internal/p/p.go:7:7 [arenapair]"},
+		},
+		{
+			name:   "spanpair flags Begin without End on the normal exit",
+			checks: []string{"spanpair"},
+			files: map[string]string{
+				"internal/trace/trace.go": traceStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/trace"
+
+func Leak(rk *trace.Rank, cond bool) {
+	rk.Begin("phase")
+	if cond {
+		return
+	}
+	rk.End()
+}
+`,
+			},
+			want: []string{"internal/p/p.go:6:2 [spanpair]"},
+		},
+		{
+			name:   "spanpair exempts abort paths that return an error",
+			checks: []string{"spanpair"},
+			files: map[string]string{
+				"internal/trace/trace.go": traceStub,
+				"internal/p/p.go": `package p
+
+import (
+	"errors"
+
+	"testmod/internal/trace"
+)
+
+func Abort(rk *trace.Rank, bad bool) error {
+	rk.Begin("phase")
+	if bad {
+		return errors.New("abort")
+	}
+	rk.End()
+	return nil
+}
+`,
+			},
+			want: nil,
+		},
+		{
+			name:   "spanpair models the nil-safe recorder guard idiom",
+			checks: []string{"spanpair"},
+			files: map[string]string{
+				"internal/trace/trace.go": traceStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/trace"
+
+func work() {}
+
+func Guarded(rk *trace.Rank) {
+	rk.Begin("distribute")
+	work()
+	if rk != nil {
+		rk.End()
+	}
+}
+`,
+			},
+			want: nil,
+		},
+		{
+			name:   "spanpair accepts deferred End including deferred closures",
+			checks: []string{"spanpair"},
+			files: map[string]string{
+				"internal/trace/trace.go": traceStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/trace"
+
+func work() {}
+
+func DeferOK(rk *trace.Rank) {
+	rk.Begin("a")
+	defer rk.End()
+	work()
+}
+
+func DeferClosureOK(rk *trace.Rank) {
+	rk.Begin("a")
+	defer func() {
+		rk.End()
+	}()
+	work()
+}
+`,
+			},
+			want: nil,
+		},
+		{
+			name:   "spanpair flags spans accumulating across loop iterations",
+			checks: []string{"spanpair"},
+			files: map[string]string{
+				"internal/trace/trace.go": traceStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/trace"
+
+func Loop(rk *trace.Rank, n int) {
+	for i := 0; i < n; i++ {
+		rk.Begin("iter")
+	}
+}
+`,
+			},
+			want: []string{"internal/p/p.go:7:3 [spanpair]"},
+		},
+		{
+			name:   "collsym flags the hoisted-gather bug shape in a test unit",
+			checks: []string{"collsym"},
+			opt:    LoadOptions{Tests: true},
+			files: map[string]string{
+				"internal/mpi/mpi.go": mpiStub,
+				"internal/pg/pg.go": `package pg
+
+import "testmod/internal/mpi"
+
+type DG struct{ C *mpi.Comm }
+
+func (d *DG) Gather() []int32 {
+	d.C.Barrier()
+	return nil
+}
+`,
+				"internal/pg/pg_test.go": `package pg
+
+import "testmod/internal/mpi"
+
+func harness(c *mpi.Comm) []int32 {
+	d := &DG{C: c}
+	if c.Rank() == 0 {
+		return d.Gather()
+	}
+	return nil
+}
+
+func harnessFixed(d *DG, c *mpi.Comm) []int32 {
+	gg := d.Gather()
+	if c.Rank() == 0 {
+		return gg
+	}
+	return nil
+}
+`,
+			},
+			want: []string{"internal/pg/pg_test.go:8:10 [collsym]"},
+		},
+		{
+			name:   "collsym flags collectives after a rank-guarded early return",
+			checks: []string{"collsym"},
+			files: map[string]string{
+				"internal/mpi/mpi.go": mpiStub,
+				"internal/p/p.go": `package p
+
+import "testmod/internal/mpi"
+
+func EarlyReturn(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		return
+	}
+	c.Barrier()
+}
+
+func Rejoin(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		_ = 1
+	}
+	c.Barrier()
+}
+`,
+			},
+			want: []string{"internal/p/p.go:9:2 [collsym]"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := writeModule(t, tc.files)
+			got := runOn(t, root, tc.opt, named(t, tc.checks...))
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings:\n  got  %q\n  want %q", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("finding %d: got %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestStrictIgnoreViolations(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/p/p.go": `package p
+
+//mcvet:ignore
+func a() {}
+
+//mcvet:ignore maprange
+func b() {}
+
+//mcvet:ignore maprange — the aggregation is order-independent
+func c() {}
+`,
+	})
+	_, rep, _, err := RunWithReporter(root, LoadOptions{}, Checks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.StrictIgnoreViolations()
+	if len(v) != 2 {
+		t.Fatalf("got %d strict-ignore violations, want 2: %v", len(v), v)
+	}
+	if v[0].Pos.Line != 3 || v[1].Pos.Line != 6 {
+		t.Errorf("violation lines = %d, %d; want 3, 6", v[0].Pos.Line, v[1].Pos.Line)
+	}
+	for _, f := range v {
+		if f.Check != "strictignore" {
+			t.Errorf("violation check = %q, want strictignore", f.Check)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF export in the subset of the 2.1.0 schema GitHub code scanning
+// ingests: one run, a driver with one reportingDescriptor per check, and
+// one result per finding with a physical location whose uri is
+// module-root-relative. Columns and lines are 1-based as the schema
+// requires; URIs use forward slashes regardless of host OS.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// relModulePath rebases an absolute finding path onto the module root with
+// forward slashes; paths outside the root pass through unchanged.
+func relModulePath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+// WriteSARIF encodes findings as a SARIF 2.1.0 log. checks supplies the
+// rule metadata; checks not represented in findings still appear as rules
+// so code-scanning UIs can show the full suite. Findings whose check is
+// not in checks (e.g. strictignore) get a rule synthesized on the fly.
+func WriteSARIF(w io.Writer, root string, checks []*Check, findings []Finding) error {
+	var rules []sarifRule
+	index := make(map[string]int)
+	addRule := func(id, doc string) int {
+		if i, ok := index[id]; ok {
+			return i
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		return len(rules) - 1
+	}
+	for _, c := range checks {
+		addRule(c.Name, c.Doc)
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		ri := addRule(f.Check, f.Check)
+		results = append(results, sarifResult{
+			RuleID:    f.Check,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relModulePath(root, f.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mcvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

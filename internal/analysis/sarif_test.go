@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFindings(root string) []Finding {
+	return []Finding{
+		{
+			Pos:     token.Position{Filename: filepath.Join(root, "internal/p/p.go"), Line: 6, Column: 7},
+			Check:   "arenapair",
+			Message: "arena mark taken here is not released on the exit path at line 8",
+		},
+		{
+			Pos:     token.Position{Filename: filepath.Join(root, "internal/q/q.go"), Line: 12, Column: 2},
+			Check:   "strictignore",
+			Message: "bare //mcvet:ignore suppresses every check",
+		},
+	}
+}
+
+// TestSARIFGolden locks the exact serialized form: the SARIF subset GitHub
+// code scanning ingests is a wire format, so field renames or reorderings
+// are breaking changes this test must catch.
+func TestSARIFGolden(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	checks := []*Check{
+		{Name: "arenapair", Doc: "arena Mark/Release pairing"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, checks, sampleFindings(root)); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "mcvet",
+          "rules": [
+            {
+              "id": "arenapair",
+              "shortDescription": {
+                "text": "arena Mark/Release pairing"
+              }
+            },
+            {
+              "id": "strictignore",
+              "shortDescription": {
+                "text": "strictignore"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "arenapair",
+          "ruleIndex": 0,
+          "level": "error",
+          "message": {
+            "text": "arena mark taken here is not released on the exit path at line 8"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/p/p.go",
+                  "uriBaseId": "%SRCROOT%"
+                },
+                "region": {
+                  "startLine": 6,
+                  "startColumn": 7
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "strictignore",
+          "ruleIndex": 1,
+          "level": "error",
+          "message": {
+            "text": "bare //mcvet:ignore suppresses every check"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/q/q.go",
+                  "uriBaseId": "%SRCROOT%"
+                },
+                "region": {
+                  "startLine": 12,
+                  "startColumn": 2
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("SARIF output drifted from the golden form:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestSARIFRoundTrip re-reads the emitted log generically and verifies the
+// structural invariants code scanning relies on: every result's ruleIndex
+// resolves to its ruleId, and every location is root-relative with 1-based
+// coordinates.
+func TestSARIFRoundTrip(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, Checks(), sampleFindings(root)); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mcvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every registered check appears as a rule.
+	ruleIDs := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = i
+	}
+	for _, c := range Checks() {
+		if _, ok := ruleIDs[c.Name]; !ok {
+			t.Errorf("check %s missing from rules", c.Name)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("ruleIndex %d resolves to %q, result says %q",
+				res.RuleIndex, run.Tool.Driver.Rules[res.RuleIndex].ID, res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("level = %q, want error", res.Level)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") || strings.HasPrefix(loc.ArtifactLocation.URI, "/") {
+			t.Errorf("uri %q must be relative with forward slashes", loc.ArtifactLocation.URI)
+		}
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("uriBaseId = %q", loc.ArtifactLocation.URIBaseID)
+		}
+		if loc.Region.StartLine < 1 || loc.Region.StartColumn < 1 {
+			t.Errorf("region %+v must be 1-based", loc.Region)
+		}
+	}
+}
+
+func TestBaselineRoundTripAndApply(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	findings := sampleFindings(root)
+	b := NewBaseline(root, findings)
+
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Findings) != 2 {
+		t.Fatalf("round-trip lost entries: %d, want 2", len(rb.Findings))
+	}
+
+	// Matching is line-insensitive: shift a finding and it still baselines.
+	shifted := make([]Finding, len(findings))
+	copy(shifted, findings)
+	shifted[0].Pos.Line += 40
+	fresh, suppressed := rb.Apply(root, shifted)
+	if len(fresh) != 0 || len(suppressed) != 2 {
+		t.Errorf("Apply: fresh=%d suppressed=%d, want 0/2", len(fresh), len(suppressed))
+	}
+
+	// Multiplicity is consumed: two identical findings, one baseline entry.
+	dup := append([]Finding{findings[0]}, findings[0])
+	single := NewBaseline(root, findings[:1])
+	fresh, suppressed = single.Apply(root, dup)
+	if len(fresh) != 1 || len(suppressed) != 1 {
+		t.Errorf("multiplicity: fresh=%d suppressed=%d, want 1/1", len(fresh), len(suppressed))
+	}
+
+	// A changed message is a fresh finding.
+	changed := []Finding{findings[0]}
+	changed[0].Message = "different"
+	fresh, _ = rb.Apply(root, changed)
+	if len(fresh) != 1 {
+		t.Errorf("changed message should be fresh, got %d fresh", len(fresh))
+	}
+
+	// Version gate.
+	if _, err := ReadBaseline(strings.NewReader(`{"version":2,"findings":[]}`)); err == nil {
+		t.Error("version 2 baseline must be rejected")
+	}
+}

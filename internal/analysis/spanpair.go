@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// checkSpanPair verifies the trace span contract: every trace.Rank.Begin
+// must be balanced by an End on every path that completes normally. The
+// check is a forward dataflow analysis over the function's CFG tracking
+// the set of possible open-span stacks per program point, with two
+// idioms from the tracing design modeled explicitly:
+//
+//   - A nil *trace.Rank is a documented no-op recorder, so `if rk != nil`
+//     guards around Begin/End are assumed taken — the nil execution is
+//     trivially balanced and the guarded one is the only execution the
+//     check needs to see.
+//   - Abort paths may leave spans open: trace.Export synthesizes closing
+//     events for spans an aborted run left open (internal/trace/export.go),
+//     so returns that carry a non-nil error, panics, and t.Fatal-style
+//     terminations are exempt. A *normal* return with an open span is a
+//     bug — the exported trace would silently misattribute the tail of the
+//     run to the unclosed span.
+//
+// Deferred Ends (`defer rk.End()`, or a deferred closure that calls End)
+// are tracked in the path state and applied at each exit. The analysis is
+// intraprocedural: a helper that Begins and relies on its caller to End is
+// reported — restructure it or annotate the Begin with
+// //mcvet:ignore spanpair — reason.
+func checkSpanPair(m *Module, r *Reporter) {
+	tracePath := m.Path + "/internal/trace"
+	for _, fb := range funcBodies(m) {
+		// The trace package's own tests deliberately build unbalanced
+		// streams to exercise Export's abort balancing.
+		if fb.pkg.ImportPath == tracePath {
+			continue
+		}
+		checkSpanPairFunc(m, r, fb, tracePath)
+	}
+}
+
+const (
+	maxSpanDepth = 24
+	maxSpanPaths = 32
+)
+
+// spanPath is one abstract execution: the stack of open spans, the number
+// of Ends registered via defer, and taint flags.
+type spanPath struct {
+	open []spanOpen
+	// deferredEnds counts End calls registered with defer on this path;
+	// each closes one span at exit.
+	deferredEnds int
+	// underflow: an End popped an empty stack — the function closes a span
+	// its caller opened, which this intraprocedural check cannot pair.
+	// Findings on such paths are suppressed.
+	underflow bool
+	// poisoned marks the Begin that pushed past maxSpanDepth: only a loop
+	// that opens spans without closing them grows that deep.
+	poisoned token.Pos
+}
+
+type spanOpen struct {
+	pos  token.Pos
+	name string
+}
+
+func (p spanPath) key() string {
+	var sb strings.Builder
+	for _, o := range p.open {
+		sb.WriteString(strconv.Itoa(int(o.pos)))
+		sb.WriteByte('|')
+	}
+	sb.WriteByte('#')
+	sb.WriteString(strconv.Itoa(p.deferredEnds))
+	if p.underflow {
+		sb.WriteString("#uf")
+	}
+	if p.poisoned != token.NoPos {
+		sb.WriteString("#p")
+		sb.WriteString(strconv.Itoa(int(p.poisoned)))
+	}
+	return sb.String()
+}
+
+func (p spanPath) clone() spanPath {
+	q := p
+	q.open = append([]spanOpen(nil), p.open...)
+	return q
+}
+
+// spanState is the dataflow fact: the set of distinct paths reaching a
+// point, keyed canonically. Nil map = unreachable (bottom).
+type spanState struct {
+	paths map[string]spanPath
+}
+
+func (s spanState) join(o spanState) spanState {
+	out := spanState{paths: make(map[string]spanPath, len(s.paths)+len(o.paths))}
+	for k, p := range s.paths {
+		out.paths[k] = p
+	}
+	for k, p := range o.paths {
+		out.paths[k] = p
+	}
+	if len(out.paths) > maxSpanPaths {
+		// Deterministically truncate; best effort beats state explosion.
+		keys := make([]string, 0, len(out.paths))
+		for k := range out.paths {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys[maxSpanPaths:] {
+			delete(out.paths, k)
+		}
+	}
+	return out
+}
+
+func (s spanState) equal(o spanState) bool {
+	if len(s.paths) != len(o.paths) {
+		return false
+	}
+	for k := range s.paths {
+		if _, ok := o.paths[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkSpanPairFunc(m *Module, r *Reporter, fb funcBody, tracePath string) {
+	pkg := fb.pkg
+	isBegin := func(call *ast.CallExpr) bool {
+		return isMethodOn(methodCallee(pkg, call), "Begin", "Rank", tracePath)
+	}
+	isEnd := func(call *ast.CallExpr) bool {
+		return isMethodOn(methodCallee(pkg, call), "End", "Rank", tracePath)
+	}
+
+	// Fast pre-pass: skip functions that never touch spans.
+	touches := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if touches {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && (isBegin(call) || isEnd(call)) {
+			touches = true
+		}
+		return true
+	})
+	if !touches {
+		return
+	}
+
+	g := cfgFor(fb, assumeNonNilGuard(pkg, "Rank", tracePath))
+
+	transfer := func(b *cfg.Block, in spanState) spanState {
+		out := spanState{paths: make(map[string]spanPath, len(in.paths))}
+		for _, p := range in.paths {
+			q := p.clone()
+			for _, node := range b.Nodes {
+				q = spanTransferNode(pkg, node, q, isBegin, isEnd)
+			}
+			out.paths[q.key()] = q
+		}
+		return out
+	}
+
+	entry := spanState{paths: map[string]spanPath{"": {}}}
+	in := cfg.Forward(g, entry,
+		func(a, b spanState) spanState { return a.join(b) },
+		func(a, b spanState) bool { return a.equal(b) },
+		transfer)
+
+	// Inspect every edge into Exit: replay the predecessor block and check
+	// the resulting paths against its exit kind.
+	type leak struct {
+		open     spanOpen
+		exitLine int
+	}
+	leaks := make(map[token.Pos]leak)
+	poisons := make(map[token.Pos]bool)
+	for _, pred := range g.Exit.Preds {
+		st, ok := in[pred]
+		if !ok {
+			continue // unreachable
+		}
+		st = transfer(pred, st)
+
+		exempt := false
+		var exitPos token.Pos = fb.body.End()
+		switch term := pred.Term.(type) {
+		case *ast.ReturnStmt:
+			exitPos = term.Pos()
+			exempt = isAbortReturn(pkg, term, fb.results)
+		case *ast.CallExpr:
+			// panic / t.Fatal / os.Exit: Export balances aborted runs.
+			exempt = true
+		}
+		for _, p := range st.paths {
+			if p.poisoned != token.NoPos {
+				poisons[p.poisoned] = true
+			}
+			if exempt || p.underflow {
+				continue
+			}
+			open := p.open
+			if n := len(open) - p.deferredEnds; n > 0 {
+				open = open[:n]
+			} else {
+				open = nil
+			}
+			for _, o := range open {
+				if _, seen := leaks[o.pos]; !seen {
+					line := m.Fset.Position(exitPos).Line
+					leaks[o.pos] = leak{open: o, exitLine: line}
+				}
+			}
+		}
+	}
+
+	for pos := range poisons {
+		r.Report(pos, "spanpair",
+			"span opened here grows the open-span stack on every loop iteration: Begin inside a loop needs a matching End on the same iteration")
+	}
+	for pos, l := range leaks {
+		if poisons[pos] {
+			continue
+		}
+		name := l.open.name
+		if name == "" {
+			name = "<dynamic>"
+		}
+		r.Report(pos, "spanpair",
+			"span %q opened here has no matching End on the normal exit at line %d (only aborted runs may leave spans open — trace.Export balances those)",
+			name, l.exitLine)
+	}
+}
+
+// spanTransferNode applies one block node's Begin/End/defer effects to a
+// path.
+func spanTransferNode(pkg *Package, node ast.Node, p spanPath, isBegin, isEnd func(*ast.CallExpr) bool) spanPath {
+	if d, ok := node.(*ast.DeferStmt); ok {
+		p.deferredEnds += deferredEndCount(pkg, d, isBegin, isEnd)
+		return p
+	}
+	forEachCall(node, func(call *ast.CallExpr) {
+		switch {
+		case isBegin(call):
+			if len(p.open) >= maxSpanDepth {
+				if p.poisoned == token.NoPos {
+					p.poisoned = call.Pos()
+				}
+				return
+			}
+			p.open = append(p.open, spanOpen{pos: call.Pos(), name: spanNameArg(call)})
+		case isEnd(call):
+			if len(p.open) == 0 {
+				p.underflow = true
+				return
+			}
+			p.open = p.open[: len(p.open)-1 : len(p.open)-1]
+		}
+	})
+	return p
+}
+
+// deferredEndCount counts the net End effect a defer statement registers:
+// `defer rk.End()` is one; a deferred closure contributes its End calls
+// minus its Begin calls (never negative).
+func deferredEndCount(pkg *Package, d *ast.DeferStmt, isBegin, isEnd func(*ast.CallExpr) bool) int {
+	if isEnd(d.Call) {
+		return 1
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return 0
+	}
+	ends, begins := 0, 0
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isEnd(call) {
+				ends++
+			} else if isBegin(call) {
+				begins++
+			}
+		}
+		return true
+	})
+	if ends > begins {
+		return ends - begins
+	}
+	return 0
+}
+
+// spanNameArg extracts the span name when the first Begin argument is a
+// string literal.
+func spanNameArg(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}

@@ -316,6 +316,7 @@ func (b *bisector) splitSide(g *graph.Graph, bi, remap []int32, side int32, ns i
 		ni++
 		xadj[ni] = pos
 	}
+	//mcvet:ignore arenapair — the subgraph lives only inside recurse(), which Releases its mark strictly after the child bisection consumed it
 	return &graph.Graph{Ncon: m, Xadj: xadj, Adjncy: adjncy[:pos], Adjwgt: adjwgt[:pos], Vwgt: vwgt}
 }
 

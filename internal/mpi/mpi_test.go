@@ -154,7 +154,9 @@ func TestRankPanicDoesNotDeadlock(t *testing.T) {
 		if c.Rank() == 2 {
 			panic("boom")
 		}
+		//mcvet:ignore collsym — this test provokes the asymmetry on purpose: rank 2 panics and poisoning must rescue the barrier
 		c.Barrier() // would deadlock forever without poisoning
+		//mcvet:ignore collsym — second barrier of the deliberately-poisoned pair
 		c.Barrier()
 	})
 }
@@ -169,6 +171,7 @@ func TestMismatchedCollectivesDetected(t *testing.T) {
 		if c.Rank() == 0 {
 			return // returns early; peers wait at a barrier rank 0 never joins
 		}
+		//mcvet:ignore collsym — the mismatch is the point: Run must detect and panic on it
 		c.Barrier()
 	})
 }

@@ -8,6 +8,7 @@
 //	mcpart -mesh mrng2s -workload type1 -m 3 -k 32 -p 32
 //	mcpart -graph mesh.graph -k 8 -out labels.txt
 //	mcpart -mesh mrng1t -workload type1 -m 2 -k 8 -p 4 -trace out.json
+//	mcpart -graph drifted.graph -k 8 -repart-from labels.txt
 //
 // The input file is in the METIS 4.0 format (see internal/graph). With
 // -mesh, a synthetic mrng-like mesh is generated instead and -workload
@@ -15,6 +16,14 @@
 // -trace, the run records a span trace (one track per simulated rank,
 // with per-collective communication counters) and writes it as Chrome
 // trace-event JSON, viewable at https://ui.perfetto.dev.
+//
+// With -repart-from, mcpart adapts an existing partitioning (one label
+// per line, the -out format of a previous run) to the input graph's
+// current weights instead of partitioning from scratch, and prints the
+// migration volume — moved vertices and per-constraint moved weight —
+// next to the cut and balance. -repart-method picks the strategy: auto
+// (default) chooses diffusion for mild imbalance and scratch-remap for
+// severe, or force either one explicitly.
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	partition "repro"
 	"repro/internal/gen"
@@ -48,6 +59,9 @@ func main() {
 		outFile   = flag.String("out", "", "write one subdomain label per line to this file")
 		timeout   = flag.Duration("timeout", 0, "abort partitioning after this long (0 = no limit); exits with status 3")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON trace of the run to this file (open in Perfetto)")
+
+		repartFrom   = flag.String("repart-from", "", "adapt the partitioning in this labels file (the -out format) to the graph's current weights instead of partitioning from scratch")
+		repartMethod = flag.String("repart-method", "auto", "repartitioning strategy with -repart-from: auto|diffusion|scratch-remap")
 	)
 	flag.Parse()
 
@@ -109,7 +123,49 @@ func main() {
 	}
 
 	var part []int32
-	if *p == 0 {
+	switch {
+	case *repartFrom != "":
+		oldPart, lerr := readLabels(*repartFrom, g.NumVertices())
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "mcpart:", lerr)
+			os.Exit(1)
+		}
+		var method partition.RepartitionMethod
+		switch *repartMethod {
+		case "auto":
+			method = partition.AutoRepartition
+		case "diffusion":
+			method = partition.Diffusion
+		case "scratch-remap":
+			method = partition.ScratchRemap
+		default:
+			fmt.Fprintf(os.Stderr, "mcpart: unknown repart-method %q (want auto, diffusion or scratch-remap)\n", *repartMethod)
+			os.Exit(2)
+		}
+		if *p == 0 {
+			opt := partition.RepartitionOptions{Seed: *seed, Tol: *tol, Method: method}
+			if tracer != nil {
+				opt.Trace = tracer.Rank(0)
+			}
+			var stats partition.RepartitionStats
+			part, stats, err = partition.Repartition(g, oldPart, *k, opt)
+			if err == nil {
+				printMigration("repart", stats)
+			}
+		} else {
+			if *repartMethod != "auto" {
+				fmt.Fprintln(os.Stderr, "mcpart: -repart-method is serial-only; parallel repartitioning (-p > 0) picks its own strategy")
+				os.Exit(2)
+			}
+			var stats partition.ParallelRepartitionStats
+			part, stats, err = partition.ParallelRepartition(g, oldPart, *k, *p, partition.ParallelOptions{
+				Seed: *seed, Tol: *tol, Scheme: parseSchemeFlag(*scheme),
+			})
+			if err == nil {
+				printMigration(fmt.Sprintf("repart p=%d simTime=%.3fs", *p, stats.SimTime), stats.Stats)
+			}
+		}
+	case *p == 0:
 		var stats partition.SerialStats
 		part, stats, err = partition.SerialTraced(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol}, tracer)
 		if err == nil {
@@ -117,22 +173,10 @@ func main() {
 				stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN,
 				stats.CoarsenTime, stats.InitTime, stats.UncoarsenTime)
 		}
-	} else {
-		var sch partition.Scheme
-		switch *scheme {
-		case "reservation":
-			sch = partition.Reservation
-		case "slice":
-			sch = partition.Slice
-		case "free":
-			sch = partition.Free
-		default:
-			fmt.Fprintf(os.Stderr, "mcpart: unknown scheme %q\n", *scheme)
-			os.Exit(2)
-		}
+	default:
 		var stats partition.ParallelStats
 		part, stats, err = partition.ParallelTraced(ctx, g, *k, *p, partition.ParallelOptions{
-			Seed: *seed, Tol: *tol, Scheme: sch,
+			Seed: *seed, Tol: *tol, Scheme: parseSchemeFlag(*scheme),
 		}, tracer)
 		if err == nil {
 			fmt.Printf("parallel p=%d: cut=%d imbalance=%.4f levels=%d simTime=%.3fs wall=%v moves=%d\n",
@@ -175,6 +219,67 @@ func main() {
 		}
 		fmt.Printf("wrote %d labels to %s\n", len(part), *outFile)
 	}
+}
+
+// parseSchemeFlag maps the -scheme flag; unknown names exit with status 2
+// like any other bad flag.
+func parseSchemeFlag(name string) partition.Scheme {
+	switch name {
+	case "reservation":
+		return partition.Reservation
+	case "slice":
+		return partition.Slice
+	case "free":
+		return partition.Free
+	}
+	fmt.Fprintf(os.Stderr, "mcpart: unknown scheme %q\n", name)
+	os.Exit(2)
+	return 0
+}
+
+// printMigration reports a repartitioning outcome: the cut and balance a
+// from-scratch run would print, plus the migration bill.
+func printMigration(prefix string, stats partition.RepartitionStats) {
+	fmt.Printf("%s method=%s: cut=%d imbalance=%.4f moved=%d (%.1f%% of vertices) moved-weight=[",
+		prefix, stats.Method, stats.EdgeCut, stats.Imbalance,
+		stats.MovedVertices, 100*stats.MovedFraction)
+	for i, w := range stats.MovedWeight {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(w)
+	}
+	fmt.Println("]")
+}
+
+// readLabels reads a labels file in the -out format: one subdomain label
+// per line, n lines.
+func readLabels(file string, n int) ([]int32, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	part := make([]int32, 0, n)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		x, err := strconv.ParseInt(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s: line %d: %v", file, len(part)+1, err)
+		}
+		part = append(part, int32(x))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", file, err)
+	}
+	if len(part) != n {
+		return nil, fmt.Errorf("%s has %d labels, graph has %d vertices", file, len(part), n)
+	}
+	return part, nil
 }
 
 func loadGraph(file, mesh, workload string, m int, seed uint64) (*partition.Graph, error) {

@@ -8,21 +8,32 @@
 //
 // Endpoints:
 //
-//	POST /v1/partition  submit a job (inline METIS graph or named mesh);
-//	                    append ?trace=1 to get back a Chrome trace-event
-//	                    JSON recording of the run in the "trace" field
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text exposition
+//	POST   /v1/partition               submit a job (inline METIS graph or
+//	                                   named mesh); append ?trace=1 to get
+//	                                   back a Chrome trace-event JSON
+//	                                   recording of the run
+//	POST   /v1/partition/stream        raw METIS body parsed incrementally;
+//	                                   parameters in the query string
+//	POST   /v1/batch                   up to -batch-max jobs with per-job
+//	                                   deadlines and error isolation
+//	POST   /v1/sessions                upload a graph once, get a handle
+//	GET    /v1/sessions/{id}           session state
+//	POST   /v1/sessions/{id}/repartition  adapt to drifted vertex weights
+//	DELETE /v1/sessions/{id}           drop the session
+//	GET    /healthz                    liveness
+//	GET    /metrics                    Prometheus text exposition
 //
 // A full queue answers 429 with a Retry-After header; results are cached
 // by content address (graph hash + parameter tuple), so resubmitting an
 // identical request is served without recomputation (traced requests
-// bypass the cache). SIGINT/SIGTERM trigger a graceful shutdown that
-// drains in-flight jobs. With -pprof, Go's net/http/pprof profiling
-// endpoints are served on a second, separate listener — keep it on
-// loopback or otherwise private; it is off by default and never shares
-// the service listener. See the README for request examples and
-// internal/service for the implementation.
+// bypass the cache). With -cache-dir, results additionally persist to an
+// LRU-bounded directory of checksummed segment files and survive daemon
+// restarts. SIGINT/SIGTERM trigger a graceful shutdown that drains
+// in-flight jobs. With -pprof, Go's net/http/pprof profiling endpoints are
+// served on a second, separate listener — keep it on loopback or otherwise
+// private; it is off by default and never shares the service listener. See
+// the README for request examples and internal/service for the
+// implementation.
 package main
 
 import (
@@ -54,6 +65,12 @@ func main() {
 		maxTime  = flag.Duration("max-timeout", 0, "largest per-job deadline a client may request (0 = default 10m)")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining connections")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty = disabled")
+
+		cacheDir   = flag.String("cache-dir", "", "directory for the disk-persistent result cache; empty = disabled")
+		diskBytes  = flag.Int64("cache-disk-bytes", 0, "disk cache byte bound (0 = default 256 MiB, negative disables)")
+		sessions   = flag.Int("sessions", 0, "live session limit (0 = default 64)")
+		sessionTTL = flag.Duration("session-ttl", 0, "idle session lifetime before sweep (0 = default 1h)")
+		batchMax   = flag.Int("batch-max", 0, "jobs accepted per /v1/batch call (0 = default 64)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,7 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := service.New(service.Config{
+	s, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
@@ -70,7 +87,16 @@ func main() {
 		MaxEdges:       *maxEdges,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTime,
+		CacheDir:       *cacheDir,
+		DiskCacheBytes: *diskBytes,
+		MaxSessions:    *sessions,
+		SessionTTL:     *sessionTTL,
+		MaxBatchJobs:   *batchMax,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcpartd:", err)
+		os.Exit(2)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

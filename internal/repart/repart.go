@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/serial"
+	"repro/internal/trace"
 )
 
 // Method selects the repartitioning strategy.
@@ -69,6 +70,11 @@ type Options struct {
 	AutoThreshold float64
 	// Passes bounds diffusion refinement passes (default 12).
 	Passes int
+	// Trace, when non-nil, records one "repart.diffuse" or "repart.remap"
+	// span per strategy executed (an Auto escalation records both), plus
+	// the nested refinement-pass spans of the diffusion repair. nil
+	// disables all recording; tracing is observation-only.
+	Trace *trace.Rank
 }
 
 func (o Options) withDefaults() Options {
@@ -165,23 +171,48 @@ func Repartition(g *graph.Graph, part []int32, k int, opt Options) ([]int32, Sta
 // diffuse repairs the partitioning in place with the serial
 // multi-constraint balancer and refiner.
 func diffuse(g *graph.Graph, part []int32, k int, opt Options) []int32 {
+	if rk := opt.Trace; rk != nil {
+		rk.Begin("repart.diffuse",
+			trace.I64("n", int64(g.NumVertices())), trace.I64("k", int64(k)))
+	}
 	out := append([]int32(nil), part...)
 	rand := rng.New(opt.Seed)
-	ref := kwayrefine.NewRefiner(k, g.Ncon, kwayrefine.Options{Tol: opt.Tol, Passes: opt.Passes})
-	ref.Refine(g, out, rand)
+	ref := kwayrefine.NewRefiner(k, g.Ncon, kwayrefine.Options{
+		Tol: opt.Tol, Passes: opt.Passes, Trace: opt.Trace,
+	})
+	moves := ref.Refine(g, out, rand)
+	if rk := opt.Trace; rk != nil {
+		rk.End(trace.I64("moves", int64(moves)),
+			trace.I64("cut", metrics.EdgeCut(g, out)))
+	}
 	return out
 }
 
 // scratchRemap partitions from scratch and then renames the new subdomains
 // to maximize weight overlap with the old assignment.
 func scratchRemap(g *graph.Graph, part []int32, k int, opt Options) ([]int32, error) {
+	if rk := opt.Trace; rk != nil {
+		rk.Begin("repart.remap",
+			trace.I64("n", int64(g.NumVertices())), trace.I64("k", int64(k)))
+	}
 	fresh, _, err := serial.Partition(g, k, serial.Options{Seed: opt.Seed, Tol: opt.Tol})
 	if err != nil {
+		if rk := opt.Trace; rk != nil {
+			rk.End(trace.Str("error", err.Error()))
+		}
 		return nil, err
 	}
 	remap := OverlapRemap(g, part, fresh, k)
+	moved := 0
 	for v := range fresh {
 		fresh[v] = remap[fresh[v]]
+		if fresh[v] != part[v] {
+			moved++
+		}
+	}
+	if rk := opt.Trace; rk != nil {
+		rk.End(trace.I64("moved", int64(moved)),
+			trace.I64("cut", metrics.EdgeCut(g, fresh)))
 	}
 	return fresh, nil
 }

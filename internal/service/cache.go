@@ -21,6 +21,7 @@ type resultCache struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
+	bytes int64 // approximate resident payload bytes (see approxSize)
 
 	onEvict func() // metrics hook; may be nil
 }
@@ -28,6 +29,15 @@ type resultCache struct {
 type cacheEntry struct {
 	key cacheKey
 	res *Result
+}
+
+// approxSize estimates a result's resident footprint for the
+// mcpartd_cache_bytes gauge: the dominant slices plus a small fixed
+// overhead for the struct, map entry, and list element. An estimate is
+// enough — the gauge exists so operators can size the disk tier against
+// real label volumes, not for exact accounting.
+func approxSize(r *Result) int64 {
+	return int64(4*len(r.Labels) + 8*len(r.Imbalances) + len(r.Trace) + 128)
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -59,15 +69,20 @@ func (c *resultCache) put(k cacheKey, r *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
-		el.Value.(*cacheEntry).res = r
+		e := el.Value.(*cacheEntry)
+		c.bytes += approxSize(r) - approxSize(e.res)
+		e.res = r
 		c.ll.MoveToFront(el)
 		return
 	}
 	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, res: r})
+	c.bytes += approxSize(r)
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+		e := last.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		c.bytes -= approxSize(e.res)
 		if c.onEvict != nil {
 			c.onEvict()
 		}
@@ -79,4 +94,11 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// bytesNow returns the approximate resident bytes.
+func (c *resultCache) bytesNow() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -15,6 +15,16 @@ import (
 	"repro/internal/trace"
 )
 
+// newTestServer wraps New for the common case of a valid config.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	t.Helper()
 	return postJSONQuery(t, url, "", body)
@@ -55,7 +65,7 @@ func fetchMetrics(t *testing.T, url string) string {
 // an identical second request is served from the cache without
 // recomputation.
 func TestE2EServeAndCache(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 4})
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -130,7 +140,7 @@ func TestE2EServeAndCache(t *testing.T) {
 // counters, traced results bypass the cache in both directions, and every
 // successful response (traced or not) reports the communication volume.
 func TestE2ETrace(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 4})
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -214,7 +224,7 @@ func mustMesh(t *testing.T, name string, seed uint64) *partition.Graph {
 }
 
 func TestE2EParallelMatchesLibrary(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 2})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -245,7 +255,7 @@ func TestE2EParallelMatchesLibrary(t *testing.T) {
 
 // TestE2EInlineGraph submits the graph as inline METIS text.
 func TestE2EInlineGraph(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 2})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -279,7 +289,7 @@ func TestE2EInlineGraph(t *testing.T) {
 // and the p simulated ranks must tear down without leaking (the -race and
 // -tags mcdebug CI lanes verify the teardown is clean).
 func TestE2ETimeout(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 2})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -311,7 +321,7 @@ func TestE2ETimeout(t *testing.T) {
 // with jobs that block until their deadline, then requires the next
 // request to be shed with 429 + Retry-After rather than queued or run.
 func TestE2EBackpressure(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	// Replace the pool with one whose job body blocks until cancellation,
 	// so occupancy is deterministic (no dependence on partitioner speed).
 	s.pool.close()
@@ -372,7 +382,7 @@ func TestE2EBackpressure(t *testing.T) {
 // TestE2EShutdown verifies the drain contract: after Close, handlers
 // answer 503 and the pool has finished every admitted job.
 func TestE2EShutdown(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -397,7 +407,7 @@ func TestE2EShutdown(t *testing.T) {
 
 // TestE2EHealthz checks the liveness endpoint's happy path.
 func TestE2EHealthz(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

@@ -1,0 +1,451 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	partition "repro"
+	"repro/internal/graph"
+)
+
+// doJSON issues one JSON request against an arbitrary method/path —
+// the v2 endpoints are not all POST /v1/partition.
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestE2EDiskCacheRestartSurvival is the persistence contract: results
+// computed before a daemon restart are warm hits after it, served from the
+// same -cache-dir without recomputation.
+func TestE2EDiskCacheRestartSurvival(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 2, CacheDir: dir}
+
+	s1 := newTestServer(t, cfg)
+	ts1 := httptest.NewServer(s1.Handler())
+	req := PartitionRequest{Mesh: "mrng1t", K: 8, Seed: 5}
+	resp, raw := postJSON(t, ts1.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var first PartitionResponse
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request reported cached")
+	}
+	ts1.Close()
+	s1.Close()
+
+	// "Restart": a fresh server over the same directory. Its memory cache
+	// is empty, so the hit must come from disk and then report as cached.
+	s2 := newTestServer(t, cfg)
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, raw = postJSON(t, ts2.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after restart = %d, body %s", resp.StatusCode, raw)
+	}
+	var warm PartitionResponse
+	if err := json.Unmarshal(raw, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("request after restart was recomputed, want disk warm hit")
+	}
+	if len(warm.Labels) != len(first.Labels) {
+		t.Fatalf("label count %d vs %d", len(warm.Labels), len(first.Labels))
+	}
+	for i := range first.Labels {
+		if warm.Labels[i] != first.Labels[i] {
+			t.Fatalf("warm labels differ at vertex %d", i)
+		}
+	}
+	if warm.Cut != first.Cut || warm.CommVolume != first.CommVolume {
+		t.Fatalf("warm metrics differ: cut %d vs %d", warm.Cut, first.Cut)
+	}
+	met := fetchMetrics(t, ts2.URL)
+	if !strings.Contains(met, "mcpartd_disk_cache_hits_total 1") {
+		t.Error("/metrics does not report the disk hit")
+	}
+	if !strings.Contains(met, "mcpartd_cache_bytes") {
+		t.Error("/metrics does not export mcpartd_cache_bytes")
+	}
+	if !strings.Contains(met, "mcpartd_disk_cache_entries 1") {
+		t.Error("/metrics does not report the resident disk entry")
+	}
+}
+
+// TestE2ESessionRepartition is the adaptive-repartition contract: after
+// the session's vertex weights drift, POST …/repartition repairs balance
+// while migrating strictly fewer vertices than relabelling from scratch
+// would force.
+func TestE2ESessionRepartition(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const k, seed = 8, uint64(1)
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+		PartitionRequest{Mesh: "mrng1t", K: k, Seed: seed})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create status = %d, body %s", resp.StatusCode, raw)
+	}
+	var sess SessionCreateResponse
+	if err := json.Unmarshal(raw, &sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.SessionID == "" || sess.Epoch != 0 {
+		t.Fatalf("session = %q epoch %d", sess.SessionID, sess.Epoch)
+	}
+	met := fetchMetrics(t, ts.URL)
+	if !strings.Contains(met, "mcpartd_sessions_live 1") {
+		t.Error("/metrics does not report the live session")
+	}
+
+	// Drift the weights client-side: the same mesh the server built, with
+	// part of subdomain 0 grown heavier — mild imbalance, diffusion
+	// territory.
+	g := mustMesh(t, "mrng1t", seed)
+	n, m := g.NumVertices(), g.Ncon
+	vwgt := append([]int32(nil), g.Vwgt...)
+	grown := 0
+	for v := 0; v < n && grown < n/40; v++ {
+		if sess.Labels[v] == 0 {
+			for c := 0; c < m; c++ {
+				vwgt[v*m+c] *= 2
+			}
+			grown++
+		}
+	}
+	drifted := &graph.Graph{Ncon: m, Xadj: g.Xadj, Adjncy: g.Adjncy, Adjwgt: g.Adjwgt, Vwgt: vwgt}
+
+	// Relabel-from-scratch baseline: a fresh serial partitioning of the
+	// drifted graph, adopted label-for-label (no remap) — the migration a
+	// stateless service would force on the application.
+	scratch, _, err := partition.Serial(drifted, k, partition.SerialOptions{Seed: seed, Tol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchMoved := 0
+	for v := range scratch {
+		if scratch[v] != sess.Labels[v] {
+			scratchMoved++
+		}
+	}
+
+	resp, raw = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+sess.SessionID+"/repartition",
+		RepartitionRequest{Vwgt: vwgt})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repartition status = %d, body %s", resp.StatusCode, raw)
+	}
+	var rep RepartitionResponse
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1", rep.Epoch)
+	}
+	if rep.Method != "diffusion" {
+		t.Errorf("method = %q, want diffusion for mild drift", rep.Method)
+	}
+	// Balance tolerance on every constraint, against the drifted weights.
+	for c, imb := range rep.Imbalances {
+		if imb > 1.05+1e-9 {
+			t.Errorf("constraint %d imbalance %.4f above tolerance 1.05", c, imb)
+		}
+	}
+	wantImb := partition.Imbalances(drifted, rep.Labels, k)
+	for c := range wantImb {
+		if rep.Imbalances[c] != wantImb[c] {
+			t.Errorf("constraint %d imbalance %v, library says %v", c, rep.Imbalances[c], wantImb[c])
+		}
+	}
+	// The headline contract: adaptivity migrates strictly less than
+	// relabelling from scratch.
+	if rep.MovedVertices >= scratchMoved {
+		t.Errorf("repartition moved %d vertices, relabel-from-scratch moves %d — no migration win",
+			rep.MovedVertices, scratchMoved)
+	}
+	if rep.MovedVertices <= 0 || len(rep.MovedWeight) != m {
+		t.Errorf("migration report: moved=%d weight=%v", rep.MovedVertices, rep.MovedWeight)
+	}
+	met = fetchMetrics(t, ts.URL)
+	if !strings.Contains(met, `mcpartd_repartitions_total{method="diffusion"} 1`) {
+		t.Error("/metrics does not count the repartition by method")
+	}
+	if !strings.Contains(met, "mcpartd_migration_vertices_total") {
+		t.Error("/metrics does not export migration volume")
+	}
+
+	// The commit is durable: the session now reports the new epoch, and
+	// a second repartition with no body starts from the drifted state.
+	resp, raw = doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+sess.SessionID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session info status = %d", resp.StatusCode)
+	}
+	var info SessionInfoResponse
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 || info.N != n || info.K != k {
+		t.Errorf("info = %+v", info)
+	}
+
+	resp, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+sess.SessionID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+sess.SessionID, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status after delete = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestE2EBatch covers per-job isolation: in one batch, a good job
+// completes, a malformed job gets its own 400 entry, and a job with a
+// 1 ms deadline gets its own timeout entry — none of them affect the
+// others, and the batch itself answers 200.
+func TestE2EBatch(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/batch", BatchRequest{Jobs: []PartitionRequest{
+		{Mesh: "mrng1t", K: 8, Seed: 1},
+		{Mesh: "mrng1t", K: 0, Seed: 1},                      // malformed: k < 1
+		{Mesh: "mrng3t", K: 32, P: 4, Seed: 1, TimeoutMS: 1}, // cannot finish in 1 ms
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", resp.StatusCode, raw)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(raw, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("results = %d entries, want 3", len(batch.Results))
+	}
+	good, bad, slow := batch.Results[0], batch.Results[1], batch.Results[2]
+	if good.Index != 0 || good.Status != http.StatusOK || good.Result == nil || good.Error != "" {
+		t.Errorf("good job entry: %+v", good)
+	}
+	if good.Result != nil && len(good.Result.Labels) == 0 {
+		t.Error("good job returned no labels")
+	}
+	if bad.Status != http.StatusBadRequest || bad.Error == "" || bad.Result != nil {
+		t.Errorf("malformed job entry: %+v", bad)
+	}
+	if slow.Status != http.StatusGatewayTimeout || slow.Error == "" || slow.Result != nil {
+		t.Errorf("timed-out job entry: %+v", slow)
+	}
+
+	// Oversized batches are rejected as a whole.
+	jobs := make([]PartitionRequest, 65)
+	for i := range jobs {
+		jobs[i] = PartitionRequest{Mesh: "mrng1t", K: 8}
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/batch", BatchRequest{Jobs: jobs})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestE2EStream covers the chunked-ingest endpoint: a raw METIS body with
+// query-string parameters produces exactly the labels of the equivalent
+// JSON request, and a body above the byte budget is refused with 413.
+func TestE2EStream(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := mustMesh(t, "mrng1t", 1)
+	var buf bytes.Buffer
+	if err := graph.WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+
+	resp, err := http.Post(ts.URL+"/v1/partition/stream?k=8&seed=1", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, body %s", resp.StatusCode, raw)
+	}
+	var got PartitionResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := partition.Serial(g, 8, partition.SerialOptions{Seed: 1, Tol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Labels[i] != want[i] {
+			t.Fatalf("stream labels differ from library at vertex %d", i)
+		}
+	}
+
+	// The same graph resubmitted as JSON hits the entry the stream run
+	// cached: both ingest paths share one content address.
+	jreq := PartitionRequest{Graph: string(body), K: 8, Seed: 1}
+	jresp, jraw := postJSON(t, ts.URL, jreq)
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("json status = %d", jresp.StatusCode)
+	}
+	var viaJSON PartitionResponse
+	if err := json.Unmarshal(jraw, &viaJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !viaJSON.Cached {
+		t.Error("JSON resubmission of a streamed graph missed the cache")
+	}
+
+	// Byte budget: a server with a tiny limit refuses the body mid-parse.
+	small := newTestServer(t, Config{Workers: 1, QueueDepth: 2, MaxBodyBytes: 256})
+	defer small.Close()
+	tss := httptest.NewServer(small.Handler())
+	defer tss.Close()
+	resp, err = http.Post(tss.URL+"/v1/partition/stream?k=8&seed=1", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized stream status = %d, want 413", resp.StatusCode)
+	}
+
+	// Malformed query parameters are client errors, not parse attempts.
+	resp, err = http.Post(ts.URL+"/v1/partition/stream?k=banana", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConfigValidate pins the cache-flag conventions: contradictions
+// between -cache, -cache-dir and -cache-disk-bytes are build-time errors
+// with actionable messages, not silently-resolved surprises.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"disk tier with memory cache disabled", Config{CacheDir: "x", CacheEntries: -1}, false},
+		{"disk dir with disk bytes negative", Config{CacheDir: "x", DiskCacheBytes: -1}, false},
+		{"disk bytes without dir", Config{DiskCacheBytes: 1 << 20}, false},
+		{"plain", Config{}, true},
+		{"disk enabled", Config{CacheDir: "x", DiskCacheBytes: 1 << 20}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: contradiction accepted", tc.name)
+		}
+	}
+	// New surfaces the same errors.
+	if _, err := New(Config{CacheDir: t.TempDir(), CacheEntries: -1}); err == nil {
+		t.Error("New accepted a disk tier over a disabled memory cache")
+	}
+}
+
+// TestE2ESessionRejectsParallel pins the serial-only session contract.
+func TestE2ESessionRejectsParallel(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+		PartitionRequest{Mesh: "mrng1t", K: 8, P: 4})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "serial-only") {
+		t.Errorf("error does not explain the serial-only rule: %s", raw)
+	}
+}
+
+// TestE2ESessionVwgtValidation pins the weight-drift wire contract.
+func TestE2ESessionVwgtValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions",
+		PartitionRequest{Mesh: "mrng1t", K: 4, Seed: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	var sess SessionCreateResponse
+	if err := json.Unmarshal(raw, &sess); err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/v1/sessions/" + sess.SessionID + "/repartition"
+	for _, tc := range []struct {
+		name string
+		req  RepartitionRequest
+	}{
+		{"short vwgt", RepartitionRequest{Vwgt: []int32{1, 2, 3}}},
+		{"negative weight", RepartitionRequest{Vwgt: func() []int32 {
+			w := make([]int32, sess.N*sess.M)
+			w[7] = -1
+			return w
+		}()}},
+		{"short labels", RepartitionRequest{Labels: []int32{0}}},
+		{"bad method", RepartitionRequest{Method: "teleport"}},
+	} {
+		resp, raw := doJSON(t, http.MethodPost, url, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", tc.name, resp.StatusCode, raw)
+		}
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/deadbeef/repartition", RepartitionRequest{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -51,20 +51,40 @@ type Metrics struct {
 	cacheMisses    int64
 	cacheEvictions int64
 
+	diskHits      int64
+	diskMisses    int64
+	diskEvictions int64
+
+	sessionsCreated   int64
+	repartitions      map[string]int64 // completed repartitions by method
+	migrationVertices int64            // vertices migrated across all repartitions
+	migrationWeight   int64            // summed per-constraint weight migrated
+
 	stages map[string]*histogram // per-stage latency: queue|run|total
 
 	// gauges, read at render time
-	queueDepth func() int
-	cacheLen   func() int
-	workers    int
-	queueCap   int
+	queueDepth   func() int
+	cacheLen     func() int
+	cacheBytes   func() int64
+	diskLen      func() int   // nil when the disk tier is disabled
+	diskBytes    func() int64 // nil when the disk tier is disabled
+	sessionsLive func() int
+	workers      int
+	queueCap     int
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[string]int64),
-		jobs:     make(map[string]int64),
-		stages:   make(map[string]*histogram),
+		requests:     make(map[string]int64),
+		jobs:         make(map[string]int64),
+		repartitions: make(map[string]int64),
+		stages:       make(map[string]*histogram),
+		// Gauge closures default to zero so a partially-wired registry
+		// (tests, embedders) still renders.
+		queueDepth:   func() int { return 0 },
+		cacheLen:     func() int { return 0 },
+		cacheBytes:   func() int64 { return 0 },
+		sessionsLive: func() int { return 0 },
 	}
 }
 
@@ -99,6 +119,39 @@ func (m *Metrics) countCache(hit bool) {
 func (m *Metrics) countEviction() {
 	m.mu.Lock()
 	m.cacheEvictions++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countDisk(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.diskHits++
+	} else {
+		m.diskMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countDiskEviction() {
+	m.mu.Lock()
+	m.diskEvictions++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) countSessionCreated() {
+	m.mu.Lock()
+	m.sessionsCreated++
+	m.mu.Unlock()
+}
+
+// countRepartition records one completed repartition: the method that ran
+// and its migration volume (vertices moved, total weight moved across all
+// constraints).
+func (m *Metrics) countRepartition(method string, movedVertices int, movedWeight int64) {
+	m.mu.Lock()
+	m.repartitions[method]++
+	m.migrationVertices += int64(movedVertices)
+	m.migrationWeight += movedWeight
 	m.mu.Unlock()
 }
 
@@ -174,6 +227,45 @@ func (m *Metrics) Render(w io.Writer) {
 	fmt.Fprintf(w, "# HELP mcpartd_cache_entries Resident entries in the result cache.\n")
 	fmt.Fprintf(w, "# TYPE mcpartd_cache_entries gauge\n")
 	fmt.Fprintf(w, "mcpartd_cache_entries %d\n", m.cacheLen())
+	fmt.Fprintf(w, "# HELP mcpartd_cache_bytes Approximate resident bytes in the in-memory result cache.\n")
+	fmt.Fprintf(w, "# TYPE mcpartd_cache_bytes gauge\n")
+	fmt.Fprintf(w, "mcpartd_cache_bytes %d\n", m.cacheBytes())
+
+	if m.diskLen != nil {
+		fmt.Fprintf(w, "# HELP mcpartd_disk_cache_hits_total Memory-cache misses served from the disk tier.\n")
+		fmt.Fprintf(w, "# TYPE mcpartd_disk_cache_hits_total counter\n")
+		fmt.Fprintf(w, "mcpartd_disk_cache_hits_total %d\n", m.diskHits)
+		fmt.Fprintf(w, "# HELP mcpartd_disk_cache_misses_total Lookups that missed both cache tiers.\n")
+		fmt.Fprintf(w, "# TYPE mcpartd_disk_cache_misses_total counter\n")
+		fmt.Fprintf(w, "mcpartd_disk_cache_misses_total %d\n", m.diskMisses)
+		fmt.Fprintf(w, "# HELP mcpartd_disk_cache_evictions_total Segments deleted to hold the disk-cache byte bound.\n")
+		fmt.Fprintf(w, "# TYPE mcpartd_disk_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "mcpartd_disk_cache_evictions_total %d\n", m.diskEvictions)
+		fmt.Fprintf(w, "# HELP mcpartd_disk_cache_entries Segment files resident in the disk cache.\n")
+		fmt.Fprintf(w, "# TYPE mcpartd_disk_cache_entries gauge\n")
+		fmt.Fprintf(w, "mcpartd_disk_cache_entries %d\n", m.diskLen())
+		fmt.Fprintf(w, "# HELP mcpartd_disk_cache_bytes Total bytes of resident disk-cache segments.\n")
+		fmt.Fprintf(w, "# TYPE mcpartd_disk_cache_bytes gauge\n")
+		fmt.Fprintf(w, "mcpartd_disk_cache_bytes %d\n", m.diskBytes())
+	}
+
+	fmt.Fprintf(w, "# HELP mcpartd_sessions_live Sessions currently held by the session store.\n")
+	fmt.Fprintf(w, "# TYPE mcpartd_sessions_live gauge\n")
+	fmt.Fprintf(w, "mcpartd_sessions_live %d\n", m.sessionsLive())
+	fmt.Fprintf(w, "# HELP mcpartd_sessions_created_total Sessions created since startup.\n")
+	fmt.Fprintf(w, "# TYPE mcpartd_sessions_created_total counter\n")
+	fmt.Fprintf(w, "mcpartd_sessions_created_total %d\n", m.sessionsCreated)
+	fmt.Fprintf(w, "# HELP mcpartd_repartitions_total Completed session repartitions by executed method.\n")
+	fmt.Fprintf(w, "# TYPE mcpartd_repartitions_total counter\n")
+	for _, method := range sortedKeys(m.repartitions) {
+		fmt.Fprintf(w, "mcpartd_repartitions_total{method=%q} %d\n", method, m.repartitions[method])
+	}
+	fmt.Fprintf(w, "# HELP mcpartd_migration_vertices_total Vertices that changed subdomain across all repartitions.\n")
+	fmt.Fprintf(w, "# TYPE mcpartd_migration_vertices_total counter\n")
+	fmt.Fprintf(w, "mcpartd_migration_vertices_total %d\n", m.migrationVertices)
+	fmt.Fprintf(w, "# HELP mcpartd_migration_weight_total Summed per-constraint vertex weight that changed subdomain (the migration volume).\n")
+	fmt.Fprintf(w, "# TYPE mcpartd_migration_weight_total counter\n")
+	fmt.Fprintf(w, "mcpartd_migration_weight_total %d\n", m.migrationWeight)
 
 	fmt.Fprintf(w, "# HELP mcpartd_stage_seconds Per-stage latency of partition requests.\n")
 	fmt.Fprintf(w, "# TYPE mcpartd_stage_seconds histogram\n")

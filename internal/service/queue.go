@@ -14,6 +14,11 @@ type job struct {
 	work     *jobSpec
 	enqueued time.Time
 
+	// exec, when non-nil, replaces the default partition body: session
+	// repartitions and other stateful work ride the same bounded queue
+	// (same backpressure, same deadline handling) with their own logic.
+	exec func(ctx context.Context) (*Result, error)
+
 	res  *Result
 	err  error
 	done chan struct{}
@@ -69,6 +74,19 @@ func (p *workerPool) trySubmit(j *job) bool {
 	case p.jobs <- j:
 		return true
 	default:
+		return false
+	}
+}
+
+// submitWait admits a job, blocking until a queue slot frees or the
+// context ends. Batch fan-in uses this instead of trySubmit: shedding a
+// sibling with 429 mid-batch would force the client to resubmit the whole
+// batch, while waiting is bounded by the per-job deadline anyway.
+func (p *workerPool) submitWait(ctx context.Context, j *job) bool {
+	select {
+	case p.jobs <- j:
+		return true
+	case <-ctx.Done():
 		return false
 	}
 }

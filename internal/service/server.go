@@ -38,6 +38,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/prefine"
+	"repro/internal/service/store"
 )
 
 // Config sizes the daemon. The zero value of any field selects the
@@ -61,6 +62,26 @@ type Config struct {
 	// what a request may ask for (defaults 60s / 10m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+
+	// CacheDir, when non-empty, enables the disk-persistent result-cache
+	// tier under that directory: results survive restarts and are served
+	// as warm hits after a memory miss. Requires the memory cache to be
+	// enabled (Validate rejects the contradiction).
+	CacheDir string
+	// DiskCacheBytes bounds the disk tier (0 = default 256 MiB after
+	// defaulting; negative disables the tier and is rejected when
+	// CacheDir is also set, matching the -cache "negative disables"
+	// convention).
+	DiskCacheBytes int64
+
+	// MaxSessions bounds the session store (default 64); SessionTTL is
+	// the idle lifetime after which a session may be swept (default 1h).
+	MaxSessions int
+	SessionTTL  time.Duration
+
+	// MaxBatchJobs caps the number of jobs one POST /v1/batch may carry
+	// (default 64).
+	MaxBatchJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,7 +112,32 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = time.Hour
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 64
+	}
 	return c
+}
+
+// Validate rejects contradictory configurations before any state is
+// created. It runs on the raw (pre-defaulting) config, because the
+// contradictions it catches are between explicit operator choices.
+func (c Config) Validate() error {
+	if c.CacheDir != "" && c.CacheEntries < 0 {
+		return errors.New("service: -cache-dir requires the in-memory cache: a negative -cache disables caching entirely (drop -cache-dir, or use -cache 0 for the default)")
+	}
+	if c.CacheDir != "" && c.DiskCacheBytes < 0 {
+		return errors.New("service: -cache-dir with a negative -cache-disk-bytes is contradictory: negative disables the disk tier (drop -cache-dir, or use -cache-disk-bytes 0 for the default)")
+	}
+	if c.CacheDir == "" && c.DiskCacheBytes > 0 {
+		return errors.New("service: -cache-disk-bytes without -cache-dir: the disk tier needs a directory")
+	}
+	return nil
 }
 
 // PartitionRequest is the body of POST /v1/partition. Exactly one of
@@ -151,6 +197,15 @@ type jobSpec struct {
 	key    cacheKey
 }
 
+// RepartInfo is the migration report of a session repartition, attached
+// to its Result.
+type RepartInfo struct {
+	Method        string
+	MovedVertices int
+	MovedWeight   []int64
+	MovedFraction float64
+}
+
 // Result is a completed partitioning, shared between the cache and
 // responses; immutable after construction.
 type Result struct {
@@ -162,34 +217,64 @@ type Result struct {
 	// Trace holds the exported Chrome trace-event JSON of a traced run;
 	// nil otherwise. Traced results bypass the cache in both directions.
 	Trace []byte
+	// Repart carries the migration report of a session repartition job;
+	// nil for plain partition jobs. Repartition results are stateful
+	// (they depend on the previous labelling) and are never cached.
+	Repart *RepartInfo
 }
 
-// Server wires the queue, cache, and metrics behind an http.Handler.
+// Server wires the queue, cache tiers, session store, and metrics behind
+// an http.Handler.
 type Server struct {
-	cfg    Config
-	pool   *workerPool
-	cache  *resultCache
-	met    *Metrics
-	mux    *http.ServeMux
-	closed atomic.Bool
+	cfg      Config
+	pool     *workerPool
+	cache    *resultCache
+	disk     *store.DiskCache // nil when the disk tier is disabled
+	sessions *store.Sessions
+	met      *Metrics
+	mux      *http.ServeMux
+	closed   atomic.Bool
 }
 
-// New builds a ready-to-serve Server. Call Close to drain it.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server, opening (and scanning) the disk
+// cache tier when the config names one. Call Close to drain it.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s := &Server{cfg: cfg.withDefaults()}
 	s.met = newMetrics()
 	s.cache = newResultCache(s.cfg.CacheEntries)
 	s.cache.onEvict = s.met.countEviction
+	if s.cfg.CacheDir != "" {
+		disk, err := store.Open(s.cfg.CacheDir, store.DiskOptions{
+			MaxBytes: s.cfg.DiskCacheBytes,
+			OnEvict:  s.met.countDiskEviction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		s.met.diskLen = disk.Len
+		s.met.diskBytes = disk.Bytes
+	}
+	s.sessions = store.NewSessions(s.cfg.MaxSessions, s.cfg.SessionTTL)
 	s.pool = newWorkerPool(s.cfg.Workers, s.cfg.QueueDepth, s.runJob)
 	s.met.queueDepth = s.pool.depth
 	s.met.cacheLen = s.cache.len
+	s.met.cacheBytes = s.cache.bytesNow
+	s.met.sessionsLive = s.sessions.Len
 	s.met.workers = s.cfg.Workers
 	s.met.queueCap = s.cfg.QueueDepth
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/partition", s.handlePartition)
+	s.mux.HandleFunc("/v1/partition/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("/v1/sessions/", s.handleSessionSubtree)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -224,13 +309,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	h := map[string]any{
 		"status":         "ok",
 		"queue_depth":    s.pool.depth(),
 		"queue_capacity": s.cfg.QueueDepth,
 		"workers":        s.cfg.Workers,
 		"cache_entries":  s.cache.len(),
-	})
+		"sessions_live":  s.sessions.Len(),
+	}
+	if s.disk != nil {
+		h["disk_cache_entries"] = s.disk.Len()
+		h["disk_cache_bytes"] = s.disk.Bytes()
+	}
+	s.writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -271,28 +362,25 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec.traced = r.URL.Query().Get("trace") == "1"
+	s.servePartition(w, r, &req, spec, start)
+}
 
+// servePartition is the shared tail of /v1/partition and
+// /v1/partition/stream: cache tiers, admission, execution, response.
+func (s *Server) servePartition(w http.ResponseWriter, r *http.Request, req *PartitionRequest, spec *jobSpec, start time.Time) {
 	// Cache first: a hit costs no queue slot and no worker. Traced
 	// requests skip the lookup — the client wants a recording of an
 	// actual run, not a cached result without one.
 	if !spec.traced {
-		if res := s.cache.get(spec.key); res != nil {
-			s.met.countCache(true)
-			s.respond(w, &req, spec, res, true, 0, time.Since(start))
+		if res, ok := s.lookupCached(spec.key); ok {
+			s.respond(w, req, spec, res, true, 0, time.Since(start))
 			return
 		}
-		s.met.countCache(false)
 	}
 
 	// Admission. The job's deadline starts here and covers queue wait, so
 	// a job cannot consume a worker after its caller stopped caring.
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
+	timeout := s.jobTimeout(req.TimeoutMS)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	j := &job{ctx: ctx, work: spec, enqueued: time.Now(), done: make(chan struct{})}
@@ -309,29 +397,93 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	<-j.done
 	queueWait := time.Since(j.enqueued)
 	if j.err != nil {
-		switch {
-		case errors.Is(j.err, context.DeadlineExceeded):
-			s.met.countJob("timeout")
-			s.writeError(w, http.StatusGatewayTimeout, "job exceeded its %v deadline", timeout)
-		case errors.Is(j.err, context.Canceled):
-			s.met.countJob("canceled")
-			// The client is gone; the status code is for the log line.
-			s.writeError(w, statusClientClosedRequest, "client canceled the request")
-		default:
-			s.met.countJob("error")
-			s.writeError(w, http.StatusBadRequest, "%v", j.err)
-		}
+		code, msg := s.classifyJobError(j.err, timeout)
+		s.writeError(w, code, "%s", msg)
 		return
 	}
 	s.met.countJob("ok")
 	if !spec.traced {
 		// Traced results stay out of the cache: their Trace payloads are
 		// large, one-shot, and must not be replayed to untraced callers.
-		s.cache.put(spec.key, j.res)
+		s.storeResult(spec.key, j.res)
 	}
 	s.met.observeStage("queue", queueWait.Seconds()-j.res.RunSeconds)
 	s.met.observeStage("run", j.res.RunSeconds)
-	s.respond(w, &req, spec, j.res, false, queueWait-time.Duration(j.res.RunSeconds*float64(time.Second)), time.Since(start))
+	s.respond(w, req, spec, j.res, false, queueWait-time.Duration(j.res.RunSeconds*float64(time.Second)), time.Since(start))
+}
+
+// jobTimeout merges the request's deadline wish with the server policy.
+func (s *Server) jobTimeout(timeoutMS int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// classifyJobError maps a failed job to (HTTP status, message) and counts
+// it. Shared by the single-job, batch, and session paths.
+func (s *Server) classifyJobError(err error, timeout time.Duration) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.countJob("timeout")
+		return http.StatusGatewayTimeout, fmt.Sprintf("job exceeded its %v deadline", timeout)
+	case errors.Is(err, context.Canceled):
+		s.met.countJob("canceled")
+		// The client is gone; the status code is for the log line.
+		return statusClientClosedRequest, "client canceled the request"
+	default:
+		s.met.countJob("error")
+		return http.StatusBadRequest, err.Error()
+	}
+}
+
+// lookupCached consults the memory tier then the disk tier, promoting a
+// disk hit into memory so the next lookup is cheap. The counters tell the
+// tiers apart: a disk hit counts as a memory miss plus a disk hit.
+func (s *Server) lookupCached(key cacheKey) (*Result, bool) {
+	if res := s.cache.get(key); res != nil {
+		s.met.countCache(true)
+		return res, true
+	}
+	s.met.countCache(false)
+	if s.disk == nil {
+		return nil, false
+	}
+	rec, ok := s.disk.Get(store.Key(key))
+	s.met.countDisk(ok)
+	if !ok {
+		return nil, false
+	}
+	res := &Result{
+		Labels:     rec.Labels,
+		Cut:        rec.Cut,
+		CommVolume: rec.CommVolume,
+		Imbalances: rec.Imbalances,
+		RunSeconds: rec.RunSeconds,
+	}
+	s.cache.put(key, res)
+	return res, true
+}
+
+// storeResult writes a completed plain-partition result through both cache
+// tiers. Disk failures are deliberately non-fatal: the response is already
+// computed, and a full disk must not fail the request.
+func (s *Server) storeResult(key cacheKey, res *Result) {
+	s.cache.put(key, res)
+	if s.disk == nil || res.Repart != nil {
+		return
+	}
+	_ = s.disk.Put(store.Key(key), &store.Record{
+		Labels:     res.Labels,
+		Cut:        res.Cut,
+		CommVolume: res.CommVolume,
+		Imbalances: res.Imbalances,
+		RunSeconds: res.RunSeconds,
+	})
 }
 
 // statusClientClosedRequest is nginx's conventional code for "client went
@@ -340,26 +492,9 @@ const statusClientClosedRequest = 499
 
 func (s *Server) respond(w http.ResponseWriter, req *PartitionRequest, spec *jobSpec, res *Result, cached bool, queueWait, total time.Duration) {
 	s.met.observeStage("total", total.Seconds())
-	scheme := ""
-	if spec.p > 0 {
-		scheme = spec.scheme.String()
-	}
-	s.writeJSON(w, http.StatusOK, PartitionResponse{
-		N:          spec.g.NumVertices(),
-		M:          spec.g.Ncon,
-		K:          spec.k,
-		P:          spec.p,
-		Seed:       spec.seed,
-		Scheme:     scheme,
-		Cut:        res.Cut,
-		CommVolume: res.CommVolume,
-		Imbalances: res.Imbalances,
-		Labels:     res.Labels,
-		Cached:     cached,
-		QueueMS:    float64(queueWait) / float64(time.Millisecond),
-		RunMS:      res.RunSeconds * 1000,
-		Trace:      json.RawMessage(res.Trace),
-	})
+	body := s.shapeResponse(req, spec, res, cached, queueWait)
+	body.Trace = json.RawMessage(res.Trace)
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // buildSpec validates a request and materializes the graph. All failures
@@ -368,25 +503,8 @@ func (s *Server) buildSpec(req *PartitionRequest) (*jobSpec, error) {
 	if (req.Graph == "") == (req.Mesh == "") {
 		return nil, errors.New("exactly one of \"graph\" (inline METIS text) or \"mesh\" (named mesh) is required")
 	}
-	if req.K < 1 {
-		return nil, fmt.Errorf("k = %d, want >= 1", req.K)
-	}
-	if req.P < 0 {
-		return nil, fmt.Errorf("p = %d, want >= 0 (0 = serial)", req.P)
-	}
-	if req.Tol < 0 || req.Tol >= 1 {
-		return nil, fmt.Errorf("tol = %v, want 0 <= tol < 1", req.Tol)
-	}
-	tol := req.Tol
-	if tol == 0 {
-		tol = 0.05
-	}
-	scheme, err := parseScheme(req.Scheme)
-	if err != nil {
-		return nil, err
-	}
-
 	var g *partition.Graph
+	var err error
 	switch {
 	case req.Graph != "":
 		g, err = graph.ReadMETISLimited(strings.NewReader(req.Graph),
@@ -405,6 +523,30 @@ func (s *Server) buildSpec(req *PartitionRequest) (*jobSpec, error) {
 		// The same derived seeds as cmd/mcpart, so a service job and a CLI
 		// run with identical parameters produce identical labels.
 		g = spec.Build(req.Seed*7919 + 7)
+	}
+	return s.finishSpec(req, g)
+}
+
+// finishSpec validates the parameter tuple against an already-built graph,
+// applies the workload overlay, and content-addresses the job. The
+// streaming endpoint reaches it directly with a graph parsed off the wire.
+func (s *Server) finishSpec(req *PartitionRequest, g *partition.Graph) (*jobSpec, error) {
+	if req.K < 1 {
+		return nil, fmt.Errorf("k = %d, want >= 1", req.K)
+	}
+	if req.P < 0 {
+		return nil, fmt.Errorf("p = %d, want >= 0 (0 = serial)", req.P)
+	}
+	if req.Tol < 0 || req.Tol >= 1 {
+		return nil, fmt.Errorf("tol = %v, want 0 <= tol < 1", req.Tol)
+	}
+	tol := req.Tol
+	if tol == 0 {
+		tol = 0.05
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return nil, err
 	}
 	switch req.Workload {
 	case "":
@@ -465,6 +607,10 @@ func (s *Server) cacheKeyFor(spec *jobSpec) cacheKey {
 
 // runJob executes one admitted job on a worker.
 func (s *Server) runJob(j *job) {
+	if j.exec != nil {
+		j.res, j.err = j.exec(j.ctx)
+		return
+	}
 	spec := j.work
 	var tracer *partition.Tracer
 	if spec.traced {

@@ -45,7 +45,7 @@ func TestCacheZeroCapacityDisables(t *testing.T) {
 }
 
 func TestCacheKeyCanonicalization(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	defer s.Close()
 	// The same 3-vertex path graph, written with different whitespace,
 	// comments, and line layout, must produce the same cache key; a
@@ -74,7 +74,7 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 }
 
 func TestBuildSpecValidation(t *testing.T) {
-	s := New(Config{MaxVertices: 10000})
+	s := newTestServer(t, Config{MaxVertices: 10000})
 	defer s.Close()
 	cases := []struct {
 		name string

@@ -1,0 +1,392 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	partition "repro"
+	"repro/internal/graph"
+	"repro/internal/repart"
+	"repro/internal/service/store"
+)
+
+// The session API is the adaptive-repartitioning contract from the
+// paper's own motivation ("in adaptive computations, the mesh needs to be
+// partitioned frequently as the simulation progresses"): upload the mesh
+// once, then each simulation step ships only the drifted per-phase vertex
+// weights and gets back a repaired decomposition plus the migration bill.
+//
+//	POST   /v1/sessions                   — upload graph, initial partition
+//	GET    /v1/sessions/{id}              — current state of the session
+//	POST   /v1/sessions/{id}/repartition  — adapt to new weights
+//	DELETE /v1/sessions/{id}              — drop the session
+//
+// Sessions are serial-only (the repartitioner is the SC'98 serial
+// pipeline); requests naming p > 0 or a parallel scheme are rejected.
+
+// SessionCreateResponse is the success body of POST /v1/sessions.
+type SessionCreateResponse struct {
+	SessionID  string    `json:"session_id"`
+	N          int       `json:"n"`
+	M          int       `json:"m"`
+	K          int       `json:"k"`
+	Seed       uint64    `json:"seed"`
+	Cut        int64     `json:"cut"`
+	CommVolume int64     `json:"comm_volume"`
+	Imbalances []float64 `json:"imbalances"`
+	Labels     []int32   `json:"labels"`
+	Epoch      int64     `json:"epoch"`
+	Cached     bool      `json:"cached"`
+	RunMS      float64   `json:"run_ms"`
+}
+
+// RepartitionRequest is the body of POST /v1/sessions/{id}/repartition.
+// Everything is optional: an empty body re-balances the server-held state
+// as-is.
+type RepartitionRequest struct {
+	// Vwgt replaces the session graph's vertex weights: n*m values,
+	// vertex-major (the same flattening as the METIS format). Omitted =
+	// weights unchanged.
+	Vwgt []int32 `json:"vwgt,omitempty"`
+	// Labels overrides the previous labelling the repartitioner starts
+	// from. Omitted = the server-held labelling from the last commit.
+	Labels []int32 `json:"labels,omitempty"`
+	// Method is auto (default), diffusion, or scratch-remap.
+	Method    string `json:"method,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// RepartitionResponse is the success body of a repartition call.
+type RepartitionResponse struct {
+	SessionID  string    `json:"session_id"`
+	Method     string    `json:"method"` // strategy actually executed
+	Cut        int64     `json:"cut"`
+	CommVolume int64     `json:"comm_volume"`
+	Imbalances []float64 `json:"imbalances"`
+	Labels     []int32   `json:"labels"`
+	Epoch      int64     `json:"epoch"`
+	// Migration volume: what the application must ship to adopt the new
+	// decomposition.
+	MovedVertices int     `json:"moved_vertices"`
+	MovedWeight   []int64 `json:"moved_weight"`
+	MovedFraction float64 `json:"moved_fraction"`
+	QueueMS       float64 `json:"queue_ms"`
+	RunMS         float64 `json:"run_ms"`
+	// Trace is present only when the request asked with ?trace=1.
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// SessionInfoResponse is the body of GET /v1/sessions/{id}.
+type SessionInfoResponse struct {
+	SessionID  string    `json:"session_id"`
+	N          int       `json:"n"`
+	M          int       `json:"m"`
+	K          int       `json:"k"`
+	Seed       uint64    `json:"seed"`
+	Tol        float64   `json:"tol"`
+	Epoch      int64     `json:"epoch"`
+	Cut        int64     `json:"cut"`
+	Imbalances []float64 `json:"imbalances"`
+}
+
+// handleSessionCreate is POST /v1/sessions: validate like a serial
+// /v1/partition request, compute the initial partitioning through the same
+// queue and cache tiers, then pin graph + labels server-side under a fresh
+// handle.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+
+	var req PartitionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.P != 0 || req.Scheme != "" {
+		s.writeError(w, http.StatusBadRequest,
+			"sessions are serial-only: drop \"p\" and \"scheme\"")
+		return
+	}
+	spec, err := s.buildSpec(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The initial partitioning is a pure function of graph + parameters, so
+	// it rides the regular cache tiers: re-creating a session over a graph
+	// the daemon has already partitioned is a cache hit, not a recompute.
+	res, cached := s.lookupCached(spec.key)
+	if !cached {
+		timeout := s.jobTimeout(req.TimeoutMS)
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		j := &job{ctx: ctx, work: spec, enqueued: time.Now(), done: make(chan struct{})}
+		if !s.pool.trySubmit(j) {
+			s.met.countQueueRejected()
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests,
+				"admission queue full (%d waiting); retry later", s.cfg.QueueDepth)
+			return
+		}
+		<-j.done
+		if j.err != nil {
+			code, msg := s.classifyJobError(j.err, timeout)
+			s.writeError(w, code, "%s", msg)
+			return
+		}
+		s.met.countJob("ok")
+		s.storeResult(spec.key, j.res)
+		res = j.res
+	}
+
+	sess, err := s.sessions.Create(spec.g, res.Labels, spec.k, spec.tol, spec.seed)
+	if err != nil {
+		// The store is full of live sessions: a capacity condition, not a
+		// malformed request.
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.met.countSessionCreated()
+	s.writeJSON(w, http.StatusOK, SessionCreateResponse{
+		SessionID:  sess.ID,
+		N:          spec.g.NumVertices(),
+		M:          spec.g.Ncon,
+		K:          spec.k,
+		Seed:       spec.seed,
+		Cut:        res.Cut,
+		CommVolume: res.CommVolume,
+		Imbalances: res.Imbalances,
+		Labels:     res.Labels,
+		Epoch:      sess.Epoch(),
+		Cached:     cached,
+		RunMS:      res.RunSeconds * 1000,
+	})
+}
+
+// handleSessionSubtree routes /v1/sessions/{id} and
+// /v1/sessions/{id}/repartition.
+func (s *Server) handleSessionSubtree(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		s.writeError(w, http.StatusNotFound, "missing session id")
+		return
+	}
+	sess, ok := s.sessions.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		s.handleSessionInfo(w, sess)
+	case sub == "" && r.Method == http.MethodDelete:
+		s.sessions.Delete(id)
+		s.writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
+	case sub == "":
+		w.Header().Set("Allow", "GET, DELETE")
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	case sub == "repartition" && r.Method == http.MethodPost:
+		s.handleRepartition(w, r, sess)
+	case sub == "repartition":
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+	default:
+		s.writeError(w, http.StatusNotFound, "unknown session operation %q", sub)
+	}
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, sess *store.Session) {
+	g, labels, epoch := sess.Snapshot()
+	s.writeJSON(w, http.StatusOK, SessionInfoResponse{
+		SessionID:  sess.ID,
+		N:          g.NumVertices(),
+		M:          g.Ncon,
+		K:          sess.K,
+		Seed:       sess.Seed,
+		Tol:        sess.Tol,
+		Epoch:      epoch,
+		Cut:        partition.EdgeCut(g, labels),
+		Imbalances: partition.Imbalances(g, labels, sess.K),
+	})
+}
+
+// handleRepartition is POST /v1/sessions/{id}/repartition: overlay the
+// shipped weight drift, run the adaptive repartitioner from the previous
+// labelling through the bounded queue, commit the result back into the
+// session, and report cut, balance, and migration volume.
+func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request, sess *store.Session) {
+	var req RepartitionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	method, err := parseRepartMethod(req.Method)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	g, labels, _ := sess.Snapshot()
+	n, m := g.NumVertices(), g.Ncon
+	if req.Vwgt != nil {
+		if len(req.Vwgt) != n*m {
+			s.writeError(w, http.StatusBadRequest,
+				"vwgt has %d values, want n*m = %d*%d = %d (vertex-major)", len(req.Vwgt), n, m, n*m)
+			return
+		}
+		for i, wgt := range req.Vwgt {
+			if wgt < 0 {
+				s.writeError(w, http.StatusBadRequest,
+					"vwgt[%d] = %d, want >= 0", i, wgt)
+				return
+			}
+		}
+		// Topology is immutable for the session's lifetime: the new graph
+		// shares every CSR array and swaps only the weights.
+		g = &graph.Graph{Ncon: m, Xadj: g.Xadj, Adjncy: g.Adjncy,
+			Adjwgt: g.Adjwgt, Vwgt: append([]int32(nil), req.Vwgt...)}
+	}
+	if req.Labels != nil {
+		if len(req.Labels) != n {
+			s.writeError(w, http.StatusBadRequest,
+				"labels has %d values, want n = %d", len(req.Labels), n)
+			return
+		}
+		labels = req.Labels
+	}
+
+	traced := r.URL.Query().Get("trace") == "1"
+	timeout := s.jobTimeout(req.TimeoutMS)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	k, tol, seed := sess.K, sess.Tol, sess.Seed
+	j := &job{
+		ctx:      ctx,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+		exec: func(ctx context.Context) (*Result, error) {
+			return s.runRepartition(g, labels, k, method, tol, seed, traced)
+		},
+	}
+	if !s.pool.trySubmit(j) {
+		s.met.countQueueRejected()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			"admission queue full (%d waiting); retry later", s.cfg.QueueDepth)
+		return
+	}
+	<-j.done
+	queueWait := time.Since(j.enqueued)
+	if j.err != nil {
+		code, msg := s.classifyJobError(j.err, timeout)
+		s.writeError(w, code, "%s", msg)
+		return
+	}
+	s.met.countJob("ok")
+	res := j.res
+	var movedWeight int64
+	for _, mw := range res.Repart.MovedWeight {
+		movedWeight += mw
+	}
+	s.met.countRepartition(res.Repart.Method, res.Repart.MovedVertices, movedWeight)
+	// Last writer wins: the commit installs the drifted weights and the new
+	// labelling as the session's state for the next step.
+	epoch := sess.Commit(g, res.Labels)
+	s.met.observeStage("queue", queueWait.Seconds()-res.RunSeconds)
+	s.met.observeStage("run", res.RunSeconds)
+	s.writeJSON(w, http.StatusOK, RepartitionResponse{
+		SessionID:     sess.ID,
+		Method:        res.Repart.Method,
+		Cut:           res.Cut,
+		CommVolume:    res.CommVolume,
+		Imbalances:    res.Imbalances,
+		Labels:        res.Labels,
+		Epoch:         epoch,
+		MovedVertices: res.Repart.MovedVertices,
+		MovedWeight:   res.Repart.MovedWeight,
+		MovedFraction: res.Repart.MovedFraction,
+		QueueMS:       float64(queueWait-time.Duration(res.RunSeconds*float64(time.Second))) / float64(time.Millisecond),
+		RunMS:         res.RunSeconds * 1000,
+		Trace:         json.RawMessage(res.Trace),
+	})
+}
+
+// runRepartition is the worker-side body of a repartition job.
+func (s *Server) runRepartition(g *partition.Graph, labels []int32, k int, method repart.Method, tol float64, seed uint64, traced bool) (*Result, error) {
+	var tracer *partition.Tracer
+	opt := partition.RepartitionOptions{Seed: seed, Tol: tol, Method: method}
+	if traced {
+		tracer = partition.NewTracer("mcpartd")
+		opt.Trace = tracer.Rank(0)
+	}
+	t0 := time.Now()
+	newLabels, stats, err := partition.Repartition(g, labels, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Labels:     newLabels,
+		Cut:        stats.EdgeCut,
+		CommVolume: partition.CommVolume(g, newLabels, k),
+		Imbalances: partition.Imbalances(g, newLabels, k),
+		RunSeconds: time.Since(t0).Seconds(),
+		Repart: &RepartInfo{
+			Method:        stats.Method.String(),
+			MovedVertices: stats.MovedVertices,
+			MovedWeight:   stats.MovedWeight,
+			MovedFraction: stats.MovedFraction,
+		},
+	}
+	if tracer != nil {
+		var buf bytes.Buffer
+		// Export into a buffer cannot fail.
+		_ = tracer.Export(&buf)
+		res.Trace = buf.Bytes()
+	}
+	return res, nil
+}
+
+func parseRepartMethod(name string) (repart.Method, error) {
+	switch name {
+	case "", "auto":
+		return repart.Auto, nil
+	case "diffusion":
+		return repart.Diffusion, nil
+	case "scratch-remap":
+		return repart.ScratchRemap, nil
+	}
+	return 0, fmt.Errorf("unknown repartition method %q (want auto, diffusion or scratch-remap)", name)
+}

@@ -1,0 +1,405 @@
+// Package store is the stateful substrate of the mcpartd daemon: a
+// disk-backed persistent result cache (this file) and an in-memory session
+// store for adaptive repartitioning (sessions.go). It exists so the
+// service layer's state outlives both individual requests (sessions) and
+// the process itself (the disk cache), which the stateless PR 2 design
+// could not.
+//
+// The disk cache is a directory of segment files, one per cached result,
+// named by the hex of the same 32-byte content hash the in-memory LRU uses
+// (SHA-256 of the canonical METIS serialization plus the parameter tuple —
+// see service.cacheKeyFor), so the two tiers share one key space and a
+// cache populated before a restart is addressable after it.
+//
+// Crash safety is the classic write-temp-rename protocol: a segment is
+// first written and fsynced as "<hex>.tmp", then atomically renamed to
+// "<hex>.seg". A crash mid-write leaves only a .tmp file, which the next
+// startup scan removes; readers therefore never observe a torn segment. A
+// CRC-32 trailer guards against the remaining corruption modes (torn
+// sectors, bit rot): a segment that fails the checksum is deleted and
+// reported as a miss, never served.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Key is the 32-byte content address shared with the service layer's
+// in-memory LRU (SHA-256 of canonical graph + parameter tuple).
+type Key [32]byte
+
+// Record is the persisted portion of a partition result. Traces are
+// deliberately absent: traced runs bypass caching in both directions.
+type Record struct {
+	Labels     []int32
+	Cut        int64
+	CommVolume int64
+	Imbalances []float64
+	// RunSeconds is the original compute time, preserved so a restarted
+	// daemon can still report how expensive the cached result was.
+	RunSeconds float64
+}
+
+// DiskOptions configures Open.
+type DiskOptions struct {
+	// MaxBytes bounds the total size of resident segment files; the
+	// least-recently-used segments are deleted to stay under it
+	// (default 256 MiB). Values < 0 are rejected by Open — "negative
+	// disables" is decided by the caller not opening a disk cache at all,
+	// matching the -cache flag convention.
+	MaxBytes int64
+	// Trace, when non-nil, records a "store.load" span around the startup
+	// scan and a "store.flush" span around each segment write. nil
+	// disables recording.
+	Trace *trace.Rank
+
+	// Metrics hooks; any may be nil.
+	OnHit, OnMiss, OnEvict func()
+}
+
+// DiskCache is a byte-bounded, crash-safe, persistent LRU of partition
+// results. All methods are safe for concurrent use.
+type DiskCache struct {
+	dir string
+	opt DiskOptions
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+	bytes int64
+}
+
+type diskEntry struct {
+	key  Key
+	size int64
+}
+
+const (
+	segSuffix = ".seg"
+	tmpSuffix = ".tmp"
+	segMagic  = uint32(0x4d435347) // "MCSG"
+	segVer    = uint32(1)
+)
+
+const defaultDiskBytes = 256 << 20
+
+// Open creates (or reopens) a disk cache rooted at dir, creating the
+// directory if needed. Leftover temporary files from an interrupted write
+// are removed; existing segments are indexed oldest-first by modification
+// time, so LRU order approximately survives restarts. If the resident
+// bytes exceed the bound, the oldest segments are evicted immediately.
+func Open(dir string, opt DiskOptions) (*DiskCache, error) {
+	if opt.MaxBytes < 0 {
+		return nil, fmt.Errorf("store: negative MaxBytes %d: a disabled disk tier must not be opened", opt.MaxBytes)
+	}
+	if opt.MaxBytes == 0 {
+		opt.MaxBytes = defaultDiskBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	c := &DiskCache{
+		dir:   dir,
+		opt:   opt,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+	if rk := opt.Trace; rk != nil {
+		rk.Begin("store.load", trace.Str("dir", dir))
+	}
+	err := c.scan()
+	if rk := opt.Trace; rk != nil {
+		rk.End(trace.I64("entries", int64(len(c.items))), trace.I64("bytes", c.bytes))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// scan indexes existing segments and removes write leftovers.
+func (c *DiskCache) scan() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", c.dir, err)
+	}
+	type found struct {
+		key   Key
+		size  int64
+		mtime time.Time
+	}
+	var segs []found
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// A crash mid-write: the rename never happened, the content is
+			// untrusted. Remove it.
+			_ = os.Remove(filepath.Join(c.dir, name))
+		case strings.HasSuffix(name, segSuffix):
+			k, ok := parseSegName(name)
+			if !ok {
+				continue // not ours; leave foreign files alone
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			segs = append(segs, found{key: k, size: info.Size(), mtime: info.ModTime()})
+		}
+	}
+	// Oldest first, so the most recently used end up at the LRU front.
+	sort.Slice(segs, func(i, j int) bool {
+		if !segs[i].mtime.Equal(segs[j].mtime) {
+			return segs[i].mtime.Before(segs[j].mtime)
+		}
+		return segs[i].key.hex() < segs[j].key.hex()
+	})
+	for _, s := range segs {
+		c.items[s.key] = c.ll.PushFront(&diskEntry{key: s.key, size: s.size})
+		c.bytes += s.size
+	}
+	c.evictOverLocked()
+	return nil
+}
+
+// Get returns the persisted record for k, or (nil, false). A segment that
+// fails validation (torn write survived a rename — impossible under the
+// protocol — or on-disk corruption) is deleted and reported as a miss.
+func (c *DiskCache) Get(k Key) (*Record, bool) {
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if !ok {
+		c.mu.Unlock()
+		if c.opt.OnMiss != nil {
+			c.opt.OnMiss()
+		}
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.mu.Unlock()
+
+	path := c.segPath(k)
+	rec, err := readSegment(path)
+	if err != nil {
+		// Corrupt or vanished: drop the index entry and the file.
+		c.mu.Lock()
+		if el, ok := c.items[k]; ok {
+			c.bytes -= el.Value.(*diskEntry).size
+			c.ll.Remove(el)
+			delete(c.items, k)
+		}
+		c.mu.Unlock()
+		_ = os.Remove(path)
+		if c.opt.OnMiss != nil {
+			c.opt.OnMiss()
+		}
+		return nil, false
+	}
+	// Refresh the mtime so LRU order survives a restart (best-effort).
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	if c.opt.OnHit != nil {
+		c.opt.OnHit()
+	}
+	return rec, true
+}
+
+// Put persists rec under k with the write-temp-rename protocol, then
+// evicts least-recently-used segments until the byte bound holds again.
+// Re-putting an existing key refreshes its content and recency.
+func (c *DiskCache) Put(k Key, rec *Record) error {
+	if rk := c.opt.Trace; rk != nil {
+		rk.Begin("store.flush", trace.I64("labels", int64(len(rec.Labels))))
+	}
+	size, err := c.writeSegment(k, rec)
+	if rk := c.opt.Trace; rk != nil {
+		rk.End(trace.I64("bytes", size))
+	}
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.bytes += size - el.Value.(*diskEntry).size
+		el.Value.(*diskEntry).size = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&diskEntry{key: k, size: size})
+		c.bytes += size
+	}
+	c.evictOverLocked()
+	return nil
+}
+
+// writeSegment writes the temp file, fsyncs, and renames. Returns the
+// segment size.
+func (c *DiskCache) writeSegment(k Key, rec *Record) (int64, error) {
+	blob := encodeRecord(rec)
+	tmp := c.segPath(k) + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	_, werr := f.Write(blob)
+	if werr == nil {
+		// The fsync before the rename is the durability half of the
+		// protocol: after the rename is visible, the content it points at
+		// is on stable storage.
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("store: writing %s: %w", tmp, werr)
+	}
+	if err := os.Rename(tmp, c.segPath(k)); err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return int64(len(blob)), nil
+}
+
+// evictOverLocked deletes LRU-tail segments until bytes <= MaxBytes.
+// Caller holds c.mu.
+func (c *DiskCache) evictOverLocked() {
+	for c.bytes > c.opt.MaxBytes && c.ll.Len() > 0 {
+		last := c.ll.Back()
+		de := last.Value.(*diskEntry)
+		c.ll.Remove(last)
+		delete(c.items, de.key)
+		c.bytes -= de.size
+		_ = os.Remove(c.segPath(de.key))
+		if c.opt.OnEvict != nil {
+			c.opt.OnEvict()
+		}
+	}
+}
+
+// Len returns the number of indexed segments.
+func (c *DiskCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total size of indexed segments.
+func (c *DiskCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *DiskCache) segPath(k Key) string {
+	return filepath.Join(c.dir, k.hex()+segSuffix)
+}
+
+func (k Key) hex() string { return hex.EncodeToString(k[:]) }
+
+func parseSegName(name string) (Key, bool) {
+	var k Key
+	h := strings.TrimSuffix(name, segSuffix)
+	if len(h) != 2*len(k) {
+		return k, false
+	}
+	b, err := hex.DecodeString(h)
+	if err != nil {
+		return k, false
+	}
+	copy(k[:], b)
+	return k, true
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Segment layout (all little-endian):
+//
+//	u32 magic "MCSG"   u32 version
+//	i64 cut            i64 commVolume     u64 runSeconds (float bits)
+//	u32 nLabels        u32 nImbalances
+//	nLabels  * i32 labels
+//	nImbalances * u64 imbalance float bits
+//	u32 CRC-32 (IEEE) of everything above
+func encodeRecord(rec *Record) []byte {
+	size := 4 + 4 + 8 + 8 + 8 + 4 + 4 + 4*len(rec.Labels) + 8*len(rec.Imbalances) + 4
+	b := make([]byte, 0, size)
+	b = binary.LittleEndian.AppendUint32(b, segMagic)
+	b = binary.LittleEndian.AppendUint32(b, segVer)
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.Cut))
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.CommVolume))
+	b = binary.LittleEndian.AppendUint64(b, floatBits(rec.RunSeconds))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rec.Labels)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rec.Imbalances)))
+	for _, x := range rec.Labels {
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
+	}
+	for _, x := range rec.Imbalances {
+		b = binary.LittleEndian.AppendUint64(b, floatBits(x))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func readSegment(path string) (*Record, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRecord(blob)
+}
+
+func decodeRecord(b []byte) (*Record, error) {
+	const header = 4 + 4 + 8 + 8 + 8 + 4 + 4
+	if len(b) < header+4 {
+		return nil, fmt.Errorf("store: segment too short (%d bytes)", len(b))
+	}
+	crcOff := len(b) - 4
+	if got, want := crc32.ChecksumIEEE(b[:crcOff]), binary.LittleEndian.Uint32(b[crcOff:]); got != want {
+		return nil, fmt.Errorf("store: segment checksum mismatch")
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != segMagic {
+		return nil, fmt.Errorf("store: bad segment magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != segVer {
+		return nil, fmt.Errorf("store: unsupported segment version %d", v)
+	}
+	rec := &Record{
+		Cut:        int64(binary.LittleEndian.Uint64(b[8:])),
+		CommVolume: int64(binary.LittleEndian.Uint64(b[16:])),
+		RunSeconds: floatFromBits(binary.LittleEndian.Uint64(b[24:])),
+	}
+	nLabels := int(binary.LittleEndian.Uint32(b[32:]))
+	nImb := int(binary.LittleEndian.Uint32(b[36:]))
+	if want := header + 4*nLabels + 8*nImb + 4; len(b) != want {
+		return nil, fmt.Errorf("store: segment length %d, want %d", len(b), want)
+	}
+	rec.Labels = make([]int32, nLabels)
+	off := header
+	for i := range rec.Labels {
+		rec.Labels[i] = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	rec.Imbalances = make([]float64, nImb)
+	for i := range rec.Imbalances {
+		rec.Imbalances[i] = floatFromBits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return rec, nil
+}

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func testRecord(n int, cut int64) *Record {
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i % 4)
+	}
+	return &Record{
+		Labels:     labels,
+		Cut:        cut,
+		CommVolume: cut * 2,
+		Imbalances: []float64{1.01, 1.04},
+		RunSeconds: 0.125,
+	}
+}
+
+func recordsEqual(a, b *Record) bool {
+	if a.Cut != b.Cut || a.CommVolume != b.CommVolume || a.RunSeconds != b.RunSeconds {
+		return false
+	}
+	if len(a.Labels) != len(b.Labels) || len(a.Imbalances) != len(b.Imbalances) {
+		return false
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			return false
+		}
+	}
+	for i := range a.Imbalances {
+		if a.Imbalances[i] != b.Imbalances[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiskRoundTrip: Put then Get returns the identical record, and the
+// record survives a close/reopen of the cache (the restart contract).
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(1000, 42)
+	if err := c.Put(testKey(1), rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(testKey(1))
+	if !ok || !recordsEqual(got, rec) {
+		t.Fatalf("round trip failed: ok=%v", ok)
+	}
+	if _, ok := c.Get(testKey(9)); ok {
+		t.Fatal("phantom hit for a never-put key")
+	}
+
+	// "Restart": a second cache over the same directory sees the segment.
+	c2, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 || c2.Bytes() == 0 {
+		t.Fatalf("reopened cache: len=%d bytes=%d", c2.Len(), c2.Bytes())
+	}
+	got, ok = c2.Get(testKey(1))
+	if !ok || !recordsEqual(got, rec) {
+		t.Fatal("record did not survive the reopen")
+	}
+}
+
+// TestDiskTmpCleanup: a leftover .tmp (simulated crash mid-write) is
+// removed on open and never indexed.
+func TestDiskTmpCleanup(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, testKey(7).hex()+segSuffix+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("torn half-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp file still present: %v", err)
+	}
+}
+
+// TestDiskCorruptSegment: a flipped byte fails the CRC; the entry is
+// served as a miss and the file removed.
+func TestDiskCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey(3), testRecord(64, 7)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.segPath(testKey(3))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	c.opt.OnMiss = func() { misses++ }
+	if _, ok := c.Get(testKey(3)); ok {
+		t.Fatal("corrupt segment served as a hit")
+	}
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt segment not deleted")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after corruption drop, want 0", c.Len())
+	}
+}
+
+// TestDiskByteLRUEviction: the byte bound evicts least-recently-used
+// segments, files included, and the OnEvict hook fires.
+func TestDiskByteLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	one := int64(len(encodeRecord(testRecord(100, 0))))
+	evictions := 0
+	c, err := Open(dir, DiskOptions{
+		MaxBytes: 2*one + one/2, // room for two segments, not three
+		OnEvict:  func() { evictions++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := byte(1); b <= 3; b++ {
+		// Touch key 1 between puts so key 2 is the LRU victim.
+		if b == 3 {
+			if _, ok := c.Get(testKey(1)); !ok {
+				t.Fatal("key 1 missing before eviction")
+			}
+		}
+		if err := c.Put(testKey(b), testRecord(100, int64(b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Fatal("LRU victim still resident")
+	}
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("recently-used key evicted")
+	}
+	if _, ok := c.Get(testKey(3)); !ok {
+		t.Fatal("newest key evicted")
+	}
+	if c.Bytes() != 2*one {
+		t.Fatalf("bytes = %d, want %d", c.Bytes(), 2*one)
+	}
+	if _, err := os.Stat(c.segPath(testKey(2))); !os.IsNotExist(err) {
+		t.Fatal("evicted segment file not deleted")
+	}
+}
+
+// TestDiskMtimeOrderSurvivesRestart: LRU order is rebuilt from mtimes, so
+// an over-budget reopen evicts the stalest segment.
+func TestDiskMtimeOrderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := byte(1); b <= 3; b++ {
+		if err := c.Put(testKey(b), testRecord(100, int64(b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate key 2 far into the past; it must be the reopen's victim.
+	old := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(c.segPath(testKey(2)), old, old); err != nil {
+		t.Fatal(err)
+	}
+	one := int64(len(encodeRecord(testRecord(100, 0))))
+	c2, err := Open(dir, DiskOptions{MaxBytes: 2 * one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("len = %d after bounded reopen, want 2", c2.Len())
+	}
+	if _, ok := c2.Get(testKey(2)); ok {
+		t.Fatal("stalest segment survived the bounded reopen")
+	}
+}
+
+// TestDiskTraceSpans: Open records store.load and Put records store.flush.
+func TestDiskTraceSpans(t *testing.T) {
+	tr := trace.New("test")
+	c, err := Open(t.TempDir(), DiskOptions{Trace: tr.Rank(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey(1), testRecord(16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ph := tr.PhaseSeconds()
+	for _, want := range []string{"store.load", "store.flush"} {
+		if _, ok := ph[want]; !ok {
+			t.Errorf("span %q not recorded (have %v)", want, ph)
+		}
+	}
+}
+
+// TestDiskRejectsNegativeBytes: the "negative disables" convention is the
+// caller's to apply; the store refuses to open a disabled tier.
+func TestDiskRejectsNegativeBytes(t *testing.T) {
+	if _, err := Open(t.TempDir(), DiskOptions{MaxBytes: -1}); err == nil {
+		t.Fatal("Open accepted a negative byte bound")
+	}
+}
+
+// TestDecodeRejectsGarbage covers the validation paths of decodeRecord.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decodeRecord(nil); err == nil {
+		t.Error("nil blob decoded")
+	}
+	if _, err := decodeRecord([]byte("way too short")); err == nil {
+		t.Error("short blob decoded")
+	}
+	good := encodeRecord(testRecord(8, 5))
+	truncated := good[:len(good)-2]
+	if _, err := decodeRecord(truncated); err == nil {
+		t.Error("truncated blob decoded")
+	}
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Session is one adaptive-partitioning conversation: a graph uploaded
+// once, the parameters it was partitioned with, and the current labelling
+// the server will warm-start the next repartition from. The paper's
+// introduction motivates exactly this shape — "the mesh needs to be
+// partitioned frequently as the simulation progresses" — and a session
+// saves re-shipping the (potentially 7.5M-vertex) topology on every
+// iteration: only the drifted vertex weights travel.
+//
+// Mutation protocol: the session's graph topology is immutable; weights
+// and labels advance together via Commit, which installs a fresh *Graph
+// (sharing the CSR arrays) rather than mutating the old one, so a reader
+// holding a Snapshot is never raced. Concurrent repartitions of one
+// session serialize at Commit: last writer wins, and Epoch tells clients
+// whether their view was current.
+type Session struct {
+	ID string
+	// K, Tol, Seed are fixed at creation; repartitions reuse them.
+	K    int
+	Tol  float64
+	Seed uint64
+
+	mu      sync.Mutex
+	graph   *graph.Graph
+	labels  []int32
+	epoch   int64
+	created time.Time
+	touched time.Time
+}
+
+// Snapshot returns the session's current graph, a copy of its labels, and
+// the epoch those belong to.
+func (s *Session) Snapshot() (*graph.Graph, []int32, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph, append([]int32(nil), s.labels...), s.epoch
+}
+
+// Commit installs the post-repartition state: g must share n and ncon with
+// the session's graph (typically the same CSR arrays with fresh weights).
+// Returns the new epoch.
+func (s *Session) Commit(g *graph.Graph, labels []int32) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.graph = g
+	s.labels = append(s.labels[:0:0], labels...)
+	s.epoch++
+	s.touched = time.Now()
+	return s.epoch
+}
+
+// Epoch returns the number of Commits applied so far (0 = freshly created).
+func (s *Session) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Sessions is the bounded, TTL-swept registry of live sessions. All
+// methods are safe for concurrent use.
+type Sessions struct {
+	mu  sync.Mutex
+	max int
+	ttl time.Duration
+	m   map[string]*Session
+}
+
+// NewSessions builds a registry holding at most max sessions (default 64);
+// sessions idle longer than ttl (default 1h) are swept lazily on Create.
+func NewSessions(max int, ttl time.Duration) *Sessions {
+	if max <= 0 {
+		max = 64
+	}
+	if ttl <= 0 {
+		ttl = time.Hour
+	}
+	return &Sessions{max: max, ttl: ttl, m: make(map[string]*Session)}
+}
+
+// Create registers a new session around an initial partitioning. It fails
+// when the registry is full even after sweeping idle sessions — sessions
+// pin whole graphs in memory, so admission control must be explicit, not
+// silent eviction of a session another client is mid-conversation with.
+func (s *Sessions) Create(g *graph.Graph, labels []int32, k int, tol float64, seed uint64) (*Session, error) {
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	sess := &Session{
+		ID: id, K: k, Tol: tol, Seed: seed,
+		graph:   g,
+		labels:  append([]int32(nil), labels...),
+		created: now,
+		touched: now,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(now)
+	if len(s.m) >= s.max {
+		return nil, fmt.Errorf("store: session limit reached (%d live); delete one or retry later", s.max)
+	}
+	s.m[id] = sess
+	return sess, nil
+}
+
+// Get returns the session with the given id, refreshing its idle timer.
+func (s *Sessions) Get(id string) (*Session, bool) {
+	s.mu.Lock()
+	sess, ok := s.m[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	sess.mu.Lock()
+	sess.touched = time.Now()
+	sess.mu.Unlock()
+	return sess, true
+}
+
+// Delete removes a session, reporting whether it existed.
+func (s *Sessions) Delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[id]
+	delete(s.m, id)
+	return ok
+}
+
+// Len returns the number of live sessions.
+func (s *Sessions) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// sweepLocked drops sessions idle past the TTL. Caller holds s.mu. The
+// candidate ids are sorted so the sweep order (and thus any observable
+// map churn) is deterministic.
+func (s *Sessions) sweepLocked(now time.Time) {
+	var stale []string
+	for id, sess := range s.m {
+		sess.mu.Lock()
+		idle := now.Sub(sess.touched)
+		sess.mu.Unlock()
+		if idle > s.ttl {
+			stale = append(stale, id)
+		}
+	}
+	sort.Strings(stale)
+	for _, id := range stale {
+		delete(s.m, id)
+	}
+}
+
+// newSessionID returns a 128-bit random hex id. crypto/rand, not the
+// deterministic partitioner RNG: session ids are unguessable handles, not
+// reproducible experiment state.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("store: generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, 1)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(int32(v), int32(v+1), 1)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSessionsCRUD(t *testing.T) {
+	reg := NewSessions(4, time.Hour)
+	g := pathGraph(t, 8)
+	labels := []int32{0, 0, 0, 0, 1, 1, 1, 1}
+	sess, err := reg.Create(g, labels, 2, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID == "" || len(sess.ID) != 32 {
+		t.Fatalf("session id %q, want 32 hex chars", sess.ID)
+	}
+	got, ok := reg.Get(sess.ID)
+	if !ok || got != sess {
+		t.Fatal("Get did not return the created session")
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Fatal("Get returned a phantom session")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", reg.Len())
+	}
+	if !reg.Delete(sess.ID) {
+		t.Fatal("Delete reported the session missing")
+	}
+	if reg.Delete(sess.ID) {
+		t.Fatal("second Delete reported success")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", reg.Len())
+	}
+}
+
+func TestSessionSnapshotCommit(t *testing.T) {
+	reg := NewSessions(4, time.Hour)
+	g := pathGraph(t, 4)
+	sess, err := reg.Create(g, []int32{0, 0, 1, 1}, 2, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, labels0, epoch0 := sess.Snapshot()
+	if g0 != g || epoch0 != 0 {
+		t.Fatalf("snapshot: graph %v epoch %d", g0, epoch0)
+	}
+	// Mutating the snapshot's labels must not affect the session.
+	labels0[0] = 9
+
+	g2 := &graph.Graph{Ncon: g.Ncon, Xadj: g.Xadj, Adjncy: g.Adjncy, Adjwgt: g.Adjwgt,
+		Vwgt: []int32{5, 5, 5, 5}}
+	if e := sess.Commit(g2, []int32{1, 1, 0, 0}); e != 1 {
+		t.Fatalf("epoch after commit = %d, want 1", e)
+	}
+	g1, labels1, epoch1 := sess.Snapshot()
+	if g1 != g2 || epoch1 != 1 {
+		t.Fatal("commit did not install the new state")
+	}
+	if labels1[0] != 1 || labels1[3] != 0 {
+		t.Fatalf("labels after commit = %v", labels1)
+	}
+}
+
+func TestSessionsCapAndTTL(t *testing.T) {
+	reg := NewSessions(2, 50*time.Millisecond)
+	g := pathGraph(t, 4)
+	labels := []int32{0, 0, 1, 1}
+	a, err := reg.Create(g, labels, 2, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(g, labels, 2, 0.05, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Full: a third create must fail with a clear error.
+	if _, err := reg.Create(g, labels, 2, 0.05, 3); err == nil {
+		t.Fatal("create above the cap succeeded")
+	}
+	// After the TTL passes, idle sessions are swept and creation works.
+	time.Sleep(80 * time.Millisecond)
+	if _, err := reg.Create(g, labels, 2, 0.05, 4); err != nil {
+		t.Fatalf("create after TTL sweep failed: %v", err)
+	}
+	if _, ok := reg.Get(a.ID); ok {
+		t.Fatal("idle session survived the sweep")
+	}
+}

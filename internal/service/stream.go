@@ -1,0 +1,110 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// handleStream is POST /v1/partition/stream: the request body is raw METIS
+// 4.0 text (not JSON), parsed incrementally off the wire in bounded chunks
+// so a multi-hundred-MiB upload never needs a contiguous in-memory copy of
+// itself on top of the parsed CSR. All partition parameters travel as
+// query parameters (?k=8&m=2&workload=type1&seed=1&tol=0.05&p=4&scheme=…).
+//
+// The byte budget is enforced by the chunked reader, not by buffering: the
+// moment the body crosses MaxBodyBytes the parse stops and the client gets
+// 413, no matter how much more it intended to send.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	start := time.Now()
+
+	req, err := partitionParamsFromQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	cr := graph.NewChunkedReader(r.Body, 0, s.cfg.MaxBodyBytes)
+	g, err := graph.ReadMETISLimited(cr,
+		graph.Limits{MaxVertices: s.cfg.MaxVertices, MaxEdges: s.cfg.MaxEdges})
+	if err != nil {
+		// A budget violation can surface either as ErrTooLarge itself or as
+		// a parse error on the truncated final line (the line scanner drains
+		// its buffer before seeing the reader's error) — Exceeded() catches
+		// both shapes.
+		if errors.Is(err, graph.ErrTooLarge) || cr.Exceeded() {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"graph body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	spec, err := s.finishSpec(req, g)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec.traced = r.URL.Query().Get("trace") == "1"
+	s.servePartition(w, r, req, spec, start)
+}
+
+// partitionParamsFromQuery builds the parameter half of a
+// PartitionRequest (no graph source) from URL query values.
+func partitionParamsFromQuery(q url.Values) (*PartitionRequest, error) {
+	req := &PartitionRequest{
+		Workload: q.Get("workload"),
+		Scheme:   q.Get("scheme"),
+	}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"k", &req.K}, {"m", &req.M}, {"p", &req.P}} {
+		v := q.Get(f.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("query param %q: %v", f.name, err)
+		}
+		*f.dst = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query param \"seed\": %v", err)
+		}
+		req.Seed = n
+	}
+	if v := q.Get("tol"); v != "" {
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query param \"tol\": %v", err)
+		}
+		req.Tol = x
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query param \"timeout_ms\": %v", err)
+		}
+		req.TimeoutMS = n
+	}
+	return req, nil
+}

@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkBench8 is the machine-readable harness for the cluster-coarsening
+// PR: the tiny mesh tier under the default matching scheme (pinning that the
+// mesh path did not move), plus the tiny power-law graph under both
+// coarsening schemes — the motivating comparison of hierarchy depth,
+// coarsest-level size, cut, and wall time on a skewed degree distribution.
+//
+//	go test -bench=Bench8 -benchtime=1x .
+//
+// Wall times are machine-dependent; cuts, level counts, and coarsest sizes
+// are deterministic (fixed seeds).
+func BenchmarkBench8(b *testing.B) {
+	type row struct {
+		Graph     string  `json:"graph"`
+		Kind      string  `json:"kind"` // mesh | powerlaw
+		N         int     `json:"n"`
+		Edges     int     `json:"edges"`
+		M         int     `json:"m"`
+		K         int     `json:"k"`
+		Seed      uint64  `json:"seed"`
+		Coarsen   string  `json:"coarsen"`
+		WallMS    float64 `json:"wall_ms"`
+		Levels    int     `json:"levels"`
+		CoarsestN int     `json:"coarsest_n"`
+		Cut       int64   `json:"cut"`
+		Imbalance float64 `json:"imbalance"`
+	}
+	const (
+		k    = 8
+		seed = 1
+	)
+	var rows []row
+	runRow := func(g *Graph, name, kind string, scheme CoarsenScheme) {
+		t0 := time.Now()
+		part, st, err := Serial(g, k, SerialOptions{Seed: seed, CoarsenScheme: scheme})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall := time.Since(t0)
+		rows = append(rows, row{
+			Graph: name, Kind: kind, N: g.NumVertices(), Edges: g.NumEdges(),
+			M: g.Ncon, K: k, Seed: seed, Coarsen: scheme.String(),
+			WallMS:    float64(wall.Microseconds()) / 1000,
+			Levels:    st.Levels,
+			CoarsestN: st.CoarsestN,
+			Cut:       EdgeCut(g, part),
+			Imbalance: st.Imbalance,
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range []string{"mrng1t", "mrng2t", "mrng3t"} {
+			spec, ok := gen.MeshByName(name)
+			if !ok {
+				b.Fatalf("unknown mesh %q", name)
+			}
+			g := Type1Workload(spec.Build(seed*7919+7), 2, 101)
+			runRow(g, name, "mesh", CoarsenMatching)
+		}
+		plaw := plawMC(PowerLawGraph(50000, 8, 2.5, 77), 2, 123)
+		runRow(plaw, "plaw50k", "powerlaw", CoarsenMatching)
+		runRow(plaw, "plaw50k", "powerlaw", CoarsenCluster)
+	}
+	var wallMS float64
+	for _, r := range rows {
+		wallMS += r.WallMS
+	}
+	b.ReportMetric(wallMS, "total-ms")
+
+	out := struct {
+		GeneratedBy string `json:"generated_by"`
+		Rows        []row  `json:"rows"`
+	}{
+		GeneratedBy: "go test -bench=Bench8 -benchtime=1x .",
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_8.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

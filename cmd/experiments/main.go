@@ -9,7 +9,11 @@
 //	experiments -exp all -seeds 3 -v
 //
 // Experiments: fig3 fig4 fig5 table2 table3 table4 ablslice abledge
-// ablrandom ablinit all. Scales: tiny (default, CI-sized), scaled
+// ablrandom ablinit coarsen all. The coarsen experiment compares the
+// SC'98 heavy-edge matching against size-constrained label-propagation
+// clustering on a mesh and a power-law graph (m = 1..3) and exits
+// non-zero if any configuration breaks the balance contract — CI runs it
+// as a smoke gate. Scales: tiny (default, CI-sized), scaled
 // (~1/18 of the paper's graphs), paper (full 257K..7.5M-vertex sizes —
 // hours of compute on a workstation).
 package main
@@ -38,7 +42,7 @@ func trimPs(ps []int, maxP int) []int {
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment: fig3|fig4|fig5|table2|table3|table4|ablslice|abledge|ablrandom|ablinit|all")
+		expName = flag.String("exp", "all", "experiment: fig3|fig4|fig5|table2|table3|table4|ablslice|abledge|ablrandom|ablinit|coarsen|all")
 		scaleF  = flag.String("scale", "tiny", "problem scale: tiny|scaled|paper")
 		seedsN  = flag.Int("seeds", 3, "number of random seeds to average (paper: 3)")
 		maxP    = flag.Int("maxp", 128, "largest processor count for the run-time tables (trim for slow hosts)")
@@ -94,6 +98,13 @@ func main() {
 		case "ablinit":
 			rows := exp.AblationInitImbalance(scale, 32, seeds[0], progress)
 			exp.WriteInitRows(os.Stdout, rows)
+		case "coarsen":
+			rows := exp.CoarsenComparison(scale, seeds, progress)
+			exp.WriteCoarsenRows(os.Stdout, rows)
+			if bad := exp.CoarsenViolations(rows); len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "coarsen: %d balance violation(s)\n", len(bad))
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -104,7 +115,7 @@ func main() {
 
 	if *expName == "all" {
 		for _, name := range []string{"fig3", "fig4", "fig5", "table2", "table3", "table4",
-			"ablslice", "abledge", "ablrandom", "ablinit"} {
+			"ablslice", "abledge", "ablrandom", "ablinit", "coarsen"} {
 			run(name)
 		}
 		return

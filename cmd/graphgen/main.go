@@ -1,4 +1,4 @@
-// Command graphgen generates the synthetic meshes and multi-constraint
+// Command graphgen generates the synthetic graphs and multi-constraint
 // workloads used by the experiments and writes them in the METIS 4.0 file
 // format, so they can be inspected or fed to other partitioners.
 //
@@ -7,6 +7,23 @@
 //	graphgen -mesh mrng1s -o mrng1s.graph
 //	graphgen -grid 40x40 -o grid.graph
 //	graphgen -mesh mrng2s -workload type2 -m 4 -o problem.graph
+//	graphgen -kind powerlaw -n 50000 -avg-degree 8 -exponent 2.5 -o social.graph
+//	graphgen -kind powerlaw -plaw plaw1t -o plaw1t.graph
+//
+// Generator matrix — pick exactly one source:
+//
+//	source              degree shape          scheme it exercises
+//	-mesh mrng*[st]     bounded (~6..26)      matching (SC'98 heavy-edge)
+//	-grid WxH[xD]       bounded (<= 6)        matching
+//	-kind powerlaw      heavy-tailed (hubs)   cluster (label propagation)
+//	-plaw plaw1[st]?    heavy-tailed, named   cluster, experiment tiers
+//
+// All sources accept -workload type1|type2 with -m to overlay the paper's
+// multi-constraint problems, and every generator is deterministic in
+// -seed. Power-law graphs are Chung-Lu with the requested expected average
+// degree and tail exponent (want > 2; 2.5 is the classic social-network
+// value); they may contain isolated vertices — a real feature of the
+// model that the partitioner handles.
 package main
 
 import (
@@ -24,6 +41,11 @@ func main() {
 	var (
 		mesh     = flag.String("mesh", "", "named mesh: mrng1..mrng4 (paper sizes), mrng1s.. (scaled), mrng1t.. (tiny)")
 		grid     = flag.String("grid", "", "grid dimensions, e.g. 40x40 or 16x16x16")
+		kind     = flag.String("kind", "", "generator family: powerlaw (with -n, -avg-degree, -exponent)")
+		plaw     = flag.String("plaw", "", "named power-law graph: plaw1t (8k), plaw1s (64k), plaw1 (512k)")
+		n        = flag.Int("n", 10000, "vertex count for -kind powerlaw")
+		avgDeg   = flag.Float64("avg-degree", 8, "expected average degree for -kind powerlaw")
+		exponent = flag.Float64("exponent", 2.5, "power-law tail exponent for -kind powerlaw (> 2)")
 		workload = flag.String("workload", "", "overlay workload: type1|type2")
 		m        = flag.Int("m", 2, "number of constraints for -workload")
 		seed     = flag.Uint64("seed", 7, "random seed")
@@ -31,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := build(*mesh, *grid, *seed)
+	g, err := build(*mesh, *grid, *kind, *plaw, *n, *avgDeg, *exponent, *seed)
 	if err == nil {
 		switch *workload {
 		case "":
@@ -70,7 +92,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote graph: %d vertices, %d edges, ncon=%d\n", g.NumVertices(), g.NumEdges(), g.Ncon)
 }
 
-func build(mesh, grid string, seed uint64) (*partition.Graph, error) {
+func build(mesh, grid, kind, plaw string, n int, avgDeg, exponent float64, seed uint64) (*partition.Graph, error) {
+	picked := 0
+	for _, s := range []string{mesh, grid, kind, plaw} {
+		if s != "" {
+			picked++
+		}
+	}
+	if picked > 1 {
+		return nil, fmt.Errorf("pick exactly one of -mesh, -grid, -kind, -plaw")
+	}
 	switch {
 	case mesh != "":
 		spec, ok := gen.MeshByName(mesh)
@@ -95,6 +126,26 @@ func build(mesh, grid string, seed uint64) (*partition.Graph, error) {
 			return partition.Grid3D(dims[0], dims[1], dims[2]), nil
 		}
 		return nil, fmt.Errorf("grid spec %q must be WxH or WxHxD", grid)
+	case plaw != "":
+		spec, ok := gen.PowerLawByName(plaw)
+		if !ok {
+			return nil, fmt.Errorf("unknown power-law graph %q (want plaw1t, plaw1s, or plaw1)", plaw)
+		}
+		return spec.Build(seed), nil
+	case kind != "":
+		if kind != "powerlaw" {
+			return nil, fmt.Errorf("unknown kind %q (want powerlaw)", kind)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("-n %d, want >= 1", n)
+		}
+		if avgDeg <= 0 || avgDeg >= float64(n) {
+			return nil, fmt.Errorf("-avg-degree %g, want 0 < avg-degree < n", avgDeg)
+		}
+		if exponent <= 2 {
+			return nil, fmt.Errorf("-exponent %g, want > 2", exponent)
+		}
+		return gen.PowerLaw(n, avgDeg, exponent, seed), nil
 	}
-	return nil, fmt.Errorf("need -mesh or -grid")
+	return nil, fmt.Errorf("need one of -mesh, -grid, -kind, -plaw")
 }

@@ -9,6 +9,12 @@
 //	mcpart -graph mesh.graph -k 8 -out labels.txt
 //	mcpart -mesh mrng1t -workload type1 -m 2 -k 8 -p 4 -trace out.json
 //	mcpart -graph drifted.graph -k 8 -repart-from labels.txt
+//	mcpart -graph social.graph -k 16 -coarsen cluster       # power-law input
+//
+// -coarsen selects the coarsening scheme (serial only): matching is the
+// SC'98 heavy-edge matching default, cluster is size-constrained label
+// propagation for power-law/social-network degree distributions, and auto
+// sniffs the input's degree skew and picks for you.
 //
 // The input file is in the METIS 4.0 format (see internal/graph). With
 // -mesh, a synthetic mrng-like mesh is generated instead and -workload
@@ -56,6 +62,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		tol       = flag.Float64("tol", 0.05, "load imbalance tolerance")
 		scheme    = flag.String("scheme", "reservation", "parallel refinement scheme: reservation|slice|free")
+		coarsen   = flag.String("coarsen", "matching", "coarsening scheme: matching|cluster|auto (serial only; cluster suits power-law graphs)")
 		outFile   = flag.String("out", "", "write one subdomain label per line to this file")
 		timeout   = flag.Duration("timeout", 0, "abort partitioning after this long (0 = no limit); exits with status 3")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON trace of the run to this file (open in Perfetto)")
@@ -64,6 +71,16 @@ func main() {
 		repartMethod = flag.String("repart-method", "auto", "repartitioning strategy with -repart-from: auto|diffusion|scratch-remap")
 	)
 	flag.Parse()
+
+	coarsenScheme, err := partition.ParseCoarsenScheme(*coarsen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcpart:", err)
+		os.Exit(2)
+	}
+	if coarsenScheme != partition.CoarsenMatching && (*p > 0 || *repartFrom != "") {
+		fmt.Fprintf(os.Stderr, "mcpart: -coarsen %s is serial-only (matching is the parallel and repartitioning scheme)\n", *coarsen)
+		os.Exit(2)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -167,7 +184,7 @@ func main() {
 		}
 	case *p == 0:
 		var stats partition.SerialStats
-		part, stats, err = partition.SerialTraced(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol}, tracer)
+		part, stats, err = partition.SerialTraced(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol, CoarsenScheme: coarsenScheme}, tracer)
 		if err == nil {
 			fmt.Printf("serial: cut=%d imbalance=%.4f levels=%d coarsest=%d (coarsen %v, init %v, uncoarsen %v)\n",
 				stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN,

@@ -23,6 +23,12 @@
 //	GET    /healthz                    liveness
 //	GET    /metrics                    Prometheus text exposition
 //
+// Serial jobs accept a "coarsen" parameter (JSON field or stream query
+// value): matching (default), cluster — size-constrained label propagation
+// for power-law graphs — or auto, which sniffs the degree distribution.
+// The scheme is part of the cache key, so requests differing only in it
+// never alias, and /metrics counts executed jobs per scheme.
+//
 // A full queue answers 429 with a Retry-After header; results are cached
 // by content address (graph hash + parameter tuple), so resubmitting an
 // identical request is served without recomputation (traced requests

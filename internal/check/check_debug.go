@@ -25,6 +25,14 @@ func Coarsening(where string, fine, coarse *graph.Graph, cmap []int32) {
 	}
 }
 
+// ClusterCaps panics if any multi-member cluster of cmap exceeds the
+// per-constraint weight caps of the size-constrained label propagation.
+func ClusterCaps(where string, g *graph.Graph, cmap []int32, nc int, caps []int64) {
+	if err := VerifyClusterCaps(g, cmap, nc, caps); err != nil {
+		panic("mcdebug: " + where + ": " + err.Error())
+	}
+}
+
 // GainCache panics if the boundary refiner's incremental id/ed/nfr tables
 // or its boundary set disagree with a from-scratch re-derivation.
 func GainCache(where string, g *graph.Graph, part []int32, id, ed []int64, nfr, bnd, bndptr []int32) {

@@ -17,6 +17,9 @@ func Graph(where string, g *graph.Graph) {}
 // Coarsening is a no-op without the mcdebug build tag.
 func Coarsening(where string, fine, coarse *graph.Graph, cmap []int32) {}
 
+// ClusterCaps is a no-op without the mcdebug build tag.
+func ClusterCaps(where string, g *graph.Graph, cmap []int32, nc int, caps []int64) {}
+
 // GainCache is a no-op without the mcdebug build tag.
 func GainCache(where string, g *graph.Graph, part []int32, id, ed []int64, nfr, bnd, bndptr []int32) {
 }

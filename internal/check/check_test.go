@@ -1,9 +1,13 @@
-package check
+// External test package: internal/coarsen imports check for the mcdebug
+// cluster-cap invariant, so an in-package test importing coarsen would be
+// an import cycle.
+package check_test
 
 import (
 	"strings"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/coarsen"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -28,7 +32,7 @@ func TestVerifyCoarseningAcceptsRealContraction(t *testing.T) {
 	}
 	for lvl := 1; lvl < len(levels); lvl++ {
 		fine, coarse, cmap := levels[lvl-1].Graph, levels[lvl].Graph, levels[lvl].CMap
-		if err := VerifyCoarsening(fine, coarse, cmap); err != nil {
+		if err := check.VerifyCoarsening(fine, coarse, cmap); err != nil {
 			t.Errorf("level %d: %v", lvl, err)
 		}
 	}
@@ -76,7 +80,7 @@ func TestVerifyCoarseningCatches(t *testing.T) {
 				cm = cm[:len(cm)-1]
 			}
 			tc.mutate(&cc, cm)
-			err := VerifyCoarsening(fine, &cc, cm)
+			err := check.VerifyCoarsening(fine, &cc, cm)
 			if err == nil {
 				t.Fatal("mutated contraction passed verification")
 			}
@@ -97,22 +101,22 @@ func TestVerifyPartition(t *testing.T) {
 	cut := metrics.EdgeCut(g, part)
 	pwgts := metrics.PartWeights(g, part, k)
 
-	if err := VerifyPartition(g, part, k, cut, pwgts); err != nil {
+	if err := check.VerifyPartition(g, part, k, cut, pwgts); err != nil {
 		t.Errorf("consistent aggregates rejected: %v", err)
 	}
-	if err := VerifyPartition(g, part, k, -1, nil); err != nil {
+	if err := check.VerifyPartition(g, part, k, -1, nil); err != nil {
 		t.Errorf("aggregate checks not skippable: %v", err)
 	}
-	if err := VerifyPartition(g, part, k, cut+1, pwgts); err == nil {
+	if err := check.VerifyPartition(g, part, k, cut+1, pwgts); err == nil {
 		t.Error("stale incremental cut passed verification")
 	}
 	bad := append([]int64(nil), pwgts...)
 	bad[0]++
-	if err := VerifyPartition(g, part, k, cut, bad); err == nil {
+	if err := check.VerifyPartition(g, part, k, cut, bad); err == nil {
 		t.Error("stale subdomain weights passed verification")
 	}
 	part[0] = k
-	if err := VerifyPartition(g, part, k, -1, nil); err == nil {
+	if err := check.VerifyPartition(g, part, k, -1, nil); err == nil {
 		t.Error("out-of-range label passed verification")
 	}
 }

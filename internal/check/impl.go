@@ -83,6 +83,49 @@ func VerifyCoarsening(fine, coarse *graph.Graph, cmap []int32) error {
 	return nil
 }
 
+// VerifyClusterCaps checks the size-constrained label-propagation
+// invariant: under cluster map cmap (dense ids in [0, nc)), every cluster
+// with two or more members keeps its summed weight vector at or under caps
+// in every constraint. Singleton clusters are exempt — a vertex heavier
+// than the cap is legal input and simply never merges.
+func VerifyClusterCaps(g *graph.Graph, cmap []int32, nc int, caps []int64) error {
+	n := g.NumVertices()
+	m := g.Ncon
+	if len(cmap) != n {
+		return fmt.Errorf("check: len(cmap) = %d, want %d vertices", len(cmap), n)
+	}
+	if len(caps) != m {
+		return fmt.Errorf("check: len(caps) = %d, want %d constraints", len(caps), m)
+	}
+	sums := make([]int64, nc*m)
+	members := make([]int32, nc)
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		if cv < 0 || int(cv) >= nc {
+			return fmt.Errorf("check: cmap[%d] = %d out of [0,%d)", v, cv, nc)
+		}
+		members[cv]++
+		for c := 0; c < m; c++ {
+			sums[int(cv)*m+c] += int64(g.Vwgt[v*m+c])
+		}
+	}
+	for cv := 0; cv < nc; cv++ {
+		if members[cv] == 0 {
+			return fmt.Errorf("check: cluster %d has no members (cmap not onto)", cv)
+		}
+		if members[cv] < 2 {
+			continue
+		}
+		for c := 0; c < m; c++ {
+			if sums[cv*m+c] > caps[c] {
+				return fmt.Errorf("check: cluster %d (%d members) constraint %d weight %d exceeds cap %d",
+					cv, members[cv], c, sums[cv*m+c], caps[c])
+			}
+		}
+	}
+	return nil
+}
+
 // VerifyGainCache checks the boundary refiner's incrementally maintained
 // tables against a from-scratch re-derivation: for every vertex, id/ed must
 // equal the summed edge weight to same-/other-subdomain neighbors, nfr the

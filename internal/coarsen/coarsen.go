@@ -1,24 +1,88 @@
 // Package coarsen implements the coarsening phase of the multilevel
 // paradigm: heavy-edge matching (HEM) with the SC'98 "balanced edge"
-// tie-break, and graph contraction.
+// tie-break, size-constrained label-propagation clustering (internal/lp)
+// for skewed degree distributions, and graph contraction.
 //
-// During coarsening the graph is successively shrunk by collapsing matched
-// vertex pairs; the weight vector of a coarse vertex is the component-wise
-// sum of its constituents and parallel edges merge by summing weights, so
-// total vertex weight (per constraint) and total exposed+internal edge
-// weight are invariants of contraction.
+// During coarsening the graph is successively shrunk by collapsing groups
+// of vertices (matched pairs, or label-propagation clusters); the weight
+// vector of a coarse vertex is the component-wise sum of its constituents
+// and parallel edges merge by summing weights, so total vertex weight (per
+// constraint) and total exposed+internal edge weight are invariants of
+// contraction.
 package coarsen
 
 import (
+	"fmt"
+
 	"repro/internal/arena"
+	"repro/internal/check"
 	"repro/internal/graph"
+	"repro/internal/lp"
 	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/vecw"
 )
 
+// Scheme selects how a level groups fine vertices into coarse ones.
+type Scheme int
+
+const (
+	// SchemeMatching is the SC'98 heavy-edge matching: at most two fine
+	// vertices per coarse vertex, ~2x shrink per level on bounded-degree
+	// meshes. The zero value, so existing callers keep the paper behaviour
+	// bit-identically.
+	SchemeMatching Scheme = iota
+	// SchemeCluster is size-constrained label propagation (internal/lp):
+	// many-to-one clusters under per-constraint weight caps, the scheme
+	// that keeps shrinking when hubs make maximal matching stall.
+	SchemeCluster
+	// SchemeAuto sniffs the degree distribution of the finest graph once
+	// (DegreeSkewed) and picks SchemeCluster for skewed inputs,
+	// SchemeMatching otherwise.
+	SchemeAuto
+)
+
+// String returns the flag/API spelling of the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeMatching:
+		return "matching"
+	case SchemeCluster:
+		return "cluster"
+	case SchemeAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme parses the flag/API spelling of a coarsening scheme. The
+// empty string means the default (matching), so absent request fields and
+// unset flags need no special-casing by callers.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "", "matching":
+		return SchemeMatching, nil
+	case "cluster":
+		return SchemeCluster, nil
+	case "auto":
+		return SchemeAuto, nil
+	}
+	return SchemeMatching, fmt.Errorf("unknown coarsening scheme %q (want matching, cluster, or auto)", s)
+}
+
 // Options controls matching behaviour.
 type Options struct {
+	// Scheme selects the grouping strategy per level. The zero value is
+	// SchemeMatching — the paper default, bit-identical to the pre-scheme
+	// pipeline. SchemeAuto resolves once, on the finest graph.
+	Scheme Scheme
+	// Tol is the balance tolerance the cluster scheme derives its
+	// per-constraint cluster weight caps from (<= 0 means the pipeline
+	// default, 0.05). Matching ignores it (its cap is MaxVertexWeight).
+	Tol float64
+	// LPRounds overrides the label-propagation round count for the cluster
+	// scheme (0 = lp.DefaultRounds). Matching ignores it.
+	LPRounds int
 	// BalancedEdge enables the SC'98 multi-constraint tie-break: among
 	// maximum-weight candidate edges, prefer the mate whose combined weight
 	// vector is flattest (minimum jaggedness), which keeps coarse vertex
@@ -55,6 +119,7 @@ type scratch struct {
 	bufAdj   []int32      // merged coarse edges, fine-edge capacity
 	bufWgt   []int32
 	combined []int64 // Ncon-wide tie-break accumulator
+	head     []int32 // cluster-member offsets for many-to-one contraction
 }
 
 func newScratch(n, ncon int) *scratch {
@@ -239,6 +304,80 @@ func fillEdges(g *graph.Graph, v int32, cmap []int32, cv int32, mk *arena.Marker
 	return cur
 }
 
+// ContractMap collapses an arbitrary many-to-one cluster assignment into a
+// coarser graph: cmap maps every fine vertex to a dense cluster id in
+// [0, nc) (the shape lp.Cluster produces), and the coarse graph has one
+// vertex per cluster with component-wise summed weights and merged edges.
+// Contract's matched-pair contraction is the special case where every
+// cluster has one or two members.
+func ContractMap(g *graph.Graph, cmap []int32, nc int) *graph.Graph {
+	return contractMapInto(g, cmap, nc, newScratch(g.NumVertices(), g.Ncon))
+}
+
+// contractMapInto is ContractMap drawing its work arrays from s. The
+// returned graph is freshly allocated; the member lists, cursors, and
+// dedup scratch are pooled.
+func contractMapInto(g *graph.Graph, cmap []int32, nc int, s *scratch) *graph.Graph {
+	n := g.NumVertices()
+	m := g.Ncon
+
+	// Counting sort the fine vertices by cluster id so each coarse vertex's
+	// members are contiguous; members reuses the matching buffer, the
+	// cursor pass reuses the visit-order buffer.
+	if cap(s.head) < nc+1 {
+		s.head = make([]int32, nc+1)
+	}
+	head := s.head[:nc+1]
+	for i := range head {
+		head[i] = 0
+	}
+	for _, cv := range cmap {
+		head[cv+1]++
+	}
+	for i := 0; i < nc; i++ {
+		head[i+1] += head[i]
+	}
+	members := s.match[:n]
+	cursor := s.order[:nc]
+	copy(cursor, head[:nc])
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		members[cursor[cv]] = int32(v)
+		cursor[cv]++
+	}
+
+	cvwgt := make([]int32, nc*m)
+	for v := 0; v < n; v++ {
+		cv := int(cmap[v])
+		for c := 0; c < m; c++ {
+			cvwgt[cv*m+c] += g.Vwgt[v*m+c]
+		}
+	}
+
+	// Same single-pass emission as contractInto: coarse vertices ascend, so
+	// merged adjacency lists land contiguously in the pooled fine-edge
+	// buffer and the exact CSR is a prefix copy; the epoch marker gives one
+	// dedup generation per coarse vertex with no clearing.
+	s.marker.Grow(nc)
+	slot := s.slot[:nc]
+	bufAdj, bufWgt := s.edgeBuf(len(g.Adjncy))
+	cxadj := make([]int32, nc+1)
+	cur := int32(0)
+	for cv := int32(0); int(cv) < nc; cv++ {
+		s.marker.Next()
+		for i := head[cv]; i < head[cv+1]; i++ {
+			cur = fillEdges(g, members[i], cmap, cv, &s.marker, slot, bufAdj, bufWgt, cur)
+		}
+		cxadj[cv+1] = cur
+	}
+	cadjncy := make([]int32, cur)
+	cadjwgt := make([]int32, cur)
+	copy(cadjncy, bufAdj[:cur])
+	copy(cadjwgt, bufWgt[:cur])
+
+	return &graph.Graph{Ncon: m, Xadj: cxadj, Adjncy: cadjncy, Adjwgt: cadjwgt, Vwgt: cvwgt}
+}
+
 // Level is one rung of the multilevel hierarchy: the graph at this level
 // and the map from the next-finer graph's vertices onto it.
 type Level struct {
@@ -246,12 +385,81 @@ type Level struct {
 	CMap  []int32 // len = finer graph's vertex count; nil for the finest level
 }
 
+// DegreeSkewed reports whether g's degree distribution is skewed enough
+// that heavy-edge matching would stall: the maximum degree is both large
+// in absolute terms and a large multiple of the average. Well-shaped
+// meshes (max degree ~6-26, within ~2x of average) never trip this;
+// power-law graphs with hub vertices do. It is the SchemeAuto sniff,
+// evaluated once on the finest graph so the decision is a pure function of
+// the input and consumes no randomness.
+func DegreeSkewed(g *graph.Graph) bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return false
+	}
+	maxDeg := 0
+	for v := int32(0); int(v) < n; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// avg*16 compared in edge units: maxDeg*n >= 16 * (2*|E|).
+	return maxDeg >= 64 && int64(maxDeg)*int64(n) >= 32*int64(g.NumEdges())
+}
+
+// clusterCaps derives the per-constraint cluster weight caps for one
+// cluster-coarsening level. Two bounds compose:
+//
+//   - A global ceiling of 3x the ideal coarsenTo-way share, widened by the
+//     balance tolerance the final partition must meet. The factor is
+//     looser than matching's 1.5x MaxVertexWeight rule because clusters
+//     merge in coarse units — once weights cluster near the cap, two
+//     half-full clusters can only combine if the cap leaves a full extra
+//     share of headroom — and it still leaves initial partitioning ample
+//     granularity: at the default coarsenTo = max(30k, 2000) the cap is at
+//     most a tenth of a subdomain's target weight.
+//   - A per-level shrink bound of 8x the current level's average vertex
+//     weight. Without it, label propagation collapses a 50k-vertex
+//     power-law graph straight to the global ceiling in one level (a >12x
+//     jump), and the uncoarsening phase gets almost no intermediate levels
+//     to refine across — measurably worse cuts. Bounding each level's
+//     clusters to ~8 average vertices keeps the hierarchy geometric, like
+//     matching's, just steeper.
+func clusterCaps(g *graph.Graph, coarsenTo int, tol float64) []int64 {
+	n := int64(g.NumVertices())
+	caps := make([]int64, g.Ncon)
+	for c, t := range g.TotalVertexWeight() {
+		caps[c] = 1 + int64(float64(t)*3*(1+tol)/float64(coarsenTo))
+		if lvl := 1 + 2*t/n; lvl < caps[c] {
+			caps[c] = lvl
+		}
+	}
+	return caps
+}
+
 // BuildHierarchy coarsens g until it has at most coarsenTo vertices or
 // coarsening stalls (shrink factor worse than 0.95 per level, the
 // slow-coarsening cutoff). The returned slice starts with the input graph
 // (CMap nil) and ends with the coarsest graph. If opt.Stop fires at a
 // level boundary the partial hierarchy is abandoned and nil is returned.
+//
+// opt.Scheme selects matching (default) or label-propagation cluster
+// grouping per level; SchemeAuto resolves to one of the two here, from the
+// finest graph's degree distribution. The matching path is bit-identical
+// to the pre-scheme pipeline: it consumes the same RNG draws in the same
+// order and touches no new state.
 func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) []Level {
+	scheme := opt.Scheme
+	if scheme == SchemeAuto {
+		scheme = SchemeMatching
+		if DegreeSkewed(g) {
+			scheme = SchemeCluster
+		}
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 0.05
+	}
 	levels := []Level{{Graph: g}}
 	cur := g
 	// One scratch sized at the finest level serves every coarser level.
@@ -260,27 +468,61 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 		if opt.Stop != nil && opt.Stop() {
 			return nil
 		}
-		// Cap coarse vertex weight at ~1/coarsenTo of the heaviest
-		// constraint total so initial partitioning always has room to
-		// balance (METIS's rule of thumb).
-		o := opt
-		if o.MaxVertexWeight == 0 {
-			var maxTot int64
-			for _, t := range cur.TotalVertexWeight() {
-				if t > maxTot {
-					maxTot = t
-				}
-			}
-			o.MaxVertexWeight = 1 + maxTot*3/int64(2*coarsenTo)
-		}
 		if opt.Trace != nil {
 			opt.Trace.Begin("coarsen.level",
 				trace.I64("level", int64(len(levels))),
 				trace.I64("n", int64(cur.NumVertices())),
 				trace.I64("edges", int64(cur.NumEdges())))
 		}
-		match := matchInto(cur, rand, o, ws)
-		coarse, cmap := contractInto(cur, match, ws)
+		var coarse *graph.Graph
+		var cmap []int32
+		if scheme == SchemeCluster {
+			caps := clusterCaps(cur, coarsenTo, tol)
+			if opt.MaxVertexWeight > 0 {
+				for c := range caps {
+					caps[c] = opt.MaxVertexWeight
+				}
+			}
+			var nc int
+			cmap, nc = lp.Cluster(cur, rand, lp.Options{
+				Rounds:           opt.LPRounds,
+				MaxClusterWeight: caps,
+				Stop:             opt.Stop,
+				Trace:            opt.Trace,
+			})
+			if cmap == nil { // Stop fired mid-pass
+				if opt.Trace != nil {
+					opt.Trace.End(trace.I64("aborted", 1))
+				}
+				return nil
+			}
+			if check.Enabled {
+				check.ClusterCaps(fmt.Sprintf("coarsen: level %d cluster caps", len(levels)), cur, cmap, nc, caps)
+			}
+			if opt.Trace != nil {
+				opt.Trace.Begin("lp.contract", trace.I64("clusters", int64(nc)))
+			}
+			coarse = contractMapInto(cur, cmap, nc, ws)
+			if opt.Trace != nil {
+				opt.Trace.End()
+			}
+		} else {
+			// Cap coarse vertex weight at ~1/coarsenTo of the heaviest
+			// constraint total so initial partitioning always has room to
+			// balance (METIS's rule of thumb).
+			o := opt
+			if o.MaxVertexWeight == 0 {
+				var maxTot int64
+				for _, t := range cur.TotalVertexWeight() {
+					if t > maxTot {
+						maxTot = t
+					}
+				}
+				o.MaxVertexWeight = 1 + maxTot*3/int64(2*coarsenTo)
+			}
+			match := matchInto(cur, rand, o, ws)
+			coarse, cmap = contractInto(cur, match, ws)
+		}
 		if opt.Trace != nil {
 			opt.Trace.End(
 				trace.I64("coarse_n", int64(coarse.NumVertices())),

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestPowerLawDegreeDistribution pins the property that motivates the
+// generator: a heavy tail. The mesh generators are bounded-degree (MRNGLike
+// tops out around 26); the power-law graph at the same scale must have hub
+// vertices an order of magnitude above its own average and far above any
+// mesh degree, while the median vertex stays small.
+func TestPowerLawDegreeDistribution(t *testing.T) {
+	const n = 8192
+	g := PowerLaw(n, 8, 2.5, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+
+	degs := make([]int, n)
+	maxDeg := 0
+	for v := int32(0); v < n; v++ {
+		degs[v] = g.Degree(v)
+		if degs[v] > maxDeg {
+			maxDeg = degs[v]
+		}
+	}
+	avg := float64(2*g.NumEdges()) / float64(n)
+	if avg < 4 || avg > 12 {
+		t.Errorf("average degree %.2f, want near the requested 8", avg)
+	}
+
+	mesh := MRNGLike(20, 20, 20, 3)
+	meshMax := 0
+	for v := int32(0); int(v) < mesh.NumVertices(); v++ {
+		if d := mesh.Degree(v); d > meshMax {
+			meshMax = d
+		}
+	}
+	if maxDeg < 4*meshMax {
+		t.Errorf("power-law max degree %d not clearly above mesh max %d — tail not heavy", maxDeg, meshMax)
+	}
+	if maxDeg < int(10*avg) {
+		t.Errorf("max degree %d < 10x average %.1f — tail not heavy", maxDeg, avg)
+	}
+
+	// Median vertex keeps a handful of neighbors: at least half the
+	// vertices must sit at or below 2x the average.
+	small := 0
+	for _, d := range degs {
+		if float64(d) <= 2*avg {
+			small++
+		}
+	}
+	if small < n/2 {
+		t.Errorf("only %d/%d vertices at <= 2x average degree — distribution not skewed", small, n)
+	}
+}
+
+// TestPowerLawDeterministic pins the generator's determinism contract: a
+// fixed (n, avgDeg, exponent, seed) reproduces the exact CSR, and a
+// different seed produces a different graph.
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(2000, 6, 2.5, 7)
+	b := PowerLaw(2000, 6, 2.5, 7)
+	if !sameGraph(a, b) {
+		t.Error("same seed produced different graphs")
+	}
+	c := PowerLaw(2000, 6, 2.5, 8)
+	if sameGraph(a, c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || len(a.Adjncy) != len(b.Adjncy) {
+		return false
+	}
+	for i := range a.Xadj {
+		if a.Xadj[i] != b.Xadj[i] {
+			return false
+		}
+	}
+	for i := range a.Adjncy {
+		if a.Adjncy[i] != b.Adjncy[i] || a.Adjwgt[i] != b.Adjwgt[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPowerLawByName(t *testing.T) {
+	s, ok := PowerLawByName("plaw1t")
+	if !ok || s.N != 8192 {
+		t.Fatalf("PowerLawByName(plaw1t) = %+v, %v", s, ok)
+	}
+	if _, ok := PowerLawByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+	g := s.Build(1)
+	if g.NumVertices() != s.N || g.Ncon != 1 {
+		t.Errorf("built graph n=%d ncon=%d, want n=%d ncon=1", g.NumVertices(), g.Ncon, s.N)
+	}
+}

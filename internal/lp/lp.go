@@ -1,0 +1,265 @@
+// Package lp implements size-constrained label propagation clustering —
+// the cluster-coarsening primitive for power-law graphs (KaHIP lineage:
+// "Engineering Multilevel Graph Partitioning Algorithms", Meyerhenke,
+// Sanders & Schulz).
+//
+// Heavy-edge matching shrinks a graph by at most 2x per level and, on
+// skewed degree distributions, by far less: a hub vertex can match only
+// one of its thousands of neighbors, so the rest survive to the next level
+// untouched and coarsening stalls. Label propagation instead computes
+// *clusters* of unbounded size below an explicit per-constraint weight
+// cap: every vertex starts as its own cluster, and for a fixed number of
+// rounds each vertex (visited in a seeded random order) moves to the
+// neighboring cluster with the largest connecting edge weight among those
+// with room. Contracting the clusters (coarsen.ContractMap) then shrinks
+// hub neighborhoods by orders of magnitude in a single level.
+//
+// Determinism contract (see DESIGN.md, "Coarsening schemes"): the visit
+// order comes from one rng.Perm per round off the caller's stream, the
+// candidate scan is in adjacency order, and ties in connecting weight
+// break toward the lowest cluster label, so a fixed (graph, seed, options)
+// reproduces the clustering exactly. The multi-constraint twist over the
+// single-constraint KaHIP formulation: a move must fit the cap in *every*
+// weight component, mirroring how the SC'98 matching cap keeps the coarsest
+// graph balanceable per constraint.
+package lp
+
+import (
+	"repro/internal/arena"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// DefaultRounds is the fixed number of propagation rounds when Options
+// leaves it zero. Label propagation converges quickly — most consolidation
+// happens in the first two rounds — and a small fixed count keeps the
+// level cost linear and the determinism contract simple.
+const DefaultRounds = 5
+
+// Options controls one clustering pass.
+type Options struct {
+	// Rounds is the number of propagation rounds (0 = DefaultRounds). A
+	// round that moves no vertex ends the pass early; the early exit is
+	// deterministic because move counts are.
+	Rounds int
+	// MaxClusterWeight caps each constraint of a cluster's summed weight
+	// vector (length = g.Ncon). A vertex only joins a cluster if the
+	// result fits every component. nil disables the cap (unit tests only —
+	// coarsening always derives caps from the balance tolerance). A vertex
+	// heavier than the cap simply stays a singleton cluster; clusters with
+	// two or more members never exceed the cap (the mcdebug invariant
+	// check.ClusterCaps).
+	MaxClusterWeight []int64
+	// Stop, when non-nil, is polled once per round; once it returns true
+	// Cluster abandons the pass and returns (nil, 0).
+	Stop func() bool
+	// Trace, when non-nil, records one "lp.round" span per executed round.
+	Trace *trace.Rank
+}
+
+// Cluster computes a size-constrained label-propagation clustering of g.
+// It returns cmap — a dense cluster id in [0, nc) per vertex, the same
+// shape coarsen.Contract produces for matchings — and the cluster count
+// nc. Cluster ids are assigned in order of first appearance by ascending
+// vertex id, so the id space itself is deterministic.
+func Cluster(g *graph.Graph, rand *rng.RNG, opt Options) ([]int32, int) {
+	n := g.NumVertices()
+	m := g.Ncon
+	rounds := opt.Rounds
+	if rounds <= 0 {
+		rounds = DefaultRounds
+	}
+	caps := opt.MaxClusterWeight
+
+	// label[v] is v's current cluster, named by an arbitrary vertex id;
+	// cw[label*m+c] is the cluster's summed weight per constraint.
+	label := make([]int32, n)
+	cw := make([]int64, n*m)
+	for v := 0; v < n; v++ {
+		label[v] = int32(v)
+		for c := 0; c < m; c++ {
+			cw[v*m+c] = int64(g.Vwgt[v*m+c])
+		}
+	}
+
+	cnt := make([]int32, n) // member count per cluster label
+	for i := range cnt {
+		cnt[i] = 1
+	}
+
+	order := make([]int32, n)
+	var marker arena.Marker
+	marker.Grow(n)
+	slot := make([]int32, n)
+	// Per-vertex candidate buffers, sized to the maximum degree on demand.
+	var candLab []int32
+	var candW []int64
+
+	for round := 0; round < rounds; round++ {
+		if opt.Stop != nil && opt.Stop() {
+			return nil, 0
+		}
+		if opt.Trace != nil {
+			opt.Trace.Begin("lp.round", trace.I64("round", int64(round)), trace.I64("n", int64(n)))
+		}
+		rand.Perm(order)
+		moves := 0
+		for _, v := range order {
+			adj, wgt := g.Neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			if cap(candLab) < len(adj) {
+				candLab = make([]int32, 0, len(adj))
+				candW = make([]int64, 0, len(adj))
+			}
+			candLab = candLab[:0]
+			candW = candW[:0]
+			// Accumulate the connecting weight per neighboring cluster with
+			// the epoch marker (one generation per vertex, no clearing).
+			marker.Next()
+			for i, u := range adj {
+				lu := label[u]
+				if marker.TryMark(lu) {
+					slot[lu] = int32(len(candLab))
+					candLab = append(candLab, lu)
+					candW = append(candW, int64(wgt[i]))
+				} else {
+					candW[slot[lu]] += int64(wgt[i])
+				}
+			}
+			a := label[v]
+			// Staying put is the baseline: the weight connecting v to its
+			// own cluster (zero if no neighbor shares it).
+			best, bestW := a, int64(0)
+			if marker.Marked(a) {
+				bestW = candW[slot[a]]
+			}
+			vw := g.VertexWeight(v)
+			for j, lab := range candLab {
+				if lab == a {
+					continue
+				}
+				w := candW[j]
+				if (w > bestW || (w == bestW && lab < best)) && fitsCluster(cw, lab, vw, caps, m) {
+					best, bestW = lab, w
+				}
+			}
+			if best != a {
+				for c := 0; c < m; c++ {
+					cw[int(a)*m+c] -= int64(vw[c])
+					cw[int(best)*m+c] += int64(vw[c])
+				}
+				cnt[a]--
+				cnt[best]++
+				label[v] = best
+				moves++
+			}
+		}
+		if opt.Trace != nil {
+			opt.Trace.End(trace.I64("moves", int64(moves)))
+		}
+		if moves == 0 {
+			break
+		}
+	}
+
+	// Pack stranded singletons. Propagation leaves two kinds of vertices
+	// behind as singleton clusters: degree-0 vertices (no connecting weight
+	// to anything — a few percent of n on Chung-Lu power-law graphs) and
+	// leaves stranded around saturated hubs (a degree-1 vertex whose sole
+	// neighbor's cluster is at the cap can never join it, and it is not
+	// adjacent to its sibling leaves, so no level ever merges it with
+	// anything). Both would otherwise put the coarsest-level target
+	// permanently out of reach. Merging such siblings with each other is
+	// cut-neutral at this level — stranded singletons sharing a hub have no
+	// mutual edges — so: group each stranded singleton by its
+	// heaviest-connecting neighbor cluster (adjacency-order max, lowest
+	// label on ties — the round rule), with the degree-0 vertices as one
+	// extra group, and first-fit pack each group in ascending vertex order
+	// under the caps. Deterministic, and the packed clusters land adjacent
+	// to the hub they share, so later levels keep consolidating them.
+	packInto := order // reuse: open pack cluster per group, indexed by hub label
+	for i := range packInto {
+		packInto[i] = -1
+	}
+	ballast := int32(-1) // open pack cluster of the degree-0 group
+	for v := 0; v < n; v++ {
+		if label[v] != int32(v) || cnt[v] != 1 {
+			continue // not a stranded singleton
+		}
+		vw := g.VertexWeight(int32(v))
+		adj, wgt := g.Neighbors(int32(v))
+		if len(adj) == 0 {
+			if ballast >= 0 && fitsCluster(cw, ballast, vw, caps, m) {
+				moveSingleton(cw, label, int32(v), ballast, vw, m)
+			} else {
+				ballast = int32(v)
+			}
+			continue
+		}
+		hub, hubW := int32(-1), int64(-1)
+		for i, u := range adj {
+			lu := label[u]
+			if lu == int32(v) {
+				continue
+			}
+			// Parallel labels accumulate across rounds, not here: a plain
+			// per-edge max is enough to give siblings the same group.
+			if int64(wgt[i]) > hubW || (int64(wgt[i]) == hubW && lu < hub) {
+				hub, hubW = lu, int64(wgt[i])
+			}
+		}
+		if hub < 0 {
+			continue // all neighbors already share v's label (can't happen for a singleton)
+		}
+		if p := packInto[hub]; p >= 0 && fitsCluster(cw, p, vw, caps, m) {
+			moveSingleton(cw, label, int32(v), p, vw, m)
+		} else {
+			packInto[hub] = int32(v)
+		}
+	}
+
+	// Renumber the surviving labels densely, in order of first appearance
+	// by ascending vertex id. slot is reused as the label -> dense-id map.
+	for i := range slot {
+		slot[i] = -1
+	}
+	cmap := make([]int32, n)
+	nc := int32(0)
+	for v := 0; v < n; v++ {
+		l := label[v]
+		if slot[l] < 0 {
+			slot[l] = nc
+			nc++
+		}
+		cmap[v] = slot[l]
+	}
+	return cmap, int(nc)
+}
+
+// moveSingleton reassigns stranded singleton v (label v) to cluster dst,
+// shifting its weight vector.
+func moveSingleton(cw []int64, label []int32, v, dst int32, vw []int32, m int) {
+	for c := 0; c < m; c++ {
+		cw[int(v)*m+c] -= int64(vw[c])
+		cw[int(dst)*m+c] += int64(vw[c])
+	}
+	label[v] = dst
+}
+
+// fitsCluster reports whether adding weight vector vw to cluster lab keeps
+// every constraint at or under its cap.
+func fitsCluster(cw []int64, lab int32, vw []int32, caps []int64, m int) bool {
+	if caps == nil {
+		return true
+	}
+	base := int(lab) * m
+	for c := 0; c < m; c++ {
+		if cw[base+c]+int64(vw[c]) > caps[c] {
+			return false
+		}
+	}
+	return true
+}

@@ -51,6 +51,11 @@ type Options struct {
 	// NoBalancedEdge disables the SC'98 balanced-edge matching tie-break
 	// (ablation 2).
 	NoBalancedEdge bool
+	// CoarsenScheme selects how levels group vertices: heavy-edge matching
+	// (the zero value, the paper default, bit-identical to earlier
+	// releases), size-constrained label-propagation clustering, or auto
+	// (sniff the finest graph's degree skew). See coarsen.Scheme.
+	CoarsenScheme coarsen.Scheme
 }
 
 func (o Options) withDefaults(k int) Options {
@@ -165,6 +170,8 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *
 			trace.I64("edges", int64(g.NumEdges())))
 	}
 	levels := coarsen.BuildHierarchy(g, opt.CoarsenTo, rand, coarsen.Options{
+		Scheme:       opt.CoarsenScheme,
+		Tol:          opt.Tol,
 		BalancedEdge: !opt.NoBalancedEdge,
 		Stop:         stop,
 		Trace:        rk,

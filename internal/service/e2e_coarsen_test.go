@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestE2ECoarsenValidation pins the request-validation contract for the
+// coarsening-scheme parameter: every endpoint that accepts partition
+// parameters answers 400 for an unknown value, and the non-matching
+// schemes are serial-only.
+func TestE2ECoarsenValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bad := PartitionRequest{Mesh: "mrng1t", K: 4, Coarsen: "bogus"}
+
+	// POST /v1/partition.
+	resp, raw := postJSON(t, ts.URL, bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("partition with bogus coarsen: status = %d, body %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "unknown coarsening scheme") {
+		t.Errorf("partition error body %s does not name the bad scheme", raw)
+	}
+
+	// A valid scheme combined with p > 0 is a 400, not a silent fallback.
+	serialOnly := PartitionRequest{Mesh: "mrng1t", K: 4, P: 4, Coarsen: "cluster"}
+	resp, raw = postJSON(t, ts.URL, serialOnly)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("partition with p=4 coarsen=cluster: status = %d, body %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "serial-only") {
+		t.Errorf("parallel+cluster error body %s does not say serial-only", raw)
+	}
+
+	// POST /v1/batch: the bad job fails alone with a per-entry 400.
+	resp, raw = doJSON(t, http.MethodPost, ts.URL+"/v1/batch", BatchRequest{
+		Jobs: []PartitionRequest{{Mesh: "mrng1t", K: 4}, bad},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", resp.StatusCode, raw)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(raw, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[0].Status != http.StatusOK {
+		t.Errorf("batch job 0 status = %d, want 200", batch.Results[0].Status)
+	}
+	if batch.Results[1].Status != http.StatusBadRequest ||
+		!strings.Contains(batch.Results[1].Error, "unknown coarsening scheme") {
+		t.Errorf("batch job 1 = %d %q, want a 400 naming the scheme",
+			batch.Results[1].Status, batch.Results[1].Error)
+	}
+
+	// POST /v1/partition/stream?coarsen=… — parameters travel as query
+	// values there.
+	var metis bytes.Buffer
+	if err := graph.WriteMETIS(&metis, mustMesh(t, "mrng1t", 0)); err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Post(ts.URL+"/v1/partition/stream?k=4&coarsen=bogus",
+		"text/plain", bytes.NewReader(metis.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("stream with bogus coarsen: status = %d", sresp.StatusCode)
+	}
+
+	// POST /v1/sessions shares the same validator.
+	resp, raw = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", bad)
+	if resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(string(raw), "unknown coarsening scheme") {
+		t.Errorf("session create with bogus coarsen: status = %d, body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestE2ECoarsenCacheIsolation pins the cache contract: two requests that
+// differ only in the coarsening scheme are distinct jobs in both cache
+// tiers — neither serves the other from memory, nor from disk across a
+// daemon restart.
+func TestE2ECoarsenCacheIsolation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 2, CacheDir: dir}
+
+	s1 := newTestServer(t, cfg)
+	ts1 := httptest.NewServer(s1.Handler())
+	matching := PartitionRequest{Mesh: "mrng1t", K: 8, Seed: 5}
+	cluster := PartitionRequest{Mesh: "mrng1t", K: 8, Seed: 5, Coarsen: "cluster"}
+
+	run := func(ts *httptest.Server, req PartitionRequest) PartitionResponse {
+		t.Helper()
+		resp, raw := postJSON(t, ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+		}
+		var out PartitionResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := run(ts1, matching)
+	if first.Cached {
+		t.Fatal("first matching request reported cached")
+	}
+	// Same graph and parameters, different coarsening: the memory tier
+	// already holds the matching result, and must not serve it here.
+	second := run(ts1, cluster)
+	if second.Cached {
+		t.Fatal("cluster request served from the matching request's cache entry")
+	}
+	// Sanity: each scheme replays its own entry.
+	if again := run(ts1, cluster); !again.Cached || again.Cut != second.Cut {
+		t.Fatalf("cluster rerun cached=%v cut=%d, want a cache hit of cut %d",
+			again.Cached, again.Cut, second.Cut)
+	}
+	met := fetchMetrics(t, ts1.URL)
+	for _, want := range []string{
+		`mcpartd_jobs_by_coarsen_total{scheme="matching"} 1`,
+		`mcpartd_jobs_by_coarsen_total{scheme="cluster"} 1`,
+	} {
+		if !strings.Contains(met, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Restart over the same cache dir: the disk tier must key the schemes
+	// apart too. A fresh scheme ("auto") misses both tiers; the two warm
+	// schemes hit disk with their own results.
+	s2 := newTestServer(t, cfg)
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	warmM := run(ts2, matching)
+	warmC := run(ts2, cluster)
+	if !warmM.Cached || !warmC.Cached {
+		t.Fatalf("warm hits after restart: matching cached=%v, cluster cached=%v", warmM.Cached, warmC.Cached)
+	}
+	if warmM.Cut != first.Cut || warmC.Cut != second.Cut {
+		t.Fatalf("warm cuts %d/%d, want %d/%d", warmM.Cut, warmC.Cut, first.Cut, second.Cut)
+	}
+	auto := PartitionRequest{Mesh: "mrng1t", K: 8, Seed: 5, Coarsen: "auto"}
+	if a := run(ts2, auto); a.Cached {
+		t.Fatal("auto request served from another scheme's disk entry")
+	}
+}

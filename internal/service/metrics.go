@@ -45,6 +45,7 @@ type Metrics struct {
 
 	requests map[string]int64 // HTTP responses by status code
 	jobs     map[string]int64 // finished jobs by outcome: ok|timeout|canceled|error
+	coarsen  map[string]int64 // executed partition jobs by coarsening scheme
 
 	queueRejected  int64
 	cacheHits      int64
@@ -77,6 +78,7 @@ func newMetrics() *Metrics {
 	return &Metrics{
 		requests:     make(map[string]int64),
 		jobs:         make(map[string]int64),
+		coarsen:      make(map[string]int64),
 		repartitions: make(map[string]int64),
 		stages:       make(map[string]*histogram),
 		// Gauge closures default to zero so a partially-wired registry
@@ -97,6 +99,14 @@ func (m *Metrics) countRequest(code int) {
 func (m *Metrics) countJob(outcome string) {
 	m.mu.Lock()
 	m.jobs[outcome]++
+	m.mu.Unlock()
+}
+
+// countCoarsen records one executed (not cached) partition job under the
+// coarsening scheme it asked for.
+func (m *Metrics) countCoarsen(scheme string) {
+	m.mu.Lock()
+	m.coarsen[scheme]++
 	m.mu.Unlock()
 }
 
@@ -200,6 +210,12 @@ func (m *Metrics) Render(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE mcpartd_jobs_total counter\n")
 	for _, st := range sortedKeys(m.jobs) {
 		fmt.Fprintf(w, "mcpartd_jobs_total{status=%q} %d\n", st, m.jobs[st])
+	}
+
+	fmt.Fprintf(w, "# HELP mcpartd_jobs_by_coarsen_total Executed partition jobs by coarsening scheme.\n")
+	fmt.Fprintf(w, "# TYPE mcpartd_jobs_by_coarsen_total counter\n")
+	for _, sc := range sortedKeys(m.coarsen) {
+		fmt.Fprintf(w, "mcpartd_jobs_by_coarsen_total{scheme=%q} %d\n", sc, m.coarsen[sc])
 	}
 
 	fmt.Fprintf(w, "# HELP mcpartd_queue_depth Jobs waiting in the admission queue.\n")

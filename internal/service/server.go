@@ -155,6 +155,10 @@ type PartitionRequest struct {
 	Seed   uint64  `json:"seed,omitempty"`
 	Tol    float64 `json:"tol,omitempty"`    // 0 = default 0.05
 	Scheme string  `json:"scheme,omitempty"` // reservation|slice|slice-smart|free
+	// Coarsen selects the coarsening scheme for serial jobs:
+	// matching (default), cluster (power-law graphs), or auto. Serial-only:
+	// a request naming p > 0 with a non-matching scheme is rejected.
+	Coarsen string `json:"coarsen,omitempty"`
 
 	// TimeoutMS is the per-job deadline in milliseconds, covering queue
 	// wait and execution (0 = server default, capped at the server max).
@@ -188,13 +192,14 @@ type errorResponse struct {
 
 // jobSpec is a validated, executable unit of work.
 type jobSpec struct {
-	g      *partition.Graph
-	k, p   int
-	seed   uint64
-	tol    float64
-	scheme prefine.Scheme
-	traced bool // ?trace=1: record and return a span trace
-	key    cacheKey
+	g       *partition.Graph
+	k, p    int
+	seed    uint64
+	tol     float64
+	scheme  prefine.Scheme
+	coarsen partition.CoarsenScheme
+	traced  bool // ?trace=1: record and return a span trace
+	key     cacheKey
 }
 
 // RepartInfo is the migration report of a session repartition, attached
@@ -548,6 +553,13 @@ func (s *Server) finishSpec(req *PartitionRequest, g *partition.Graph) (*jobSpec
 	if err != nil {
 		return nil, err
 	}
+	coarsenScheme, err := partition.ParseCoarsenScheme(req.Coarsen)
+	if err != nil {
+		return nil, err
+	}
+	if req.P > 0 && coarsenScheme != partition.CoarsenMatching {
+		return nil, fmt.Errorf("coarsen %q is serial-only: matching is the parallel coarsening scheme (drop \"p\" or \"coarsen\")", req.Coarsen)
+	}
 	switch req.Workload {
 	case "":
 	case "type1":
@@ -570,7 +582,7 @@ func (s *Server) finishSpec(req *PartitionRequest, g *partition.Graph) (*jobSpec
 		return nil, fmt.Errorf("p = %d exceeds vertex count %d", req.P, g.NumVertices())
 	}
 
-	spec := &jobSpec{g: g, k: req.K, p: req.P, seed: req.Seed, tol: tol, scheme: scheme}
+	spec := &jobSpec{g: g, k: req.K, p: req.P, seed: req.Seed, tol: tol, scheme: scheme, coarsen: coarsenScheme}
 	spec.key = s.cacheKeyFor(spec)
 	return spec, nil
 }
@@ -598,8 +610,8 @@ func (s *Server) cacheKeyFor(spec *jobSpec) cacheKey {
 	h := sha256.New()
 	// WriteMETIS into a hasher cannot fail.
 	_ = graph.WriteMETIS(h, spec.g)
-	fmt.Fprintf(h, "\x00k=%d m=%d p=%d seed=%d tol=%g scheme=%d",
-		spec.k, spec.g.Ncon, spec.p, spec.seed, spec.tol, spec.scheme)
+	fmt.Fprintf(h, "\x00k=%d m=%d p=%d seed=%d tol=%g scheme=%d coarsen=%d",
+		spec.k, spec.g.Ncon, spec.p, spec.seed, spec.tol, spec.scheme, spec.coarsen)
 	var k cacheKey
 	h.Sum(k[:0])
 	return k
@@ -612,6 +624,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	spec := j.work
+	s.met.countCoarsen(spec.coarsen.String())
 	var tracer *partition.Tracer
 	if spec.traced {
 		tracer = partition.NewTracer("mcpartd")
@@ -623,7 +636,7 @@ func (s *Server) runJob(j *job) {
 	)
 	if spec.p == 0 {
 		labels, _, err = partition.SerialTraced(j.ctx, spec.g, spec.k, partition.SerialOptions{
-			Seed: spec.seed, Tol: spec.tol,
+			Seed: spec.seed, Tol: spec.tol, CoarsenScheme: spec.coarsen,
 		}, tracer)
 	} else {
 		labels, _, err = partition.ParallelTraced(j.ctx, spec.g, spec.k, spec.p, partition.ParallelOptions{

@@ -15,7 +15,8 @@ import (
 // 4.0 text (not JSON), parsed incrementally off the wire in bounded chunks
 // so a multi-hundred-MiB upload never needs a contiguous in-memory copy of
 // itself on top of the parsed CSR. All partition parameters travel as
-// query parameters (?k=8&m=2&workload=type1&seed=1&tol=0.05&p=4&scheme=…).
+// query parameters (?k=8&m=2&workload=type1&seed=1&tol=0.05&p=4&scheme=…
+// &coarsen=…).
 //
 // The byte budget is enforced by the chunked reader, not by buffering: the
 // moment the body crosses MaxBodyBytes the parse stops and the client gets
@@ -70,6 +71,7 @@ func partitionParamsFromQuery(q url.Values) (*PartitionRequest, error) {
 	req := &PartitionRequest{
 		Workload: q.Get("workload"),
 		Scheme:   q.Get("scheme"),
+		Coarsen:  q.Get("coarsen"),
 	}
 	for _, f := range []struct {
 		name string

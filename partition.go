@@ -29,6 +29,7 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/coarsen"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mesh"
@@ -63,6 +64,26 @@ func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
 
 // SerialOptions configures the serial (SC'98) partitioner.
 type SerialOptions = serial.Options
+
+// CoarsenScheme selects how coarsening groups vertices: heavy-edge
+// matching (the paper default), size-constrained label-propagation
+// clustering (for power-law/social-network degree distributions), or
+// automatic selection by degree skew. Set it via
+// SerialOptions.CoarsenScheme.
+type CoarsenScheme = coarsen.Scheme
+
+// The coarsening schemes. CoarsenMatching is the zero value, so existing
+// code keeps the paper behaviour bit-identically.
+const (
+	CoarsenMatching = coarsen.SchemeMatching
+	CoarsenCluster  = coarsen.SchemeCluster
+	CoarsenAuto     = coarsen.SchemeAuto
+)
+
+// ParseCoarsenScheme parses "matching", "cluster", or "auto" (the empty
+// string means the matching default) — the spelling used by the mcpart
+// -coarsen flag and the mcpartd "coarsen" request parameter.
+func ParseCoarsenScheme(s string) (CoarsenScheme, error) { return coarsen.ParseScheme(s) }
 
 // SerialStats reports what the serial partitioner did.
 type SerialStats = serial.Stats
@@ -180,6 +201,16 @@ func Grid3D(nx, ny, nz int) *Graph { return gen.Grid3D(nx, ny, nz) }
 // Mesh3D returns an irregular 3D mesh-like graph (the mrng stand-in used
 // throughout the experiments).
 func Mesh3D(nx, ny, nz int, seed uint64) *Graph { return gen.MRNGLike(nx, ny, nz, seed) }
+
+// PowerLawGraph returns a social-network-like random graph: a Chung-Lu
+// model whose expected degrees follow a power law with the given exponent
+// (want > 2; classic value 2.5), normalized to the requested average
+// degree. Deterministic in the seed. This is the degree-skewed workload
+// class for which CoarsenCluster exists; overlay Type1Workload or
+// Type2Workload for multi-constraint problems.
+func PowerLawGraph(n int, avgDeg, exponent float64, seed uint64) *Graph {
+	return gen.PowerLaw(n, avgDeg, exponent, seed)
+}
 
 // Type1Workload overlays the paper's Type 1 multi-constraint problem on a
 // graph: 16 contiguous regions, each with one random m-component weight

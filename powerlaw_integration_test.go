@@ -1,0 +1,142 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// plawMC overlays m per-vertex random weight constraints (uniform 1..4) on
+// a graph. The Type1/Type2 overlays are region-based, and BFS-Voronoi
+// regions degenerate on hub-dominated power-law graphs (one region engulfs
+// most of the graph, so constraint totals — and with them any attainable
+// balance — collapse); independent per-vertex weights are the meaningful
+// multi-constraint workload for this graph class.
+func plawMC(g *Graph, m int, seed uint64) *Graph {
+	if m == 1 {
+		return g
+	}
+	n := g.NumVertices()
+	r := rng.New(seed)
+	vw := make([]int32, n*m)
+	for i := range vw {
+		vw[i] = int32(1 + r.Intn(4))
+	}
+	g2 := *g
+	g2.Ncon = m
+	g2.Vwgt = vw
+	return &g2
+}
+
+// TestPowerLawClusterCoarsening is the acceptance test for the cluster
+// coarsening scheme on its motivating workload: a 50k-vertex power-law
+// graph (exponent 2.5) with two balance constraints, k = 16. Heavy-edge
+// matching stalls far above the coarsest-level vertex target on the
+// hub-dominated degree distribution (hubs match once per level and strand
+// their leaves); cluster coarsening must actually reach the target, coarsen
+// at least twice as deep as matching's stall floor, stay within the
+// balance tolerance on every constraint, and not pay for it in cut.
+func TestPowerLawClusterCoarsening(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-vertex end-to-end comparison")
+	}
+	g := plawMC(PowerLawGraph(50000, 8, 2.5, 77), 2, 123)
+	const k = 16
+
+	mOpt := SerialOptions{Seed: 1, CoarsenScheme: CoarsenMatching}
+	mPart, mStats, err := Serial(g, k, mOpt)
+	if err != nil {
+		t.Fatalf("matching: %v", err)
+	}
+	cOpt := SerialOptions{Seed: 1, CoarsenScheme: CoarsenCluster}
+	cPart, cStats, err := Serial(g, k, cOpt)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Logf("matching: levels=%d coarsestN=%d cut=%d imbal=%.4f",
+		mStats.Levels, mStats.CoarsestN, mStats.EdgeCut, mStats.Imbalance)
+	t.Logf("cluster:  levels=%d coarsestN=%d cut=%d imbal=%.4f",
+		cStats.Levels, cStats.CoarsestN, cStats.EdgeCut, cStats.Imbalance)
+
+	// The default coarsen target for k=16 is 2000 vertices. Cluster must
+	// reach it; if matching somehow reaches it too, cluster must have done
+	// so in at most half the levels.
+	const target = 2000
+	if cStats.CoarsestN > target {
+		t.Errorf("cluster coarsest n = %d, want <= %d", cStats.CoarsestN, target)
+	}
+	if mStats.CoarsestN <= target && cStats.Levels > mStats.Levels/2 {
+		t.Errorf("cluster needed %d levels, want <= half of matching's %d", cStats.Levels, mStats.Levels)
+	}
+	// Whether or not matching reaches the target, cluster must coarsen at
+	// least twice as deep as matching's floor.
+	if 2*cStats.CoarsestN > mStats.CoarsestN {
+		t.Errorf("cluster coarsest n = %d, want <= half of matching's %d", cStats.CoarsestN, mStats.CoarsestN)
+	}
+	if cStats.EdgeCut > mStats.EdgeCut {
+		t.Errorf("cluster cut %d worse than matching cut %d", cStats.EdgeCut, mStats.EdgeCut)
+	}
+	// All constraints within the pipeline's restart acceptance band
+	// (tol 0.05; restarts accept up to 1+2*tol).
+	for c, im := range Imbalances(g, cPart, k) {
+		if im > 1.10 {
+			t.Errorf("cluster constraint %d imbalance %.4f exceeds 1.10", c, im)
+		}
+	}
+	_ = mPart
+
+	// Determinism: the cluster scheme is as reproducible as matching.
+	cPart2, cStats2, err := Serial(g, k, cOpt)
+	if err != nil {
+		t.Fatalf("cluster rerun: %v", err)
+	}
+	if cStats2.EdgeCut != cStats.EdgeCut {
+		t.Fatalf("cluster rerun cut %d, want %d", cStats2.EdgeCut, cStats.EdgeCut)
+	}
+	for v := range cPart {
+		if cPart[v] != cPart2[v] {
+			t.Fatalf("cluster rerun diverges at vertex %d", v)
+		}
+	}
+}
+
+// TestPowerLawAutoScheme pins SchemeAuto end to end: on the power-law
+// graph it must produce the cluster result; on a mesh, the matching
+// result.
+func TestPowerLawAutoScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end auto-scheme comparison")
+	}
+	plaw := plawMC(PowerLawGraph(20000, 8, 2.5, 5), 2, 5)
+	const k = 8
+	auto := SerialOptions{Seed: 3, CoarsenScheme: CoarsenAuto}
+	clu := SerialOptions{Seed: 3, CoarsenScheme: CoarsenCluster}
+	aPart, _, err := Serial(plaw, k, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPart, _, err := Serial(plaw, k, clu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range aPart {
+		if aPart[v] != cPart[v] {
+			t.Fatalf("auto on power-law diverges from cluster at vertex %d", v)
+		}
+	}
+
+	mesh := Type1Workload(Mesh3D(20, 20, 20, 3), 2, 9)
+	mAuto, _, err := Serial(mesh, k, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMatch, _, err := Serial(mesh, k, SerialOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range mAuto {
+		if mAuto[v] != mMatch[v] {
+			t.Fatalf("auto on mesh diverges from matching at vertex %d", v)
+		}
+	}
+}

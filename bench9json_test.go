@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// coarsenSeedBaseline holds the sequential coarsen-phase profile measured
+// at the pre-parallel seed (the committed BENCH_5.json: same meshes, seed
+// 1, k=8, matching scheme). Committed as constants so BENCH_9.json can
+// report the coarsen-phase speedup — and assert the cuts did not move —
+// without checking out the old tree.
+var coarsenSeedBaseline = map[string]struct {
+	coarsenMS float64
+	cut       int64
+}{
+	"mrng1t": {coarsenMS: 1.175581, cut: 1707},
+	"mrng2t": {coarsenMS: 5.615217, cut: 4141},
+	"mrng3t": {coarsenMS: 30.008612, cut: 10411},
+}
+
+// BenchmarkBench9 is the machine-readable harness for the parallel
+// coarsening PR: coarsen-phase wall time per worker count on the mesh tier
+// (matching kernels, vs the committed BENCH_5 sequential baseline) and the
+// 50k power-law graph under cluster coarsening (LP + cluster contraction,
+// vs this run's own workers=1 row), with the bit-identity contract
+// asserted on every row — a cut that moves with the worker count fails the
+// bench outright.
+//
+//	go test -bench=Bench9 -benchtime=1x .
+//
+// Wall times are machine-dependent — in particular, the speedup columns
+// only show parallel gains when GOMAXPROCS cores are actually available
+// (the cpus field records what this run had; on a single-core runner the
+// parallel path lands near 1x by design, since it does the same
+// algorithmic work). Cuts are deterministic and worker-invariant.
+func BenchmarkBench9(b *testing.B) {
+	type row struct {
+		Graph           string  `json:"graph"`
+		Kind            string  `json:"kind"` // mesh | powerlaw
+		Coarsen         string  `json:"coarsen"`
+		N               int     `json:"n"`
+		Edges           int     `json:"edges"`
+		M               int     `json:"m"`
+		K               int     `json:"k"`
+		Seed            uint64  `json:"seed"`
+		Workers         int     `json:"workers"` // CoarsenWorkers (1 = sequential kernels)
+		CPUs            int     `json:"cpus"`    // runtime.NumCPU() of this run
+		WallMS          float64 `json:"wall_ms"`
+		CoarsenMS       float64 `json:"coarsen_ms"`
+		Cut             int64   `json:"cut"`
+		SeedCoarsenMS   float64 `json:"seed_coarsen_ms"`
+		CoarsenSpeedupX float64 `json:"coarsen_speedup_x"`
+	}
+	const (
+		k    = 8
+		seed = 1
+	)
+	workerCounts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		workerCounts = append(workerCounts, p)
+	}
+
+	type bench struct {
+		name    string
+		kind    string
+		coarsen CoarsenScheme
+		g       *Graph
+	}
+	var cases []bench
+	for _, name := range []string{"mrng1t", "mrng2t", "mrng3t"} {
+		spec, ok := gen.MeshByName(name)
+		if !ok {
+			b.Fatalf("unknown mesh %q", name)
+		}
+		cases = append(cases, bench{name: name, kind: "mesh", coarsen: CoarsenMatching, g: spec.Build(seed*7919 + 7)})
+	}
+	cases = append(cases, bench{
+		name: "plaw50k", kind: "powerlaw", coarsen: CoarsenCluster,
+		g: plawMC(PowerLawGraph(50000, 8, 2.5, 77), 2, 123),
+	})
+
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, bc := range cases {
+			var seqCut int64
+			var seqCoarsenMS float64
+			for _, workers := range workerCounts {
+				// Best of three: phase walls on small meshes are close to
+				// scheduler-noise scale.
+				bestWall := time.Duration(1 << 62)
+				bestCoarsen := 0.0
+				var cut int64
+				for rep := 0; rep < 3; rep++ {
+					tr := NewTracer("bench9")
+					t0 := time.Now()
+					part, _, err := SerialTraced(context.Background(), bc.g, k, SerialOptions{
+						Seed: seed, Tol: 0.05, CoarsenScheme: bc.coarsen, CoarsenWorkers: workers,
+					}, tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wall := time.Since(t0)
+					if wall < bestWall {
+						bestWall = wall
+						bestCoarsen = tr.PhaseSeconds()["coarsen"] * 1000
+					}
+					cut = EdgeCut(bc.g, part)
+				}
+				if base, ok := coarsenSeedBaseline[bc.name]; ok && cut != base.cut {
+					b.Fatalf("%s workers=%d: cut %d != BENCH_5 seed cut %d — parallel coarsening broke bit-identity",
+						bc.name, workers, cut, base.cut)
+				}
+				if workers == workerCounts[0] {
+					seqCut, seqCoarsenMS = cut, bestCoarsen
+				} else if cut != seqCut {
+					b.Fatalf("%s: cut %d at workers=%d != cut %d at workers=%d — worker count changed the result",
+						bc.name, cut, workers, seqCut, workerCounts[0])
+				}
+				seedMS := seqCoarsenMS // self-baseline: this run's workers=1 row
+				if base, ok := coarsenSeedBaseline[bc.name]; ok {
+					seedMS = base.coarsenMS // committed BENCH_5 sequential baseline
+				}
+				rows = append(rows, row{
+					Graph: bc.name, Kind: bc.kind, Coarsen: bc.coarsen.String(),
+					N: bc.g.NumVertices(), Edges: bc.g.NumEdges(), M: bc.g.Ncon,
+					K: k, Seed: seed, Workers: workers, CPUs: runtime.NumCPU(),
+					WallMS:          float64(bestWall.Microseconds()) / 1000,
+					CoarsenMS:       bestCoarsen,
+					Cut:             cut,
+					SeedCoarsenMS:   seedMS,
+					CoarsenSpeedupX: seedMS / bestCoarsen,
+				})
+			}
+		}
+	}
+	var coarsenMS float64
+	for _, r := range rows {
+		coarsenMS += r.CoarsenMS
+	}
+	b.ReportMetric(coarsenMS, "coarsen-ms")
+
+	out := struct {
+		GeneratedBy string `json:"generated_by"`
+		Rows        []row  `json:"rows"`
+	}{
+		GeneratedBy: "go test -bench=Bench9 -benchtime=1x .",
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_9.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

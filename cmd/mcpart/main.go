@@ -63,6 +63,7 @@ func main() {
 		tol       = flag.Float64("tol", 0.05, "load imbalance tolerance")
 		scheme    = flag.String("scheme", "reservation", "parallel refinement scheme: reservation|slice|free")
 		coarsen   = flag.String("coarsen", "matching", "coarsening scheme: matching|cluster|auto (serial only; cluster suits power-law graphs)")
+		coarsenW  = flag.Int("coarsen-workers", 0, "goroutines for the serial pipeline's coarsening kernels; 0 or 1 = sequential, any value yields identical output")
 		outFile   = flag.String("out", "", "write one subdomain label per line to this file")
 		timeout   = flag.Duration("timeout", 0, "abort partitioning after this long (0 = no limit); exits with status 3")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON trace of the run to this file (open in Perfetto)")
@@ -79,6 +80,10 @@ func main() {
 	}
 	if coarsenScheme != partition.CoarsenMatching && (*p > 0 || *repartFrom != "") {
 		fmt.Fprintf(os.Stderr, "mcpart: -coarsen %s is serial-only (matching is the parallel and repartitioning scheme)\n", *coarsen)
+		os.Exit(2)
+	}
+	if *coarsenW > 1 && (*p > 0 || *repartFrom != "") {
+		fmt.Fprintln(os.Stderr, "mcpart: -coarsen-workers is serial-only (the simulated-parallel and repartitioning pipelines have their own coarseners)")
 		os.Exit(2)
 	}
 
@@ -184,7 +189,7 @@ func main() {
 		}
 	case *p == 0:
 		var stats partition.SerialStats
-		part, stats, err = partition.SerialTraced(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol, CoarsenScheme: coarsenScheme}, tracer)
+		part, stats, err = partition.SerialTraced(ctx, g, *k, partition.SerialOptions{Seed: *seed, Tol: *tol, CoarsenScheme: coarsenScheme, CoarsenWorkers: *coarsenW}, tracer)
 		if err == nil {
 			fmt.Printf("serial: cut=%d imbalance=%.4f levels=%d coarsest=%d (coarsen %v, init %v, uncoarsen %v)\n",
 				stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN,

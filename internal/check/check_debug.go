@@ -25,6 +25,13 @@ func Coarsening(where string, fine, coarse *graph.Graph, cmap []int32) {
 	}
 }
 
+// Matching panics if match is not a valid capped matching of g.
+func Matching(where string, g *graph.Graph, match []int32, maxW int64) {
+	if err := VerifyMatching(g, match, maxW); err != nil {
+		panic("mcdebug: " + where + ": " + err.Error())
+	}
+}
+
 // ClusterCaps panics if any multi-member cluster of cmap exceeds the
 // per-constraint weight caps of the size-constrained label propagation.
 func ClusterCaps(where string, g *graph.Graph, cmap []int32, nc int, caps []int64) {

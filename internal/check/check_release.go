@@ -17,6 +17,9 @@ func Graph(where string, g *graph.Graph) {}
 // Coarsening is a no-op without the mcdebug build tag.
 func Coarsening(where string, fine, coarse *graph.Graph, cmap []int32) {}
 
+// Matching is a no-op without the mcdebug build tag.
+func Matching(where string, g *graph.Graph, match []int32, maxW int64) {}
+
 // ClusterCaps is a no-op without the mcdebug build tag.
 func ClusterCaps(where string, g *graph.Graph, cmap []int32, nc int, caps []int64) {}
 

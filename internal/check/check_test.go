@@ -120,3 +120,82 @@ func TestVerifyPartition(t *testing.T) {
 		t.Error("out-of-range label passed verification")
 	}
 }
+
+func TestVerifyMatchingAcceptsRealMatching(t *testing.T) {
+	g := testGraph(t)
+	for _, maxW := range []int64{0, 50} {
+		match := coarsen.Match(g, rng.New(4), coarsen.Options{BalancedEdge: true, MaxVertexWeight: maxW})
+		if err := check.VerifyMatching(g, match, maxW); err != nil {
+			t.Errorf("maxW=%d: real matching rejected: %v", maxW, err)
+		}
+	}
+}
+
+func TestVerifyMatchingCatches(t *testing.T) {
+	g := testGraph(t)
+	match := coarsen.Match(g, rng.New(4), coarsen.Options{BalancedEdge: true})
+	// Find a matched pair to corrupt.
+	pair := int32(-1)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if match[v] > v {
+			pair = v
+			break
+		}
+	}
+	if pair < 0 {
+		t.Fatal("matching matched nothing")
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(m []int32)
+		maxW    int64
+		wantSub string
+	}{
+		{"out-of-range", func(m []int32) { m[pair] = int32(g.NumVertices()) }, 0, "out of"},
+		{"not-involution", func(m []int32) { m[match[pair]] = match[pair] }, 0, "involution"},
+		{"non-edge", func(m []int32) {
+			// Match pair with a vertex it has no edge to: its own mate's
+			// mate chain is broken too, so fix both ends to isolate the
+			// non-edge condition. Vertex (pair+2)%n is almost surely not
+			// adjacent in a mesh; search for a genuine non-neighbor.
+			n := int32(g.NumVertices())
+			for u := int32(0); u < n; u++ {
+				if u == pair || u == match[pair] {
+					continue
+				}
+				adj, _ := g.Neighbors(pair)
+				isAdj := false
+				for _, w := range adj {
+					if w == u {
+						isAdj = true
+						break
+					}
+				}
+				if !isAdj {
+					old := m[u]
+					if old != u {
+						m[old] = old // detach u's mate cleanly
+					}
+					m[match[pair]] = match[pair]
+					m[pair], m[u] = u, pair
+					return
+				}
+			}
+		}, 0, "not an edge"},
+		{"cap-violation", func(m []int32) {}, 1, "exceeds cap"},
+	}
+	for _, tc := range cases {
+		m := make([]int32, len(match))
+		copy(m, match)
+		tc.corrupt(m)
+		err := check.VerifyMatching(g, m, tc.maxW)
+		if err == nil {
+			t.Errorf("%s: corruption not caught", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

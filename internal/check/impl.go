@@ -83,6 +83,54 @@ func VerifyCoarsening(fine, coarse *graph.Graph, cmap []int32) error {
 	return nil
 }
 
+// VerifyMatching checks that match is a valid capped matching of g: every
+// entry is a vertex id in range, the map is an involution (match[match[v]]
+// == v, with match[v] == v marking an unmatched vertex), matched pairs are
+// actual edges of g, and — when maxW is positive — every pair's combined
+// weight respects the matcher's scalar per-component cap (coarsen.Options.
+// MaxVertexWeight) in each of the Ncon constraints.
+func VerifyMatching(g *graph.Graph, match []int32, maxW int64) error {
+	n := g.NumVertices()
+	m := g.Ncon
+	if len(match) != n {
+		return fmt.Errorf("check: len(match) = %d, want %d vertices", len(match), n)
+	}
+	for v := int32(0); int(v) < n; v++ {
+		u := match[v]
+		if u < 0 || int(u) >= n {
+			return fmt.Errorf("check: match[%d] = %d out of [0,%d)", v, u, n)
+		}
+		if match[u] != v {
+			return fmt.Errorf("check: match[%d] = %d but match[%d] = %d (not an involution)", v, u, u, match[u])
+		}
+		if u == v || u < v {
+			continue // unmatched, or pair already checked from the lower id
+		}
+		adj, _ := g.Neighbors(v)
+		edge := false
+		for _, w := range adj {
+			if w == u {
+				edge = true
+				break
+			}
+		}
+		if !edge {
+			return fmt.Errorf("check: matched pair (%d,%d) is not an edge", v, u)
+		}
+		if maxW <= 0 {
+			continue
+		}
+		vw, uw := g.VertexWeight(v), g.VertexWeight(u)
+		for c := 0; c < m; c++ {
+			if int64(vw[c])+int64(uw[c]) > maxW {
+				return fmt.Errorf("check: matched pair (%d,%d) constraint %d combined weight %d exceeds cap %d",
+					v, u, c, int64(vw[c])+int64(uw[c]), maxW)
+			}
+		}
+	}
+	return nil
+}
+
 // VerifyClusterCaps checks the size-constrained label-propagation
 // invariant: under cluster map cmap (dense ids in [0, nc)), every cluster
 // with two or more members keeps its summed weight vector at or under caps

@@ -94,6 +94,14 @@ type Options struct {
 	// This is METIS's guard against coarsening collapsing too much weight
 	// into single unsplittable vertices.
 	MaxVertexWeight int64
+	// Workers bounds the goroutines running the coarsening kernels
+	// concurrently: matching candidate scans, contraction, and the LP
+	// cluster scheme's per-round scans. 0 or 1 selects the sequential
+	// kernels — byte-for-byte the pre-parallel code path. Any value
+	// produces a bit-identical hierarchy (and therefore identical
+	// partitions and service cache keys); only wall clock changes. See
+	// DESIGN.md, "Parallel coarsening contract".
+	Workers int
 	// Stop, when non-nil, is polled by BuildHierarchy at every level
 	// boundary; once it returns true the hierarchy is abandoned and
 	// BuildHierarchy returns nil. It is how context cancellation reaches
@@ -464,6 +472,18 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 	cur := g
 	// One scratch sized at the finest level serves every coarser level.
 	ws := newScratch(g.NumVertices(), g.Ncon)
+	// With Workers >= 2, one worker pool (and its per-worker scratch) also
+	// serves the whole hierarchy; levels below minParallelN drop back to
+	// the sequential kernels, which emit identical bytes.
+	var ps *pscratch
+	if opt.Workers >= 2 {
+		ps = newPscratch(opt.Workers, g.Ncon)
+		defer ps.close()
+	}
+	var lps *lp.Scratch
+	if scheme == SchemeCluster {
+		lps = lp.NewScratch()
+	}
 	for cur.NumVertices() > coarsenTo {
 		if opt.Stop != nil && opt.Stop() {
 			return nil
@@ -474,6 +494,7 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 				trace.I64("n", int64(cur.NumVertices())),
 				trace.I64("edges", int64(cur.NumEdges())))
 		}
+		usePar := ps != nil && cur.NumVertices() >= minParallelN
 		var coarse *graph.Graph
 		var cmap []int32
 		if scheme == SchemeCluster {
@@ -483,13 +504,17 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 					caps[c] = opt.MaxVertexWeight
 				}
 			}
-			var nc int
-			cmap, nc = lp.Cluster(cur, rand, lp.Options{
+			lpopt := lp.Options{
 				Rounds:           opt.LPRounds,
 				MaxClusterWeight: caps,
 				Stop:             opt.Stop,
 				Trace:            opt.Trace,
-			})
+			}
+			if usePar {
+				lpopt.Pool = ps.pool
+			}
+			var nc int
+			cmap, nc = lp.ClusterInto(cur, rand, lpopt, lps)
 			if cmap == nil { // Stop fired mid-pass
 				if opt.Trace != nil {
 					opt.Trace.End(trace.I64("aborted", 1))
@@ -502,7 +527,11 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 			if opt.Trace != nil {
 				opt.Trace.Begin("lp.contract", trace.I64("clusters", int64(nc)))
 			}
-			coarse = contractMapInto(cur, cmap, nc, ws)
+			if usePar {
+				coarse = contractMapParInto(cur, cmap, nc, ws, ps)
+			} else {
+				coarse = contractMapInto(cur, cmap, nc, ws)
+			}
 			if opt.Trace != nil {
 				opt.Trace.End()
 			}
@@ -520,8 +549,39 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 				}
 				o.MaxVertexWeight = 1 + maxTot*3/int64(2*coarsenTo)
 			}
-			match := matchInto(cur, rand, o, ws)
-			coarse, cmap = contractInto(cur, match, ws)
+			var match []int32
+			if usePar {
+				if opt.Trace != nil {
+					opt.Trace.Begin("coarsen.match",
+						trace.I64("workers", int64(opt.Workers)),
+						trace.I64("n", int64(cur.NumVertices())))
+				}
+				var chunks, rescans int
+				match, chunks, rescans = matchParInto(cur, rand, o, ws, ps)
+				if opt.Trace != nil {
+					opt.Trace.End(
+						trace.I64("chunks", int64(chunks)),
+						trace.I64("rescans", int64(rescans)))
+				}
+			} else {
+				match = matchInto(cur, rand, o, ws)
+			}
+			if check.Enabled {
+				check.Matching(fmt.Sprintf("coarsen: level %d matching", len(levels)),
+					cur, match, o.MaxVertexWeight)
+			}
+			if usePar {
+				if opt.Trace != nil {
+					opt.Trace.Begin("coarsen.contract",
+						trace.I64("workers", int64(opt.Workers)))
+				}
+				coarse, cmap = contractParInto(cur, match, ps)
+				if opt.Trace != nil {
+					opt.Trace.End(trace.I64("coarse_n", int64(coarse.NumVertices())))
+				}
+			} else {
+				coarse, cmap = contractInto(cur, match, ws)
+			}
 		}
 		if opt.Trace != nil {
 			opt.Trace.End(

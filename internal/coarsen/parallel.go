@@ -1,0 +1,499 @@
+// Shared-memory parallel coarsening kernels: propose/commit heavy-edge
+// matching and range-merged contraction. Both produce output bit-identical
+// to the sequential matchInto/contractInto/contractMapInto paths for every
+// worker count — the determinism argument is spelled out in DESIGN.md,
+// "Parallel coarsening contract" — so Options.Workers changes wall clock
+// only, never the hierarchy, the partition, or a service cache key.
+package coarsen
+
+import (
+	"repro/internal/arena"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+const (
+	// minParallelN is the level size below which BuildHierarchy stays on the
+	// sequential kernels even when Workers >= 2: the chunk barriers cost
+	// more than the scan. Safe at any value — both paths emit identical
+	// bytes — so this is purely a latency knob.
+	minParallelN = 2048
+	// chunksPerWorker fixes the matching chunk count at workers *
+	// chunksPerWorker. More chunks mean fresher snapshots (fewer commit
+	// rescans) but more barriers; 4 keeps rescans under ~1% of vertices on
+	// the bench meshes.
+	chunksPerWorker = 4
+	// linearDedupMax is the member-degree-sum bound under which contraction
+	// dedups a coarse vertex's merged adjacency by scanning its (cache-hot,
+	// contiguous) output segment instead of stamping the epoch marker.
+	// Either path emits identical bytes; the scan wins only on genuinely
+	// short segments (power-law leaves, chains), the marker everywhere else
+	// — at mesh degree sums (~26) the quadratic scan already loses.
+	linearDedupMax = 12
+)
+
+// pworker is the per-worker contraction scratch: every worker dedups into
+// its own marker/slot pair and emits into its own buffer, so the only
+// shared writes are the range-disjoint cxadj counts.
+type pworker struct {
+	marker   arena.Marker
+	slot     []int32
+	bufAdj   []int32
+	bufWgt   []int32
+	combined []int64 // Ncon-wide tie-break accumulator (propose phase)
+}
+
+func (w *pworker) growDedup(cn int) {
+	w.marker.Grow(cn)
+	if cap(w.slot) < cn {
+		w.slot = make([]int32, cn)
+	}
+}
+
+func (w *pworker) growBuf(nnz int) ([]int32, []int32) {
+	if cap(w.bufAdj) < nnz {
+		w.bufAdj = make([]int32, nnz)
+		w.bufWgt = make([]int32, nnz)
+	}
+	return w.bufAdj[:nnz], w.bufWgt[:nnz]
+}
+
+// pscratch is the hierarchy-lifetime parallel state: the worker pool and
+// the buffers shared across levels. Sized at the finest level, like the
+// sequential scratch.
+type pscratch struct {
+	pool   *par.Pool
+	prop   []int32 // proposed mate per visit-order position
+	rep    []int32 // representative fine vertex per coarse vertex
+	counts []int32 // workers+1 prefix-sum cells
+	ws     []*pworker
+	lo, hi int // current propose chunk, read by the hoisted closure
+}
+
+func newPscratch(workers, ncon int) *pscratch {
+	ps := &pscratch{
+		pool:   par.NewPool(workers),
+		counts: make([]int32, workers+1),
+		ws:     make([]*pworker, workers),
+	}
+	for i := range ps.ws {
+		ps.ws[i] = &pworker{combined: make([]int64, ncon)}
+	}
+	return ps
+}
+
+func (ps *pscratch) close() { ps.pool.Close() }
+
+func (ps *pscratch) propBuf(n int) []int32 {
+	if cap(ps.prop) < n {
+		ps.prop = make([]int32, n)
+	}
+	return ps.prop[:n]
+}
+
+func (ps *pscratch) repBuf(cn int) []int32 {
+	if cap(ps.rep) < cn {
+		ps.rep = make([]int32, cn)
+	}
+	return ps.rep[:cn]
+}
+
+// matchParInto computes the same heavy-edge matching as matchInto —
+// identical RNG draws, identical mates — with the candidate scans spread
+// over the pool. The visit order is cut into chunks; workers propose a
+// mate per vertex from a frozen snapshot of the match array, then a
+// sequential in-order commit applies the proposals. A proposal is reusable
+// at commit time exactly when its mate is still unmatched: the selection
+// rule (max edge weight, then minimum combined jaggedness under
+// BalancedEdge, then first in adjacency order) is an argmax over the
+// candidate set, and commits only ever *remove* candidates, so the argmax
+// over the shrunken set either is the proposal itself or requires the
+// rescan the commit loop performs. The returned rescans count is the
+// number of such re-derivations (deterministic, traced).
+func matchParInto(g *graph.Graph, rand *rng.RNG, opt Options, s *scratch, ps *pscratch) (match []int32, chunks, rescans int) {
+	n := g.NumVertices()
+	match = s.match[:n]
+	for i := range match {
+		match[i] = -1
+	}
+	order := s.order[:n]
+	rand.Perm(order)
+
+	prop := ps.propBuf(n)
+	workers := ps.pool.Workers()
+	chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunk < minParallelN/chunksPerWorker {
+		chunk = minParallelN / chunksPerWorker
+	}
+	// One closure for every chunk (bounds travel through ps.lo/ps.hi,
+	// mutated only between Run calls): a matching pass allocates nothing
+	// beyond the level's own buffers.
+	propose := func(w int) {
+		lo, hi := ps.lo, ps.hi
+		plo, phi := par.Span(hi-lo, workers, w)
+		proposeRange(g, opt, match, order, prop, lo+plo, lo+phi, ps.ws[w].combined)
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		chunks++
+		ps.lo, ps.hi = lo, hi
+		ps.pool.Run(propose)
+		// In-order commit: identical to the sequential scan because a
+		// surviving proposal is the argmax over a superset of the current
+		// candidates, and an invalidated one is re-derived from current
+		// state by the same rule.
+		for idx := lo; idx < hi; idx++ {
+			v := order[idx]
+			if match[v] >= 0 {
+				continue
+			}
+			best := prop[idx]
+			if best != v && match[best] >= 0 {
+				best = bestMate(g, opt, match, v, s.combined)
+				rescans++
+			}
+			if best != v {
+				match[v] = best
+				match[best] = v
+			} else {
+				match[v] = v
+			}
+		}
+	}
+	return match, chunks, rescans
+}
+
+// proposeRange fills prop[idx] for idx in [lo, hi) with the preferred mate
+// of order[idx] under the snapshot match state (-1 for already-matched
+// vertices, v itself when no candidate fits). Reads only; all writes land
+// in the caller-owned prop range.
+func proposeRange(g *graph.Graph, opt Options, match, order, prop []int32, lo, hi int, combined []int64) {
+	if g.Ncon == 1 {
+		// Single-constraint fast path: a 1-component weight vector has
+		// jaggedness 1 whatever its value, so the BalancedEdge tie-break
+		// can never replace the first maximum-weight candidate and the cap
+		// test is one 64-bit add. Same selection, ~2x less work per edge.
+		xadj, adjncy, adjwgt, vwgt := g.Xadj, g.Adjncy, g.Adjwgt, g.Vwgt
+		maxW := opt.MaxVertexWeight
+		for idx := lo; idx < hi; idx++ {
+			v := order[idx]
+			if match[v] >= 0 {
+				prop[idx] = -1
+				continue
+			}
+			vw := int64(vwgt[v])
+			best, bestW := v, int32(-1)
+			for i := int(xadj[v]); i < int(xadj[v+1]); i++ {
+				u := adjncy[i]
+				if match[u] >= 0 || u == v {
+					continue
+				}
+				w := adjwgt[i]
+				if w <= bestW {
+					continue
+				}
+				if maxW > 0 && vw+int64(vwgt[u]) > maxW {
+					continue
+				}
+				best, bestW = u, w
+			}
+			prop[idx] = best
+		}
+		return
+	}
+	for idx := lo; idx < hi; idx++ {
+		v := order[idx]
+		if match[v] >= 0 {
+			prop[idx] = -1
+			continue
+		}
+		prop[idx] = bestMate(g, opt, match, v, combined)
+	}
+}
+
+// bestMate is the sequential mate-selection rule of matchInto, factored
+// out for the propose and rescan paths: the unmatched neighbor with the
+// maximum edge weight that fits the cap, ties broken by minimum combined
+// jaggedness under BalancedEdge and then by adjacency order. Returns v
+// itself when no candidate fits.
+func bestMate(g *graph.Graph, opt Options, match []int32, v int32, combined []int64) int32 {
+	adj, wgt := g.Neighbors(v)
+	vw := g.VertexWeight(v)
+	best := int32(-1)
+	bestW := int32(-1)
+	bestJag := 0.0
+	for i, u := range adj {
+		if match[u] >= 0 || u == v {
+			continue
+		}
+		if opt.MaxVertexWeight > 0 && !fitsCap(vw, g.VertexWeight(u), opt.MaxVertexWeight) {
+			continue
+		}
+		switch {
+		case wgt[i] > bestW:
+			best, bestW = u, wgt[i]
+			if opt.BalancedEdge {
+				bestJag = combinedJaggedness(combined, vw, g.VertexWeight(u))
+			}
+		case wgt[i] == bestW && opt.BalancedEdge:
+			if j := combinedJaggedness(combined, vw, g.VertexWeight(u)); j < bestJag {
+				best, bestJag = u, j
+			}
+		}
+	}
+	if best < 0 {
+		return v
+	}
+	return best
+}
+
+// contractParInto is contractInto with every pass spread over the pool:
+// coarse ids by per-range count + prefix sum, weights and merged edges by
+// disjoint coarse-vertex ranges into per-worker buffers, final CSR by one
+// prefix sum over the shared count array and a parallel segment copy.
+// Coarse ids, member order, and adjacency emission order all match the
+// sequential pass, so the output graph is byte-identical.
+func contractParInto(g *graph.Graph, match []int32, ps *pscratch) (*graph.Graph, []int32) {
+	n := g.NumVertices()
+	m := g.Ncon
+	workers := ps.pool.Workers()
+	cmap := make([]int32, n)
+
+	// Coarse ids: count representatives per fine range, prefix-sum the
+	// counts, then number each range from its base — the same ascending
+	// assignment the sequential pass makes. rep inverts cmap on
+	// representatives so the emission pass can find each coarse vertex's
+	// members without rescanning.
+	counts := ps.counts[:workers+1]
+	ps.pool.Run(func(w int) {
+		lo, hi := par.Span(n, workers, w)
+		c := int32(0)
+		for v := lo; v < hi; v++ {
+			if match[v] >= int32(v) {
+				c++
+			}
+		}
+		counts[w+1] = c
+	})
+	counts[0] = 0
+	for w := 0; w < workers; w++ {
+		counts[w+1] += counts[w]
+	}
+	cn := counts[workers]
+	rep := ps.repBuf(int(cn))
+	ps.pool.Run(func(w int) {
+		lo, hi := par.Span(n, workers, w)
+		cv := counts[w]
+		for v := lo; v < hi; v++ {
+			if match[v] >= int32(v) {
+				cmap[v] = cv
+				rep[cv] = int32(v)
+				cv++
+			}
+		}
+	})
+	// Mates copy their representative's id. The representative has the
+	// smaller fine id, so its cmap entry was written by the (completed)
+	// previous pass, possibly by a different worker — hence the barrier.
+	ps.pool.Run(func(w int) {
+		lo, hi := par.Span(n, workers, w)
+		for v := lo; v < hi; v++ {
+			if match[v] < int32(v) {
+				cmap[v] = cmap[match[v]]
+			}
+		}
+	})
+
+	cvwgt := make([]int32, int(cn)*m)
+	cxadj := make([]int32, cn+1)
+	ps.pool.Run(func(w int) {
+		clo, chi := par.Span(int(cn), workers, w)
+		pw := ps.ws[w]
+		pw.growDedup(int(cn))
+		need := 0
+		for cv := clo; cv < chi; cv++ {
+			v := rep[cv]
+			need += g.Degree(v)
+			if u := match[v]; u != v {
+				need += g.Degree(u)
+			}
+		}
+		bufAdj, bufWgt := pw.growBuf(need)
+		cur := int32(0)
+		for cv := clo; cv < chi; cv++ {
+			v := rep[cv]
+			u := match[v]
+			degSum := g.Degree(v)
+			for c := 0; c < m; c++ {
+				cvwgt[cv*m+c] = g.Vwgt[int(v)*m+c]
+			}
+			if u != v {
+				for c := 0; c < m; c++ {
+					cvwgt[cv*m+c] += g.Vwgt[int(u)*m+c]
+				}
+				degSum += g.Degree(u)
+			}
+			start := cur
+			if degSum <= linearDedupMax {
+				cur = emitLinear(g, v, cmap, int32(cv), start, bufAdj, bufWgt, cur)
+				if u != v {
+					cur = emitLinear(g, u, cmap, int32(cv), start, bufAdj, bufWgt, cur)
+				}
+			} else {
+				pw.marker.Next()
+				cur = emitMarker(g, v, cmap, int32(cv), &pw.marker, pw.slot, bufAdj, bufWgt, cur)
+				if u != v {
+					cur = emitMarker(g, u, cmap, int32(cv), &pw.marker, pw.slot, bufAdj, bufWgt, cur)
+				}
+			}
+			cxadj[cv+1] = cur - start
+		}
+	})
+	return assembleCSR(ps, m, int(cn), cvwgt, cxadj), cmap
+}
+
+// contractMapParInto is contractMapInto (many-to-one cluster contraction)
+// with the weight and emission passes spread over coarse-vertex ranges.
+// The counting sort that groups members stays sequential: it is O(n) with
+// serial dependences and a small fraction of the level.
+func contractMapParInto(g *graph.Graph, cmap []int32, nc int, s *scratch, ps *pscratch) *graph.Graph {
+	n := g.NumVertices()
+	m := g.Ncon
+	workers := ps.pool.Workers()
+
+	if cap(s.head) < nc+1 {
+		s.head = make([]int32, nc+1)
+	}
+	head := s.head[:nc+1]
+	for i := range head {
+		head[i] = 0
+	}
+	for _, cv := range cmap {
+		head[cv+1]++
+	}
+	for i := 0; i < nc; i++ {
+		head[i+1] += head[i]
+	}
+	members := s.match[:n]
+	cursor := s.order[:nc]
+	copy(cursor, head[:nc])
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		members[cursor[cv]] = int32(v)
+		cursor[cv]++
+	}
+
+	cvwgt := make([]int32, nc*m)
+	cxadj := make([]int32, nc+1)
+	ps.pool.Run(func(w int) {
+		clo, chi := par.Span(nc, workers, w)
+		pw := ps.ws[w]
+		pw.growDedup(nc)
+		need := 0
+		for i := head[clo]; i < head[chi]; i++ {
+			need += g.Degree(members[i])
+		}
+		bufAdj, bufWgt := pw.growBuf(need)
+		cur := int32(0)
+		for cv := clo; cv < chi; cv++ {
+			degSum := 0
+			for i := head[cv]; i < head[cv+1]; i++ {
+				v := members[i]
+				degSum += g.Degree(v)
+				for c := 0; c < m; c++ {
+					cvwgt[cv*m+c] += g.Vwgt[int(v)*m+c]
+				}
+			}
+			start := cur
+			if degSum <= linearDedupMax {
+				for i := head[cv]; i < head[cv+1]; i++ {
+					cur = emitLinear(g, members[i], cmap, int32(cv), start, bufAdj, bufWgt, cur)
+				}
+			} else {
+				pw.marker.Next()
+				for i := head[cv]; i < head[cv+1]; i++ {
+					cur = emitMarker(g, members[i], cmap, int32(cv), &pw.marker, pw.slot, bufAdj, bufWgt, cur)
+				}
+			}
+			cxadj[cv+1] = cur - start
+		}
+	})
+	return assembleCSR(ps, m, nc, cvwgt, cxadj)
+}
+
+// emitLinear appends/merges fine vertex v's edges into coarse vertex cv's
+// adjacency at buf[cur:], deduplicating by scanning the contiguous output
+// segment written for cv since start. Same first-occurrence order and
+// weight sums as fillEdges' marker dedup; the scan of a short, cache-hot
+// segment beats the marker's random stamp/slot traffic on low-degree mesh
+// vertices. The caller bounds the segment by linearDedupMax.
+func emitLinear(g *graph.Graph, v int32, cmap []int32, cv int32, start int32, bufAdj, bufWgt []int32, cur int32) int32 {
+	xadj, adjncy, adjwgt := g.Xadj, g.Adjncy, g.Adjwgt
+	for i := int(xadj[v]); i < int(xadj[v+1]); i++ {
+		cu := cmap[adjncy[i]]
+		if cu == cv {
+			continue
+		}
+		w := adjwgt[i]
+		j := start
+		for ; j < cur; j++ {
+			if bufAdj[j] == cu {
+				bufWgt[j] += w
+				break
+			}
+		}
+		if j == cur {
+			bufAdj[cur] = cu
+			bufWgt[cur] = w
+			cur++
+		}
+	}
+	return cur
+}
+
+// emitMarker is fillEdges on the per-worker marker/slot pair: the caller
+// bumps the generation once per coarse vertex, all of whose members then
+// share it, exactly like the sequential pass.
+func emitMarker(g *graph.Graph, v int32, cmap []int32, cv int32, mk *arena.Marker, slot, bufAdj, bufWgt []int32, cur int32) int32 {
+	xadj, adjncy, adjwgt := g.Xadj, g.Adjncy, g.Adjwgt
+	for i := int(xadj[v]); i < int(xadj[v+1]); i++ {
+		cu := cmap[adjncy[i]]
+		if cu == cv {
+			continue
+		}
+		if mk.TryMark(cu) {
+			slot[cu] = cur
+			bufAdj[cur] = cu
+			bufWgt[cur] = adjwgt[i]
+			cur++
+		} else {
+			bufWgt[slot[cu]] += adjwgt[i]
+		}
+	}
+	return cur
+}
+
+// assembleCSR turns the per-coarse-vertex counts in cxadj (written
+// range-disjointly by the workers) into offsets by one sequential prefix
+// sum, then copies each worker's contiguous emission buffer into place in
+// parallel.
+func assembleCSR(ps *pscratch, m, cn int, cvwgt, cxadj []int32) *graph.Graph {
+	workers := ps.pool.Workers()
+	for cv := 0; cv < cn; cv++ {
+		cxadj[cv+1] += cxadj[cv]
+	}
+	cadjncy := make([]int32, cxadj[cn])
+	cadjwgt := make([]int32, cxadj[cn])
+	ps.pool.Run(func(w int) {
+		clo, chi := par.Span(cn, workers, w)
+		base := cxadj[clo]
+		length := cxadj[chi] - base
+		copy(cadjncy[base:base+length], ps.ws[w].bufAdj[:length])
+		copy(cadjwgt[base:base+length], ps.ws[w].bufWgt[:length])
+	})
+	return &graph.Graph{Ncon: m, Xadj: cxadj, Adjncy: cadjncy, Adjwgt: cadjwgt, Vwgt: cvwgt}
+}

@@ -22,11 +22,29 @@
 // single-constraint KaHIP formulation: a move must fit the cap in *every*
 // weight component, mirroring how the SC'98 matching cap keeps the coarsest
 // graph balanceable per constraint.
+//
+// With Options.Pool, each round's candidate scans run on the pool under
+// the propose/commit discipline of DESIGN.md's "Parallel coarsening
+// contract": workers score every vertex of a chunk against a frozen
+// label/weight snapshot, then a sequential in-order commit applies each
+// proposal after checking that nothing it depended on changed within the
+// chunk, re-deriving the few that were invalidated. The decision is an
+// argmax over the eligible neighboring clusters, so a proposal stays valid
+// exactly when (1) no committed move changed a neighbor's label — tracked
+// eagerly: each move flags its still-pending neighbors, costing O(deg)
+// per *move* rather than O(deg) per vertex — (2) the proposed cluster
+// still has cap room, an O(ncon) recheck, and (3) no cap-rejected
+// candidate that outranked the proposal could have gained room — the
+// propose scan flags such proposals, and a flagged one is only re-derived
+// when a neighboring cluster actually lost a member within the chunk,
+// since nothing else opens cap room. The clustering is bit-identical for
+// every worker count.
 package lp
 
 import (
 	"repro/internal/arena"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -36,6 +54,14 @@ import (
 // happens in the first two rounds — and a small fixed count keeps the
 // level cost linear and the determinism contract simple.
 const DefaultRounds = 5
+
+// lpChunkDiv sizes the propose/commit chunks of a parallel round:
+// n/(workers*lpChunkDiv), floored at lpMinChunk. Smaller chunks mean
+// fresher snapshots (fewer commit rescans) but more barriers.
+const (
+	lpChunkDiv = 4
+	lpMinChunk = 512
+)
 
 // Options controls one clustering pass.
 type Options struct {
@@ -51,11 +77,163 @@ type Options struct {
 	// two or more members never exceed the cap (the mcdebug invariant
 	// check.ClusterCaps).
 	MaxClusterWeight []int64
+	// Pool, when non-nil with two or more workers, runs each round's
+	// candidate scans on the pool with the propose/commit discipline. The
+	// clustering is bit-identical to the sequential pass for every worker
+	// count; nil (or a 1-worker pool) selects the sequential rounds.
+	Pool *par.Pool
 	// Stop, when non-nil, is polled once per round; once it returns true
 	// Cluster abandons the pass and returns (nil, 0).
 	Stop func() bool
-	// Trace, when non-nil, records one "lp.round" span per executed round.
+	// Trace, when non-nil, records one "lp.round" span per executed round
+	// (with a rescans attribute under Pool).
 	Trace *trace.Rank
+}
+
+// candBuf is one scan context: the epoch marker, the per-cluster slot
+// index, and the candidate accumulation arrays of a single goroutine.
+// The sequential rounds use one; parallel rounds use one per worker plus
+// one for commit-time rescans.
+type candBuf struct {
+	marker arena.Marker
+	slot   []int32
+	lab    []int32
+	w      []int64
+}
+
+// decide returns the cluster v should join given the current label/cw
+// state: the neighboring cluster with the greatest connecting edge weight
+// among those with cap room, ties toward the lowest label, staying put
+// (label[v]) unless strictly better. This is the one decision rule of the
+// pass; sequential rounds, parallel proposals, and commit rescans all call
+// it, which is what makes them bit-identical by construction.
+func (cb *candBuf) decide(g *graph.Graph, label []int32, cw []int64, caps []int64, m int, v int32) int32 {
+	a := label[v]
+	adj, wgt := g.Neighbors(v)
+	if len(adj) == 0 {
+		return a
+	}
+	if cap(cb.lab) < len(adj) {
+		cb.lab = make([]int32, 0, len(adj))
+		cb.w = make([]int64, 0, len(adj))
+	}
+	candLab := cb.lab[:0]
+	candW := cb.w[:0]
+	// Accumulate the connecting weight per neighboring cluster with the
+	// epoch marker (one generation per scanned vertex, no clearing).
+	cb.marker.Next()
+	for i, u := range adj {
+		lu := label[u]
+		if cb.marker.TryMark(lu) {
+			cb.slot[lu] = int32(len(candLab))
+			candLab = append(candLab, lu)
+			candW = append(candW, int64(wgt[i]))
+		} else {
+			candW[cb.slot[lu]] += int64(wgt[i])
+		}
+	}
+	cb.lab, cb.w = candLab, candW
+	// Staying put is the baseline: the weight connecting v to its own
+	// cluster (zero if no neighbor shares it).
+	best, bestW := a, int64(0)
+	if cb.marker.Marked(a) {
+		bestW = candW[cb.slot[a]]
+	}
+	vw := g.VertexWeight(v)
+	for j, lab := range candLab {
+		if lab == a {
+			continue
+		}
+		w := candW[j]
+		if (w > bestW || (w == bestW && lab < best)) && fitsCluster(cw, lab, vw, caps, m) {
+			best, bestW = lab, w
+		}
+	}
+	return best
+}
+
+// decideProp is decide for the parallel propose phase: alongside the
+// chosen cluster it reports whether any candidate was rejected for cap
+// room yet outranks the choice — the one case where a later cluster-weight
+// decrease could change the decision, so the commit must re-derive it. The
+// decision itself is an argmax over the eligible candidates (eligibility
+// is per-candidate, independent of scan state), which is what makes the
+// single highest-ranked rejected candidate a sufficient summary.
+func (cb *candBuf) decideProp(g *graph.Graph, label []int32, cw []int64, caps []int64, m int, v int32) (best int32, capSensitive bool) {
+	a := label[v]
+	adj, wgt := g.Neighbors(v)
+	if len(adj) == 0 {
+		return a, false
+	}
+	if cap(cb.lab) < len(adj) {
+		cb.lab = make([]int32, 0, len(adj))
+		cb.w = make([]int64, 0, len(adj))
+	}
+	candLab := cb.lab[:0]
+	candW := cb.w[:0]
+	cb.marker.Next()
+	for i, u := range adj {
+		lu := label[u]
+		if cb.marker.TryMark(lu) {
+			cb.slot[lu] = int32(len(candLab))
+			candLab = append(candLab, lu)
+			candW = append(candW, int64(wgt[i]))
+		} else {
+			candW[cb.slot[lu]] += int64(wgt[i])
+		}
+	}
+	cb.lab, cb.w = candLab, candW
+	bestW := int64(0)
+	best = a
+	if cb.marker.Marked(a) {
+		bestW = candW[cb.slot[a]]
+	}
+	vw := g.VertexWeight(v)
+	rejLab, rejW := int32(-1), int64(-1)
+	for j, lab := range candLab {
+		if lab == a {
+			continue
+		}
+		w := candW[j]
+		if w > bestW || (w == bestW && lab < best) {
+			if fitsCluster(cw, lab, vw, caps, m) {
+				best, bestW = lab, w
+			} else if w > rejW || (w == rejW && lab < rejLab) {
+				rejLab, rejW = lab, w
+			}
+		}
+	}
+	// A rejected candidate recorded before later winners may no longer
+	// outrank the final choice; compare against it once at the end.
+	capSensitive = rejLab >= 0 && (rejW > bestW || (rejW == bestW && rejLab < best))
+	return best, capSensitive
+}
+
+// Scratch pools every buffer one clustering pass needs — labels, cluster
+// weights, visit order, candidate scan state, and (under Options.Pool) the
+// per-worker scan contexts and proposal array — in one arena whose
+// grow-only slabs are carved afresh per call. One Scratch serves a whole
+// coarsening hierarchy: after the finest level sizes the slabs, ClusterInto
+// allocates nothing but the returned cmap (the committed alloc-budget
+// test). Single-goroutine, like the arena it wraps.
+type Scratch struct {
+	a        arena.Arena
+	seq      candBuf
+	pws      []*candBuf
+	invalMk  arena.Marker // commit slots whose proposal a committed move invalidated
+	shrunkMk arena.Marker // clusters that lost a member within the current chunk
+	pos      []int32      // vertex -> commit slot within the current chunk
+	lo, hi   int          // current propose chunk, read by the hoisted closure
+}
+
+// NewScratch returns an empty Scratch, sized on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// prepare carves the call-lifetime slot array and grows the marker.
+func (cb *candBuf) prepare(a *arena.Arena, n int) {
+	cb.marker.Grow(n)
+	//mcvet:ignore arenapair — cb is owned by the same Scratch as the arena; ClusterInto re-carves every candBuf right after the one Reset, so the field never outlives its slab
+	cb.slot = a.I32(n)
 }
 
 // Cluster computes a size-constrained label-propagation clustering of g.
@@ -64,6 +242,13 @@ type Options struct {
 // nc. Cluster ids are assigned in order of first appearance by ascending
 // vertex id, so the id space itself is deterministic.
 func Cluster(g *graph.Graph, rand *rng.RNG, opt Options) ([]int32, int) {
+	return ClusterInto(g, rand, opt, NewScratch())
+}
+
+// ClusterInto is Cluster drawing every work buffer from s, which may be
+// reused across calls (one Scratch per hierarchy); only the returned cmap
+// is freshly allocated.
+func ClusterInto(g *graph.Graph, rand *rng.RNG, opt Options, s *Scratch) ([]int32, int) {
 	n := g.NumVertices()
 	m := g.Ncon
 	rounds := opt.Rounds
@@ -71,30 +256,65 @@ func Cluster(g *graph.Graph, rand *rng.RNG, opt Options) ([]int32, int) {
 		rounds = DefaultRounds
 	}
 	caps := opt.MaxClusterWeight
+	pool := opt.Pool
+	if pool != nil && pool.Workers() < 2 {
+		pool = nil
+	}
 
+	s.a.Reset()
 	// label[v] is v's current cluster, named by an arbitrary vertex id;
 	// cw[label*m+c] is the cluster's summed weight per constraint.
-	label := make([]int32, n)
-	cw := make([]int64, n*m)
+	label := s.a.I32(n)
+	cw := s.a.I64(n * m)
+	cnt := s.a.I32(n) // member count per cluster label
+	order := s.a.I32(n)
+	s.seq.prepare(&s.a, n)
+	var prop []int32
+	var propose func(w int)
+	if pool != nil {
+		prop = s.a.I32(n)
+		workers := pool.Workers()
+		for len(s.pws) < workers {
+			s.pws = append(s.pws, &candBuf{})
+		}
+		pws := s.pws[:workers]
+		for _, cb := range pws {
+			cb.prepare(&s.a, n)
+		}
+		s.invalMk.Grow(n)
+		s.shrunkMk.Grow(n)
+		//mcvet:ignore arenapair — s.pos lives in the same Scratch as the arena and is re-carved here after the one Reset per call, so it never outlives its slab
+		s.pos = s.a.I32(n)
+		// One closure for the whole pass (chunk bounds travel through
+		// s.lo/s.hi, mutated only between Run calls): warm parallel rounds
+		// allocate nothing. A cap-sensitive proposal is stored bitwise
+		// complemented, so the commit's rescan test is a sign check.
+		pos := s.pos
+		propose = func(w int) {
+			lo, hi := s.lo, s.hi
+			plo, phi := par.Span(hi-lo, workers, w)
+			cb := pws[w]
+			for idx := lo + plo; idx < lo+phi; idx++ {
+				v := order[idx]
+				// Each worker also fills its span of the vertex -> commit
+				// slot map (order is a permutation, so writes are disjoint).
+				pos[v] = int32(idx)
+				best, capSens := cb.decideProp(g, label, cw, caps, m, v)
+				if capSens {
+					best = ^best
+				}
+				prop[idx] = best
+			}
+		}
+	}
+
 	for v := 0; v < n; v++ {
 		label[v] = int32(v)
+		cnt[v] = 1
 		for c := 0; c < m; c++ {
 			cw[v*m+c] = int64(g.Vwgt[v*m+c])
 		}
 	}
-
-	cnt := make([]int32, n) // member count per cluster label
-	for i := range cnt {
-		cnt[i] = 1
-	}
-
-	order := make([]int32, n)
-	var marker arena.Marker
-	marker.Grow(n)
-	slot := make([]int32, n)
-	// Per-vertex candidate buffers, sized to the maximum degree on demand.
-	var candLab []int32
-	var candW []int64
 
 	for round := 0; round < rounds; round++ {
 		if opt.Stop != nil && opt.Stop() {
@@ -104,61 +324,23 @@ func Cluster(g *graph.Graph, rand *rng.RNG, opt Options) ([]int32, int) {
 			opt.Trace.Begin("lp.round", trace.I64("round", int64(round)), trace.I64("n", int64(n)))
 		}
 		rand.Perm(order)
-		moves := 0
-		for _, v := range order {
-			adj, wgt := g.Neighbors(v)
-			if len(adj) == 0 {
-				continue
-			}
-			if cap(candLab) < len(adj) {
-				candLab = make([]int32, 0, len(adj))
-				candW = make([]int64, 0, len(adj))
-			}
-			candLab = candLab[:0]
-			candW = candW[:0]
-			// Accumulate the connecting weight per neighboring cluster with
-			// the epoch marker (one generation per vertex, no clearing).
-			marker.Next()
-			for i, u := range adj {
-				lu := label[u]
-				if marker.TryMark(lu) {
-					slot[lu] = int32(len(candLab))
-					candLab = append(candLab, lu)
-					candW = append(candW, int64(wgt[i]))
-				} else {
-					candW[slot[lu]] += int64(wgt[i])
+		moves, rescans := 0, 0
+		if pool == nil {
+			for _, v := range order {
+				if best := s.seq.decide(g, label, cw, caps, m, v); best != label[v] {
+					applyMove(g, label, cw, cnt, v, best, m)
+					moves++
 				}
 			}
-			a := label[v]
-			// Staying put is the baseline: the weight connecting v to its
-			// own cluster (zero if no neighbor shares it).
-			best, bestW := a, int64(0)
-			if marker.Marked(a) {
-				bestW = candW[slot[a]]
-			}
-			vw := g.VertexWeight(v)
-			for j, lab := range candLab {
-				if lab == a {
-					continue
-				}
-				w := candW[j]
-				if (w > bestW || (w == bestW && lab < best)) && fitsCluster(cw, lab, vw, caps, m) {
-					best, bestW = lab, w
-				}
-			}
-			if best != a {
-				for c := 0; c < m; c++ {
-					cw[int(a)*m+c] -= int64(vw[c])
-					cw[int(best)*m+c] += int64(vw[c])
-				}
-				cnt[a]--
-				cnt[best]++
-				label[v] = best
-				moves++
-			}
+		} else {
+			moves, rescans = s.parallelRound(g, pool, propose, label, cw, cnt, caps, m, order, prop)
 		}
 		if opt.Trace != nil {
-			opt.Trace.End(trace.I64("moves", int64(moves)))
+			if pool != nil {
+				opt.Trace.End(trace.I64("moves", int64(moves)), trace.I64("rescans", int64(rescans)))
+			} else {
+				opt.Trace.End(trace.I64("moves", int64(moves)))
+			}
 		}
 		if moves == 0 {
 			break
@@ -222,7 +404,9 @@ func Cluster(g *graph.Graph, rand *rng.RNG, opt Options) ([]int32, int) {
 	}
 
 	// Renumber the surviving labels densely, in order of first appearance
-	// by ascending vertex id. slot is reused as the label -> dense-id map.
+	// by ascending vertex id. The scan slot array is reused as the
+	// label -> dense-id map.
+	slot := s.seq.slot
 	for i := range slot {
 		slot[i] = -1
 	}
@@ -237,6 +421,101 @@ func Cluster(g *graph.Graph, rand *rng.RNG, opt Options) ([]int32, int) {
 		cmap[v] = slot[l]
 	}
 	return cmap, int(nc)
+}
+
+// parallelRound runs one propagation round on the pool: propose in
+// parallel from a frozen snapshot, commit sequentially in visit order. A
+// proposal is applied as-is unless (a) a committed move changed one of the
+// vertex's neighbor labels — each move flags the commit slots of its
+// still-pending neighbors through pos, so the cost is O(deg) per move, not
+// O(deg) per vertex — (b) the propose scan flagged it cap-sensitive (a
+// cap-rejected candidate outranked it) AND a neighboring cluster lost a
+// member within the chunk (the only event that can open cap room), or (c)
+// the chosen cluster no longer fits, an O(ncon) recheck. In those cases
+// the decision is re-derived from current state (counted in rescans);
+// otherwise the snapshot decision provably equals the sequential one, see
+// DESIGN.md. Decisions therefore match the sequential round vertex for
+// vertex, and so does the move count that drives early exit.
+func (s *Scratch) parallelRound(g *graph.Graph, pool *par.Pool, propose func(w int), label []int32, cw []int64, cnt []int32, caps []int64, m int, order, prop []int32) (moves, rescans int) {
+	n := len(order)
+	workers := pool.Workers()
+	chunk := (n + workers*lpChunkDiv - 1) / (workers * lpChunkDiv)
+	if chunk < lpMinChunk {
+		chunk = lpMinChunk
+	}
+	pos := s.pos
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		s.lo, s.hi = lo, hi
+		// The propose workers also fill pos for the chunk; entries from
+		// earlier chunks or rounds go stale rather than being cleared — the
+		// order[j] == u identity check below rejects them.
+		pool.Run(propose)
+		s.invalMk.Next()
+		s.shrunkMk.Next()
+		shrunk := 0  // departures this chunk; 0 = cap-sensitivity cannot matter
+		flagged := 0 // slots invalidated this chunk; 0 = skip the marker read
+		for idx := lo; idx < hi; idx++ {
+			v := order[idx]
+			a := label[v]
+			best := prop[idx]
+			stale := flagged > 0 && s.invalMk.Marked(int32(idx))
+			if best < 0 && !stale {
+				// Cap-sensitive: valid unless a neighboring cluster shed a
+				// member since the snapshot (in saturated power-law rounds
+				// departures are rare, so this almost never rescans).
+				best = ^best
+				if shrunk > 0 {
+					adj, _ := g.Neighbors(v)
+					for _, u := range adj {
+						if s.shrunkMk.Marked(label[u]) {
+							stale = true
+							break
+						}
+					}
+				}
+			}
+			if stale {
+				best = s.seq.decide(g, label, cw, caps, m, v)
+				rescans++
+			} else if best != a && !fitsCluster(cw, best, g.VertexWeight(v), caps, m) {
+				best = s.seq.decide(g, label, cw, caps, m, v)
+				rescans++
+			}
+			if best != a {
+				applyMove(g, label, cw, cnt, v, best, m)
+				moves++
+				s.shrunkMk.TryMark(a)
+				shrunk++
+				adj, _ := g.Neighbors(v)
+				for _, u := range adj {
+					if j := pos[u]; int(j) > idx && int(j) < hi && order[j] == u {
+						if s.invalMk.TryMark(j) {
+							flagged++
+						}
+					}
+				}
+			}
+		}
+	}
+	return moves, rescans
+}
+
+// applyMove reassigns v from its current cluster to dst, shifting its
+// weight vector and the member counts.
+func applyMove(g *graph.Graph, label []int32, cw []int64, cnt []int32, v, dst int32, m int) {
+	a := label[v]
+	vw := g.VertexWeight(v)
+	for c := 0; c < m; c++ {
+		cw[int(a)*m+c] -= int64(vw[c])
+		cw[int(dst)*m+c] += int64(vw[c])
+	}
+	cnt[a]--
+	cnt[dst]++
+	label[v] = dst
 }
 
 // moveSingleton reassigns stranded singleton v (label v) to cluster dst,

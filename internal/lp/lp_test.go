@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -151,5 +152,73 @@ func TestClusterStop(t *testing.T) {
 	cmap, nc := Cluster(g, rng.New(1), Options{Stop: func() bool { return true }})
 	if cmap != nil || nc != 0 {
 		t.Errorf("Stop ignored: cmap=%v nc=%d", cmap != nil, nc)
+	}
+}
+
+// TestClusterIntoAllocBudget pins the Scratch pooling contract: once a
+// Scratch has been warmed by one call of the largest size, further
+// ClusterInto calls allocate nothing but the returned cmap — the arena
+// slabs, the markers, and the candidate buffers are all reused. The same
+// contract backs BuildHierarchy's one-Scratch-per-hierarchy reuse, where
+// the finest level warms the slabs for every coarser one. Budget 2: the
+// cmap and the occasional size-class rounding of its make.
+func TestClusterIntoAllocBudget(t *testing.T) {
+	g := gen.PowerLaw(20000, 8, 2.5, 3)
+	caps := []int64{1 + g.TotalVertexWeight()[0]/64}
+	s := NewScratch()
+	opt := Options{MaxClusterWeight: caps}
+	ClusterInto(g, rng.New(7), opt, s) // warm the pooled buffers
+
+	const budget = 2.0
+	got := testing.AllocsPerRun(5, func() {
+		ClusterInto(g, rng.New(7), opt, s)
+	})
+	t.Logf("warm ClusterInto (n=%d): %.0f allocs/op (budget %.0f)", g.NumVertices(), got, budget)
+	if got > budget {
+		t.Errorf("clustering allocations regressed: %.0f/op exceeds the committed budget of %.0f", got, budget)
+	}
+}
+
+// TestClusterIntoParallelAllocBudget is the same pin for the parallel
+// rounds: the per-worker candidate buffers and the proposal array come out
+// of the same Scratch, so a warm parallel call is as allocation-free as a
+// sequential one.
+func TestClusterIntoParallelAllocBudget(t *testing.T) {
+	g := gen.PowerLaw(20000, 8, 2.5, 3)
+	caps := []int64{1 + g.TotalVertexWeight()[0]/64}
+	pool := par.NewPool(4)
+	defer pool.Close()
+	s := NewScratch()
+	opt := Options{MaxClusterWeight: caps, Pool: pool}
+	ClusterInto(g, rng.New(7), opt, s)
+
+	const budget = 2.0
+	got := testing.AllocsPerRun(5, func() {
+		ClusterInto(g, rng.New(7), opt, s)
+	})
+	t.Logf("warm parallel ClusterInto (n=%d, workers=4): %.0f allocs/op (budget %.0f)", g.NumVertices(), got, budget)
+	if got > budget {
+		t.Errorf("parallel clustering allocations regressed: %.0f/op exceeds the committed budget of %.0f", got, budget)
+	}
+}
+
+// TestClusterWrapperMatchesClusterInto pins that the Cluster convenience
+// wrapper and an explicitly pooled ClusterInto agree bit for bit.
+func TestClusterWrapperMatchesClusterInto(t *testing.T) {
+	g := gen.PowerLaw(5000, 8, 2.5, 21)
+	caps := []int64{1 + g.TotalVertexWeight()[0]/32}
+	opt := Options{MaxClusterWeight: caps}
+	wantCmap, wantNC := Cluster(g, rng.New(3), opt)
+	s := NewScratch()
+	for i := 0; i < 3; i++ { // reuse across calls must not leak state
+		gotCmap, gotNC := ClusterInto(g, rng.New(3), opt, s)
+		if gotNC != wantNC {
+			t.Fatalf("call %d: nc = %d, want %d", i, gotNC, wantNC)
+		}
+		for v := range gotCmap {
+			if gotCmap[v] != wantCmap[v] {
+				t.Fatalf("call %d: cmap[%d] = %d, want %d", i, v, gotCmap[v], wantCmap[v])
+			}
+		}
 	}
 }

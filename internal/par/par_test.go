@@ -1,0 +1,100 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSpanCoversDisjointly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 7, 64, 1000, 1001} {
+		for _, workers := range []int{1, 2, 3, 4, 8, 13} {
+			seen := make([]int, n)
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Span(n, workers, w)
+				if lo != prevHi {
+					t.Fatalf("Span(%d,%d,%d) = [%d,%d): not contiguous with previous hi %d", n, workers, w, lo, hi, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("Span(%d,%d,%d) = [%d,%d): negative length", n, workers, w, lo, hi)
+				}
+				if hi-lo > n/workers+1 {
+					t.Fatalf("Span(%d,%d,%d) length %d, want at most %d", n, workers, w, hi-lo, n/workers+1)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("Span(%d,%d,·) covers [0,%d), want [0,%d)", n, workers, prevHi, n)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolRunsEveryWorker(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers)
+		hits := make([]atomic.Int32, workers)
+		for round := 0; round < 50; round++ {
+			p.Run(func(w int) {
+				hits[w].Add(1)
+			})
+		}
+		p.Close()
+		for w := range hits {
+			if got := hits[w].Load(); got != 50 {
+				t.Fatalf("workers=%d: worker %d ran %d times, want 50", workers, w, got)
+			}
+		}
+	}
+}
+
+func TestPoolRangeSum(t *testing.T) {
+	const n = 100000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		sums := make([]int64, workers)
+		p.Run(func(w int) {
+			lo, hi := Span(n, workers, w)
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			sums[w] = s
+		})
+		p.Close()
+		var total int64
+		for _, s := range sums {
+			total += s
+		}
+		if want := int64(n) * (n - 1) / 2; total != want {
+			t.Fatalf("workers=%d: sum %d, want %d", workers, total, want)
+		}
+	}
+}
+
+func TestNewPoolClampsToOne(t *testing.T) {
+	for _, w := range []int{-3, 0, 1} {
+		p := NewPool(w)
+		if p.Workers() != 1 {
+			t.Fatalf("NewPool(%d).Workers() = %d, want 1", w, p.Workers())
+		}
+		ran := false
+		p.Run(func(int) { ran = true })
+		if !ran {
+			t.Fatal("1-worker pool did not run the task")
+		}
+		p.Close()
+	}
+}

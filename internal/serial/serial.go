@@ -56,6 +56,12 @@ type Options struct {
 	// releases), size-constrained label-propagation clustering, or auto
 	// (sniff the finest graph's degree skew). See coarsen.Scheme.
 	CoarsenScheme coarsen.Scheme
+	// CoarsenWorkers sets the shared-memory worker count for the coarsening
+	// kernels (matching, contraction, LP clustering). 0 or 1 selects the
+	// sequential kernels; any value >= 2 runs them on that many goroutines
+	// with a bit-identical result (see coarsen.Options.Workers and
+	// DESIGN.md, "Parallel coarsening contract").
+	CoarsenWorkers int
 }
 
 func (o Options) withDefaults(k int) Options {
@@ -173,6 +179,7 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *
 		Scheme:       opt.CoarsenScheme,
 		Tol:          opt.Tol,
 		BalancedEdge: !opt.NoBalancedEdge,
+		Workers:      opt.CoarsenWorkers,
 		Stop:         stop,
 		Trace:        rk,
 	})

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestE2ECoarsenWorkersCacheCompatible pins the worker-invariance contract
+// at the service boundary: Config.CoarsenWorkers is a server-wide tuning
+// knob that never enters the cache key, because it cannot change a result
+// — the parallel coarsening kernels are bit-identical to the sequential
+// ones. Concretely: a result computed by a sequential daemon must be
+// served, with identical labels, as a *warm disk hit* by a parallel
+// daemon over the same cache directory (and vice versa), and a parallel
+// daemon's fresh computation must byte-match the sequential one's.
+func TestE2ECoarsenWorkersCacheCompatible(t *testing.T) {
+	dir := t.TempDir()
+	// mrng2t is the smallest bundled mesh above the parallel threshold
+	// (15625 vertices > minParallelN), so CoarsenWorkers=4 genuinely runs
+	// the parallel kernels for it.
+	req := PartitionRequest{Mesh: "mrng2t", K: 8, Seed: 5}
+	creq := PartitionRequest{Mesh: "mrng2t", K: 8, Seed: 5, Coarsen: "cluster"}
+
+	run := func(ts *httptest.Server, req PartitionRequest) PartitionResponse {
+		t.Helper()
+		resp, raw := postJSON(t, ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+		}
+		var out PartitionResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Sequential daemon computes and persists both schemes.
+	s1 := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+	seq := run(ts1, req)
+	seqC := run(ts1, creq)
+	if seq.Cached || seqC.Cached {
+		t.Fatal("fresh sequential requests reported cached")
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Parallel daemon over the same cache dir: same key, warm hits.
+	s2 := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheDir: dir, CoarsenWorkers: 4})
+	ts2 := httptest.NewServer(s2.Handler())
+	par := run(ts2, req)
+	parC := run(ts2, creq)
+	if !par.Cached || !parC.Cached {
+		t.Fatalf("parallel daemon missed the sequential daemon's cache: matching cached=%v, cluster cached=%v",
+			par.Cached, parC.Cached)
+	}
+	ts2.Close()
+	s2.Close()
+
+	// Parallel daemon without any cache computes from scratch through the
+	// parallel kernels; labels must byte-match the sequential run's.
+	s3 := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheEntries: -1, CoarsenWorkers: 4})
+	defer s3.Close()
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	for _, tc := range []struct {
+		name string
+		req  PartitionRequest
+		want PartitionResponse
+	}{
+		{"matching", req, seq},
+		{"cluster", creq, seqC},
+	} {
+		fresh := run(ts3, tc.req)
+		if fresh.Cached {
+			t.Fatalf("%s: cache-disabled daemon reported a cache hit", tc.name)
+		}
+		if fresh.Cut != tc.want.Cut {
+			t.Errorf("%s: parallel cut %d, sequential cut %d", tc.name, fresh.Cut, tc.want.Cut)
+		}
+		if len(fresh.Labels) != len(tc.want.Labels) {
+			t.Fatalf("%s: label count %d vs %d", tc.name, len(fresh.Labels), len(tc.want.Labels))
+		}
+		for i := range fresh.Labels {
+			if fresh.Labels[i] != tc.want.Labels[i] {
+				t.Errorf("%s: labels[%d] = %d, sequential %d", tc.name, i, fresh.Labels[i], tc.want.Labels[i])
+				break
+			}
+		}
+	}
+}

@@ -82,6 +82,14 @@ type Config struct {
 	// MaxBatchJobs caps the number of jobs one POST /v1/batch may carry
 	// (default 64).
 	MaxBatchJobs int
+
+	// CoarsenWorkers sets the shared-memory worker count for the
+	// coarsening kernels of every serial job (0 or 1 = sequential). It is
+	// a server-wide tuning knob, not a request field, because it cannot
+	// change any result: the coarsening is bit-identical for every worker
+	// count, which is also why it does not enter the result-cache key —
+	// cached entries stay valid across restarts with a different value.
+	CoarsenWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -637,6 +645,7 @@ func (s *Server) runJob(j *job) {
 	if spec.p == 0 {
 		labels, _, err = partition.SerialTraced(j.ctx, spec.g, spec.k, partition.SerialOptions{
 			Seed: spec.seed, Tol: spec.tol, CoarsenScheme: spec.coarsen,
+			CoarsenWorkers: s.cfg.CoarsenWorkers,
 		}, tracer)
 	} else {
 		labels, _, err = partition.ParallelTraced(j.ctx, spec.g, spec.k, spec.p, partition.ParallelOptions{

@@ -1,0 +1,287 @@
+package partition
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// BENCH_FULL is the paper-scale harness: the full mrng1–mrng4 meshes
+// (258k–7.5M vertices) the Euro-Par evaluation runs on, in-process, with
+// wall clock, per-phase seconds, allocation counts, and peak RSS per row.
+// It is env-gated, not CI-smoke — a full sweep partitions 13M vertices:
+//
+//	BENCH_FULL=mrng1,mrng2,mrng3,mrng4 go test -bench=BenchFull -benchtime=1x -timeout 60m .
+//	BENCH_FULL=mrng1 go test -bench=BenchFull -benchtime=1x .   # the CI smoke row
+//
+// Peak RSS is Linux VmHWM, reset to the current RSS via /proc/self/clear_refs
+// before each row so the figure isolates one partition call (with the input
+// graph resident) from generator garbage and earlier rows. On kernels where
+// the reset is unavailable the rows still record, flagged rss_reset=false,
+// and the RSS assertions are skipped.
+//
+// Two budgets gate the run (see DESIGN.md, "Hierarchy memory budget"):
+//   - the sequential mrng1 row must stay under benchFullRSSPerVertexBudget
+//     bytes of peak RSS per vertex — the CI smoke gate for regressions.
+//   - every row must keep peak RSS under a multiple of the finest-graph
+//     CSR footprint (benchFullRSSXFinestMax sequential, ...MaxPar parallel).
+//
+// Cuts are pinned against the pre-slab allocator where measured: the
+// hierarchy memory plan must not move a single edge of the result.
+func BenchmarkBenchFull(b *testing.B) {
+	meshes := os.Getenv("BENCH_FULL")
+	if meshes == "" {
+		b.Skip("set BENCH_FULL=mrng1[,mrng2,...] (or all) to run the paper-scale harness")
+	}
+	if meshes == "all" {
+		meshes = "mrng1,mrng2,mrng3,mrng4"
+	}
+	// BENCH_FULL_WORKERS adds coarsening worker counts as a row dimension;
+	// the default exercises the sequential kernel and the parallel kernel at
+	// eight workers (whose per-worker dedup state is the only footprint that
+	// scales with the count — the staging arrays are shared).
+	workerList := []int{1, 8}
+	if ws := os.Getenv("BENCH_FULL_WORKERS"); ws != "" {
+		workerList = workerList[:0]
+		for _, f := range strings.Split(ws, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				b.Fatalf("bad BENCH_FULL_WORKERS entry %q", f)
+			}
+			workerList = append(workerList, w)
+		}
+	}
+
+	type row struct {
+		Graph           string  `json:"graph"`
+		N               int     `json:"n"`
+		Edges           int     `json:"edges"`
+		M               int     `json:"m"`
+		K               int     `json:"k"`
+		Seed            uint64  `json:"seed"`
+		Workers         int     `json:"workers"`
+		CPUs            int     `json:"cpus"`
+		WallS           float64 `json:"wall_s"`
+		CoarsenS        float64 `json:"coarsen_s"`
+		InitS           float64 `json:"init_s"`
+		RefineS         float64 `json:"refine_s"`
+		Allocs          uint64  `json:"allocs"`
+		TotalAllocMB    float64 `json:"total_alloc_mb"`
+		RSSReset        bool    `json:"rss_reset"` // VmHWM reset worked; RSS fields are per-row
+		BaseRSSBytes    int64   `json:"base_rss_bytes"`
+		PeakRSSBytes    int64   `json:"peak_rss_bytes"`
+		RSSPerVertex    float64 `json:"rss_per_vertex"`
+		FinestCSRBytes  int64   `json:"finest_csr_bytes"`
+		RSSXFinest      float64 `json:"rss_x_finest"`
+		HierPeakBytes   int64   `json:"hier_peak_bytes"`
+		HierBudgetBytes int64   `json:"hier_budget_bytes"`
+		Cut             int64   `json:"cut"`
+		Imbalance       float64 `json:"imbalance"`
+	}
+	const (
+		k    = 8
+		seed = 1
+	)
+
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, name := range strings.Split(meshes, ",") {
+			name = strings.TrimSpace(name)
+			spec, ok := gen.MeshByName(name)
+			if !ok {
+				b.Fatalf("unknown mesh %q", name)
+			}
+			for _, workers := range workerList {
+				g := spec.Build(seed*7919 + 7)
+				csr := 4 * int64(len(g.Xadj)+len(g.Adjncy)+len(g.Adjwgt)+len(g.Vwgt))
+
+				// Isolate the partition call: drop generator garbage, then reset
+				// the RSS high-water mark to the current (graph-resident) RSS.
+				reset := resetPeakRSS()
+				base := vmHWM()
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
+
+				tr := NewTracer("benchfull")
+				t0 := time.Now()
+				part, stats, err := SerialTraced(context.Background(), g, k,
+					SerialOptions{Seed: seed, Tol: 0.05, CoarsenWorkers: workers}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall := time.Since(t0)
+				runtime.ReadMemStats(&ms1)
+				peak := vmHWM()
+
+				// One cut per mesh: the coarsening kernels are bit-identical
+				// across worker counts, so every row of a mesh must agree with
+				// the pinned baseline (where measured) and with each other.
+				cut := EdgeCut(g, part)
+				if want, ok := benchFullSeedBaseline[name]; ok && cut != want {
+					b.Fatalf("%s workers=%d: cut %d != pre-slab baseline cut %d — the memory plan changed the result",
+						name, workers, cut, want)
+				}
+				ph := tr.PhaseSeconds()
+				r := row{
+					Graph: name, N: g.NumVertices(), Edges: g.NumEdges(), M: g.Ncon,
+					K: k, Seed: seed, Workers: workers, CPUs: runtime.NumCPU(),
+					WallS:           wall.Seconds(),
+					CoarsenS:        ph["coarsen"],
+					InitS:           ph["init"],
+					RefineS:         ph["refine"],
+					Allocs:          ms1.Mallocs - ms0.Mallocs,
+					TotalAllocMB:    float64(ms1.TotalAlloc-ms0.TotalAlloc) / (1 << 20),
+					RSSReset:        reset,
+					BaseRSSBytes:    base,
+					PeakRSSBytes:    peak,
+					RSSPerVertex:    float64(peak) / float64(g.NumVertices()),
+					FinestCSRBytes:  csr,
+					RSSXFinest:      float64(peak) / float64(csr),
+					HierPeakBytes:   stats.HierPeakBytes,
+					HierBudgetBytes: stats.HierBudgetBytes,
+					Cut:             cut,
+					Imbalance:       stats.Imbalance,
+				}
+				rows = append(rows, r)
+				b.Logf("%s workers=%d: n=%d wall=%.2fs peak=%.1fMB (%.0f B/vertex, %.2fx finest csr) cut=%d",
+					name, workers, r.N, r.WallS, float64(peak)/(1<<20), r.RSSPerVertex, r.RSSXFinest, cut)
+
+				if reset {
+					if name == "mrng1" && workers == 1 && r.RSSPerVertex > benchFullRSSPerVertexBudget {
+						b.Fatalf("mrng1: %.0f B/vertex peak RSS exceeds the %d B/vertex budget — memory regression",
+							r.RSSPerVertex, benchFullRSSPerVertexBudget)
+					}
+					ceiling := benchFullRSSXFinestMax
+					if workers > 1 {
+						ceiling = benchFullRSSXFinestMaxPar
+					}
+					if r.RSSXFinest > ceiling {
+						b.Fatalf("%s workers=%d: peak RSS %.2fx the finest CSR exceeds the %.2fx ceiling",
+							name, workers, r.RSSXFinest, ceiling)
+					}
+				}
+				// Release the row's graph before the next row so meshes do not
+				// stack in the high-water mark.
+				part, g = nil, nil
+				_ = part
+			}
+		}
+	}
+
+	var peakMB float64
+	for _, r := range rows {
+		if mb := float64(r.PeakRSSBytes) / (1 << 20); mb > peakMB {
+			peakMB = mb
+		}
+	}
+	b.ReportMetric(peakMB, "peak-rss-MB")
+
+	out := struct {
+		GeneratedBy string `json:"generated_by"`
+		Rows        []row  `json:"rows"`
+	}{
+		GeneratedBy: fmt.Sprintf("BENCH_FULL=%s go test -bench=BenchFull -benchtime=1x .", meshes),
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_FULL.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchFullSeedBaseline pins the paper-scale cuts measured at the pre-slab
+// allocator (this tree with the hierarchy memory plan disabled, seed 1,
+// k=8, matching scheme): the plan and the staging refactor must reproduce
+// them exactly. mrng3/mrng4 rows record their cuts in BENCH_FULL.json but
+// have no pre-slab measurement to pin against.
+var benchFullSeedBaseline = map[string]int64{
+	"mrng1": 28128,
+	"mrng2": 75004,
+}
+
+const (
+	// benchFullRSSPerVertexBudget is the mrng1 CI smoke gate: peak RSS per
+	// finest-graph vertex for one sequential k=8 partition call, input CSR
+	// and test-binary baseline included. Measured 371–384 B/vertex across
+	// mrng1–mrng4 at workers=1; the budget leaves ~12% headroom for
+	// allocator and kernel-page noise while catching any regression toward
+	// unpooled per-level allocation.
+	benchFullRSSPerVertexBudget = 430
+	// benchFullRSSXFinestMax bounds peak RSS as a multiple of the finest
+	// CSR footprint. The floor is ~2.8x — finest graph + the 1.8x retained
+	// hierarchy necessarily coexist at the end of coarsening (see DESIGN.md
+	// "Hierarchy memory budget" for why <2x is not reachable without
+	// spilling the hierarchy); measured 5.2–5.4x sequential. Parallel rows
+	// get extra room for the per-worker dedup state (measured 6.7–7.1x at
+	// 8 workers).
+	benchFullRSSXFinestMax    = 6.25
+	benchFullRSSXFinestMaxPar = 7.75
+)
+
+// vmHWM reads the process's peak resident set (bytes) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func vmHWM() int64 {
+	return readProcStatus("VmHWM:")
+}
+
+// vmRSS reads the current resident set (bytes); 0 when unavailable.
+func vmRSS() int64 {
+	return readProcStatus("VmRSS:")
+}
+
+func readProcStatus(key string) int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, key) {
+			fs := strings.Fields(line)
+			if len(fs) < 2 {
+				return 0
+			}
+			kb, err := strconv.ParseInt(fs[1], 10, 64)
+			if err != nil {
+				return 0
+			}
+			return kb * 1024
+		}
+	}
+	return 0
+}
+
+// resetPeakRSS returns freed memory to the OS and resets the kernel's RSS
+// high-water mark to the current RSS (the Linux clear_refs trick), so the
+// next vmHWM read measures only what happens after this call. Returns
+// whether the reset verifiably took effect.
+func resetPeakRSS() bool {
+	runtime.GC()
+	debug.FreeOSMemory()
+	if err := os.WriteFile("/proc/self/clear_refs", []byte("5"), 0o200); err != nil {
+		return false
+	}
+	hwm, rss := vmHWM(), vmRSS()
+	if hwm == 0 || rss == 0 {
+		return false
+	}
+	// A failed (silently ignored) reset leaves HWM at the old peak, far
+	// above the just-freed RSS.
+	return hwm < rss+rss/4+(64<<20)
+}

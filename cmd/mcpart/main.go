@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mcpart -graph mesh.graph -k 16                 # serial, file input
+//	graphgen -kind powerlaw -n 100000 | mcpart -graph - -k 16
 //	mcpart -mesh mrng2s -workload type1 -m 3 -k 32 -p 32
 //	mcpart -graph mesh.graph -k 8 -out labels.txt
 //	mcpart -mesh mrng1t -workload type1 -m 2 -k 8 -p 4 -trace out.json
@@ -16,7 +17,11 @@
 // propagation for power-law/social-network degree distributions, and auto
 // sniffs the input's degree skew and picks for you.
 //
-// The input file is in the METIS 4.0 format (see internal/graph). With
+// The input file is in the METIS 4.0 format (see internal/graph); "-"
+// reads it from stdin. Either way the body streams through a chunked
+// reader straight into the CSR builder — the same discipline as the
+// daemon's /v1/partition/stream — so a 7.5M-vertex graph is never
+// buffered whole alongside its parsed form. With
 // -mesh, a synthetic mrng-like mesh is generated instead and -workload
 // overlays a Type 1 or Type 2 multi-constraint problem on it. With
 // -trace, the run records a span trace (one track per simulated rank,
@@ -38,12 +43,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	partition "repro"
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 // exitDeadline is the exit status when -timeout fires: distinct from 1
@@ -53,7 +60,7 @@ const exitDeadline = 3
 
 func main() {
 	var (
-		graphFile = flag.String("graph", "", "input graph file (METIS format)")
+		graphFile = flag.String("graph", "", "input graph file (METIS format); \"-\" reads stdin")
 		mesh      = flag.String("mesh", "", "generate a named mesh instead (mrng1..mrng4, mrng1s.., mrng1t..)")
 		workload  = flag.String("workload", "", "overlay workload: type1|type2 (requires -mesh or -graph)")
 		m         = flag.Int("m", 1, "number of constraints for -workload")
@@ -194,6 +201,8 @@ func main() {
 			fmt.Printf("serial: cut=%d imbalance=%.4f levels=%d coarsest=%d (coarsen %v, init %v, uncoarsen %v)\n",
 				stats.EdgeCut, stats.Imbalance, stats.Levels, stats.CoarsestN,
 				stats.CoarsenTime, stats.InitTime, stats.UncoarsenTime)
+			fmt.Printf("hierarchy plan: peak %.1f MB retained of %.1f MB budget\n",
+				float64(stats.HierPeakBytes)/(1<<20), float64(stats.HierBudgetBytes)/(1<<20))
 		}
 	default:
 		var stats partition.ParallelStats
@@ -308,12 +317,22 @@ func loadGraph(file, mesh, workload string, m int, seed uint64) (*partition.Grap
 	var g *partition.Graph
 	switch {
 	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
+		var r io.Reader
+		if file == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(file)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
 		}
-		defer f.Close()
-		g, err = partition.ReadGraph(bufio.NewReader(f))
+		// Stream the body in bounded chunks (no total cap: the CLI trusts
+		// its operator; the int32 CSR guards still bound the parse) so the
+		// transport never holds the whole file alongside the CSR arrays.
+		var err error
+		g, err = partition.ReadGraph(bufio.NewReader(graph.NewChunkedReader(r, graph.DefaultChunkSize, 0)))
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ import (
 
 	partition "repro"
 	"repro/internal/gen"
+	"repro/internal/hier"
 )
 
 func main() {
@@ -64,6 +65,15 @@ func main() {
 		fmt.Printf(" %.4f", x)
 	}
 	fmt.Println()
+	// Memory: what holding and re-partitioning this graph costs. The CSR
+	// footprint is exact; the hierarchy figure is the memory plan's
+	// pre-sized budget for the retained coarse levels (hier.EstimateBytes)
+	// — the bytes/vertex a multilevel run needs on top of the input.
+	csr := int64(4 * (len(g.Xadj) + len(g.Adjncy) + len(g.Adjwgt) + len(g.Vwgt)))
+	budget := hier.EstimateBytes(g.NumVertices(), g.Ncon, len(g.Adjncy))
+	fmt.Printf("memory:               csr %.1f MB + hierarchy budget %.1f MB (%.0f B/vertex)\n",
+		float64(csr)/(1<<20), float64(budget)/(1<<20),
+		float64(csr+budget)/float64(g.NumVertices()))
 
 	// Per-subdomain table. commvol attributes each vertex's contribution
 	// to the total communication volume (the number of distinct foreign

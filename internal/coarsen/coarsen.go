@@ -17,6 +17,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/check"
 	"repro/internal/graph"
+	"repro/internal/hier"
 	"repro/internal/lp"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -102,6 +103,14 @@ type Options struct {
 	// partitions and service cache keys); only wall clock changes. See
 	// DESIGN.md, "Parallel coarsening contract".
 	Workers int
+	// Plan, when non-nil, is the hierarchy memory plan the retained
+	// per-level outputs (cmap and the coarse CSR) are carved from instead
+	// of loose per-level makes, and the handle the uncoarsening loop
+	// retires levels through. Carving changes where the bytes live, never
+	// what they hold: every kernel emits identical values either way. nil
+	// keeps the legacy allocation path (the public Contract/ContractMap
+	// entry points and pre-plan callers).
+	Plan *hier.Plan
 	// Stop, when non-nil, is polled by BuildHierarchy at every level
 	// boundary; once it returns true the hierarchy is abandoned and
 	// BuildHierarchy returns nil. It is how context cancellation reaches
@@ -146,6 +155,31 @@ func (s *scratch) edgeBuf(nnz int) ([]int32, []int32) {
 		s.bufWgt = make([]int32, nnz)
 	}
 	return s.bufAdj[:nnz], s.bufWgt[:nnz]
+}
+
+// carveCMap, carveCoarse, and carveEdges draw a level's retained arrays
+// from the hierarchy memory plan when one is active and fall back to loose
+// makes otherwise. Both sources hand back zeroed, exactly-sized memory, so
+// the kernels are oblivious to which they got.
+func carveCMap(hlv *hier.Level, n int) []int32 {
+	if hlv != nil {
+		return hlv.CMap()
+	}
+	return make([]int32, n)
+}
+
+func carveCoarse(hlv *hier.Level, cn, m int) (vwgt, xadj []int32) {
+	if hlv != nil {
+		return hlv.Coarse(cn)
+	}
+	return make([]int32, cn*m), make([]int32, cn+1)
+}
+
+func carveEdges(hlv *hier.Level, nnz int) (adjncy, adjwgt []int32) {
+	if hlv != nil {
+		return hlv.Edges(nnz)
+	}
+	return make([]int32, nnz), make([]int32, nnz)
 }
 
 // Match computes a heavy-edge matching of g. The result maps every vertex v
@@ -226,16 +260,17 @@ func combinedJaggedness(scratch []int64, a, b []int32) float64 {
 // Coarse vertex ids are assigned in fine-vertex order (the lower endpoint
 // of each matched pair names the coarse vertex).
 func Contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
-	return contractInto(g, match, newScratch(g.NumVertices(), g.Ncon))
+	return contractInto(g, match, newScratch(g.NumVertices(), g.Ncon), nil)
 }
 
-// contractInto is Contract drawing its mark/slot/next work arrays from s.
-// The returned graph and cmap are freshly allocated (they are retained in
-// the hierarchy); only the dedup scratch is pooled.
-func contractInto(g *graph.Graph, match []int32, s *scratch) (*graph.Graph, []int32) {
+// contractInto is Contract drawing its mark/slot/next work arrays from s
+// and, when hlv is non-nil, the retained outputs from the hierarchy memory
+// plan. The returned graph and cmap are retained in the hierarchy; only
+// the dedup scratch is pooled.
+func contractInto(g *graph.Graph, match []int32, s *scratch, hlv *hier.Level) (*graph.Graph, []int32) {
 	n := g.NumVertices()
 	m := g.Ncon
-	cmap := make([]int32, n)
+	cmap := carveCMap(hlv, n)
 	cn := int32(0)
 	for v := int32(0); int(v) < n; v++ {
 		if match[v] >= v { // v is the representative of its pair (or solo)
@@ -249,7 +284,7 @@ func contractInto(g *graph.Graph, match []int32, s *scratch) (*graph.Graph, []in
 		}
 	}
 
-	cvwgt := make([]int32, int(cn)*m)
+	cvwgt, cxadj := carveCoarse(hlv, int(cn), m)
 	for v := 0; v < n; v++ {
 		cv := int(cmap[v])
 		for c := 0; c < m; c++ {
@@ -266,7 +301,6 @@ func contractInto(g *graph.Graph, match []int32, s *scratch) (*graph.Graph, []in
 	s.marker.Grow(int(cn))
 	slot := s.slot[:cn]
 	bufAdj, bufWgt := s.edgeBuf(len(g.Adjncy))
-	cxadj := make([]int32, cn+1)
 	cur := int32(0)
 	for v := int32(0); int(v) < n; v++ {
 		if match[v] < v {
@@ -280,8 +314,7 @@ func contractInto(g *graph.Graph, match []int32, s *scratch) (*graph.Graph, []in
 		}
 		cxadj[cv+1] = cur
 	}
-	cadjncy := make([]int32, cur)
-	cadjwgt := make([]int32, cur)
+	cadjncy, cadjwgt := carveEdges(hlv, int(cur))
 	copy(cadjncy, bufAdj[:cur])
 	copy(cadjwgt, bufWgt[:cur])
 
@@ -319,13 +352,13 @@ func fillEdges(g *graph.Graph, v int32, cmap []int32, cv int32, mk *arena.Marker
 // Contract's matched-pair contraction is the special case where every
 // cluster has one or two members.
 func ContractMap(g *graph.Graph, cmap []int32, nc int) *graph.Graph {
-	return contractMapInto(g, cmap, nc, newScratch(g.NumVertices(), g.Ncon))
+	return contractMapInto(g, cmap, nc, newScratch(g.NumVertices(), g.Ncon), nil)
 }
 
-// contractMapInto is ContractMap drawing its work arrays from s. The
-// returned graph is freshly allocated; the member lists, cursors, and
-// dedup scratch are pooled.
-func contractMapInto(g *graph.Graph, cmap []int32, nc int, s *scratch) *graph.Graph {
+// contractMapInto is ContractMap drawing its work arrays from s and, when
+// hlv is non-nil, the retained coarse CSR from the hierarchy memory plan.
+// The member lists, cursors, and dedup scratch are pooled.
+func contractMapInto(g *graph.Graph, cmap []int32, nc int, s *scratch, hlv *hier.Level) *graph.Graph {
 	n := g.NumVertices()
 	m := g.Ncon
 
@@ -354,7 +387,7 @@ func contractMapInto(g *graph.Graph, cmap []int32, nc int, s *scratch) *graph.Gr
 		cursor[cv]++
 	}
 
-	cvwgt := make([]int32, nc*m)
+	cvwgt, cxadj := carveCoarse(hlv, nc, m)
 	for v := 0; v < n; v++ {
 		cv := int(cmap[v])
 		for c := 0; c < m; c++ {
@@ -369,7 +402,6 @@ func contractMapInto(g *graph.Graph, cmap []int32, nc int, s *scratch) *graph.Gr
 	s.marker.Grow(nc)
 	slot := s.slot[:nc]
 	bufAdj, bufWgt := s.edgeBuf(len(g.Adjncy))
-	cxadj := make([]int32, nc+1)
 	cur := int32(0)
 	for cv := int32(0); int(cv) < nc; cv++ {
 		s.marker.Next()
@@ -378,8 +410,7 @@ func contractMapInto(g *graph.Graph, cmap []int32, nc int, s *scratch) *graph.Gr
 		}
 		cxadj[cv+1] = cur
 	}
-	cadjncy := make([]int32, cur)
-	cadjwgt := make([]int32, cur)
+	cadjncy, cadjwgt := carveEdges(hlv, int(cur))
 	copy(cadjncy, bufAdj[:cur])
 	copy(cadjwgt, bufWgt[:cur])
 
@@ -497,6 +528,10 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 		usePar := ps != nil && cur.NumVertices() >= minParallelN
 		var coarse *graph.Graph
 		var cmap []int32
+		var hlv *hier.Level
+		if opt.Plan != nil {
+			hlv = opt.Plan.Begin(cur.NumVertices())
+		}
 		if scheme == SchemeCluster {
 			caps := clusterCaps(cur, coarsenTo, tol)
 			if opt.MaxVertexWeight > 0 {
@@ -527,10 +562,17 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 			if opt.Trace != nil {
 				opt.Trace.Begin("lp.contract", trace.I64("clusters", int64(nc)))
 			}
+			if hlv != nil {
+				// lp owns its returned cmap; move it into the plan's carved
+				// copy so retirement accounting covers every retained array.
+				carved := hlv.CMap()
+				copy(carved, cmap)
+				cmap = carved
+			}
 			if usePar {
-				coarse = contractMapParInto(cur, cmap, nc, ws, ps)
+				coarse = contractMapParInto(cur, cmap, nc, ws, ps, hlv)
 			} else {
-				coarse = contractMapInto(cur, cmap, nc, ws)
+				coarse = contractMapInto(cur, cmap, nc, ws, hlv)
 			}
 			if opt.Trace != nil {
 				opt.Trace.End()
@@ -575,12 +617,12 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 					opt.Trace.Begin("coarsen.contract",
 						trace.I64("workers", int64(opt.Workers)))
 				}
-				coarse, cmap = contractParInto(cur, match, ps)
+				coarse, cmap = contractParInto(cur, match, ps, hlv)
 				if opt.Trace != nil {
 					opt.Trace.End(trace.I64("coarse_n", int64(coarse.NumVertices())))
 				}
 			} else {
-				coarse, cmap = contractInto(cur, match, ws)
+				coarse, cmap = contractInto(cur, match, ws, hlv)
 			}
 		}
 		if opt.Trace != nil {
@@ -589,7 +631,12 @@ func BuildHierarchy(g *graph.Graph, coarsenTo int, rand *rng.RNG, opt Options) [
 				trace.I64("coarse_edges", int64(coarse.NumEdges())))
 		}
 		if coarse.NumVertices() > cur.NumVertices()*19/20 {
-			break // diminishing returns: stop before wasting levels
+			// Diminishing returns: stop before wasting levels. The level
+			// just carved is discarded, so release its plan region too.
+			if opt.Plan != nil {
+				opt.Plan.RetireTop()
+			}
+			break
 		}
 		levels = append(levels, Level{Graph: coarse, CMap: cmap})
 		cur = coarse

@@ -9,6 +9,7 @@ package coarsen
 import (
 	"repro/internal/arena"
 	"repro/internal/graph"
+	"repro/internal/hier"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -34,13 +35,12 @@ const (
 )
 
 // pworker is the per-worker contraction scratch: every worker dedups into
-// its own marker/slot pair and emits into its own buffer, so the only
-// shared writes are the range-disjoint cxadj counts.
+// its own marker/slot pair; merged edges go to the worker's disjoint
+// segment of the shared stage, so the only shared writes are
+// range-disjoint.
 type pworker struct {
 	marker   arena.Marker
 	slot     []int32
-	bufAdj   []int32
-	bufWgt   []int32
 	combined []int64 // Ncon-wide tie-break accumulator (propose phase)
 }
 
@@ -51,30 +51,26 @@ func (w *pworker) growDedup(cn int) {
 	}
 }
 
-func (w *pworker) growBuf(nnz int) ([]int32, []int32) {
-	if cap(w.bufAdj) < nnz {
-		w.bufAdj = make([]int32, nnz)
-		w.bufWgt = make([]int32, nnz)
-	}
-	return w.bufAdj[:nnz], w.bufWgt[:nnz]
-}
-
 // pscratch is the hierarchy-lifetime parallel state: the worker pool and
 // the buffers shared across levels. Sized at the finest level, like the
 // sequential scratch.
 type pscratch struct {
-	pool   *par.Pool
-	prop   []int32 // proposed mate per visit-order position
-	rep    []int32 // representative fine vertex per coarse vertex
-	counts []int32 // workers+1 prefix-sum cells
-	ws     []*pworker
-	lo, hi int // current propose chunk, read by the hoisted closure
+	pool     *par.Pool
+	prop     []int32 // proposed mate per visit-order position
+	rep      []int32 // representative fine vertex per coarse vertex
+	counts   []int32 // workers+1 prefix-sum cells
+	offs     []int32 // workers+1 stage offsets (contraction emission)
+	stageAdj []int32 // shared merged-edge stage, fine-nnz capacity total
+	stageWgt []int32
+	ws       []*pworker
+	lo, hi   int // current propose chunk, read by the hoisted closure
 }
 
 func newPscratch(workers, ncon int) *pscratch {
 	ps := &pscratch{
 		pool:   par.NewPool(workers),
 		counts: make([]int32, workers+1),
+		offs:   make([]int32, workers+1),
 		ws:     make([]*pworker, workers),
 	}
 	for i := range ps.ws {
@@ -84,6 +80,19 @@ func newPscratch(workers, ncon int) *pscratch {
 }
 
 func (ps *pscratch) close() { ps.pool.Close() }
+
+// growStage returns the shared emission stage with room for nnz merged
+// edges in total. Unlike the per-worker nnz-sized buffers it replaced, the
+// stage footprint is one fine level's adjacency regardless of worker count
+// (each worker owns the [offs[w], offs[w+1]) segment), so contraction
+// memory no longer scales with Options.Workers.
+func (ps *pscratch) growStage(nnz int) ([]int32, []int32) {
+	if cap(ps.stageAdj) < nnz {
+		ps.stageAdj = make([]int32, nnz)
+		ps.stageWgt = make([]int32, nnz)
+	}
+	return ps.stageAdj[:nnz], ps.stageWgt[:nnz]
+}
 
 func (ps *pscratch) propBuf(n int) []int32 {
 	if cap(ps.prop) < n {
@@ -257,11 +266,11 @@ func bestMate(g *graph.Graph, opt Options, match []int32, v int32, combined []in
 // prefix sum over the shared count array and a parallel segment copy.
 // Coarse ids, member order, and adjacency emission order all match the
 // sequential pass, so the output graph is byte-identical.
-func contractParInto(g *graph.Graph, match []int32, ps *pscratch) (*graph.Graph, []int32) {
+func contractParInto(g *graph.Graph, match []int32, ps *pscratch, hlv *hier.Level) (*graph.Graph, []int32) {
 	n := g.NumVertices()
 	m := g.Ncon
 	workers := ps.pool.Workers()
-	cmap := make([]int32, n)
+	cmap := carveCMap(hlv, n)
 
 	// Coarse ids: count representatives per fine range, prefix-sum the
 	// counts, then number each range from its base — the same ascending
@@ -308,21 +317,35 @@ func contractParInto(g *graph.Graph, match []int32, ps *pscratch) (*graph.Graph,
 		}
 	})
 
-	cvwgt := make([]int32, int(cn)*m)
-	cxadj := make([]int32, cn+1)
+	cvwgt, cxadj := carveCoarse(hlv, int(cn), m)
+	// Emission staging: one pass computes each worker's exact merged-edge
+	// capacity (the degree sum of its coarse range), a prefix sum turns the
+	// needs into disjoint offsets into the shared stage, and the emission
+	// pass writes at those offsets.
+	offs := ps.offs[:workers+1]
+	ps.pool.Run(func(w int) {
+		clo, chi := par.Span(int(cn), workers, w)
+		need := int32(0)
+		for cv := clo; cv < chi; cv++ {
+			v := rep[cv]
+			need += int32(g.Degree(v))
+			if u := match[v]; u != v {
+				need += int32(g.Degree(u))
+			}
+		}
+		offs[w+1] = need
+	})
+	offs[0] = 0
+	for w := 0; w < workers; w++ {
+		offs[w+1] += offs[w]
+	}
+	stageAdj, stageWgt := ps.growStage(int(offs[workers]))
 	ps.pool.Run(func(w int) {
 		clo, chi := par.Span(int(cn), workers, w)
 		pw := ps.ws[w]
 		pw.growDedup(int(cn))
-		need := 0
-		for cv := clo; cv < chi; cv++ {
-			v := rep[cv]
-			need += g.Degree(v)
-			if u := match[v]; u != v {
-				need += g.Degree(u)
-			}
-		}
-		bufAdj, bufWgt := pw.growBuf(need)
+		bufAdj := stageAdj[offs[w]:offs[w+1]]
+		bufWgt := stageWgt[offs[w]:offs[w+1]]
 		cur := int32(0)
 		for cv := clo; cv < chi; cv++ {
 			v := rep[cv]
@@ -353,14 +376,14 @@ func contractParInto(g *graph.Graph, match []int32, ps *pscratch) (*graph.Graph,
 			cxadj[cv+1] = cur - start
 		}
 	})
-	return assembleCSR(ps, m, int(cn), cvwgt, cxadj), cmap
+	return assembleCSR(ps, m, int(cn), cvwgt, cxadj, hlv), cmap
 }
 
 // contractMapParInto is contractMapInto (many-to-one cluster contraction)
 // with the weight and emission passes spread over coarse-vertex ranges.
 // The counting sort that groups members stays sequential: it is O(n) with
 // serial dependences and a small fraction of the level.
-func contractMapParInto(g *graph.Graph, cmap []int32, nc int, s *scratch, ps *pscratch) *graph.Graph {
+func contractMapParInto(g *graph.Graph, cmap []int32, nc int, s *scratch, ps *pscratch, hlv *hier.Level) *graph.Graph {
 	n := g.NumVertices()
 	m := g.Ncon
 	workers := ps.pool.Workers()
@@ -387,17 +410,29 @@ func contractMapParInto(g *graph.Graph, cmap []int32, nc int, s *scratch, ps *ps
 		cursor[cv]++
 	}
 
-	cvwgt := make([]int32, nc*m)
-	cxadj := make([]int32, nc+1)
+	cvwgt, cxadj := carveCoarse(hlv, nc, m)
+	// Same two-pass staging as contractParInto: exact per-worker needs,
+	// prefix sum, then emission into disjoint shared-stage segments.
+	offs := ps.offs[:workers+1]
+	ps.pool.Run(func(w int) {
+		clo, chi := par.Span(nc, workers, w)
+		need := int32(0)
+		for i := head[clo]; i < head[chi]; i++ {
+			need += int32(g.Degree(members[i]))
+		}
+		offs[w+1] = need
+	})
+	offs[0] = 0
+	for w := 0; w < workers; w++ {
+		offs[w+1] += offs[w]
+	}
+	stageAdj, stageWgt := ps.growStage(int(offs[workers]))
 	ps.pool.Run(func(w int) {
 		clo, chi := par.Span(nc, workers, w)
 		pw := ps.ws[w]
 		pw.growDedup(nc)
-		need := 0
-		for i := head[clo]; i < head[chi]; i++ {
-			need += g.Degree(members[i])
-		}
-		bufAdj, bufWgt := pw.growBuf(need)
+		bufAdj := stageAdj[offs[w]:offs[w+1]]
+		bufWgt := stageWgt[offs[w]:offs[w+1]]
 		cur := int32(0)
 		for cv := clo; cv < chi; cv++ {
 			degSum := 0
@@ -422,7 +457,7 @@ func contractMapParInto(g *graph.Graph, cmap []int32, nc int, s *scratch, ps *ps
 			cxadj[cv+1] = cur - start
 		}
 	})
-	return assembleCSR(ps, m, nc, cvwgt, cxadj)
+	return assembleCSR(ps, m, nc, cvwgt, cxadj, hlv)
 }
 
 // emitLinear appends/merges fine vertex v's edges into coarse vertex cv's
@@ -479,21 +514,21 @@ func emitMarker(g *graph.Graph, v int32, cmap []int32, cv int32, mk *arena.Marke
 
 // assembleCSR turns the per-coarse-vertex counts in cxadj (written
 // range-disjointly by the workers) into offsets by one sequential prefix
-// sum, then copies each worker's contiguous emission buffer into place in
+// sum, then copies each worker's contiguous stage segment into place in
 // parallel.
-func assembleCSR(ps *pscratch, m, cn int, cvwgt, cxadj []int32) *graph.Graph {
+func assembleCSR(ps *pscratch, m, cn int, cvwgt, cxadj []int32, hlv *hier.Level) *graph.Graph {
 	workers := ps.pool.Workers()
 	for cv := 0; cv < cn; cv++ {
 		cxadj[cv+1] += cxadj[cv]
 	}
-	cadjncy := make([]int32, cxadj[cn])
-	cadjwgt := make([]int32, cxadj[cn])
+	cadjncy, cadjwgt := carveEdges(hlv, int(cxadj[cn]))
 	ps.pool.Run(func(w int) {
 		clo, chi := par.Span(cn, workers, w)
 		base := cxadj[clo]
 		length := cxadj[chi] - base
-		copy(cadjncy[base:base+length], ps.ws[w].bufAdj[:length])
-		copy(cadjwgt[base:base+length], ps.ws[w].bufWgt[:length])
+		off := ps.offs[w]
+		copy(cadjncy[base:base+length], ps.stageAdj[off:off+length])
+		copy(cadjwgt[base:base+length], ps.stageWgt[off:off+length])
 	})
 	return &graph.Graph{Ncon: m, Xadj: cxadj, Adjncy: cadjncy, Adjwgt: cadjwgt, Vwgt: cvwgt}
 }

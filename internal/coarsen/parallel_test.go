@@ -98,7 +98,7 @@ func TestContractParMatchesSequential(t *testing.T) {
 		wantG, wantCmap := Contract(g, match)
 		for _, w := range kernelWorkerCounts {
 			ps := newPscratch(w, g.Ncon)
-			gotG, gotCmap := contractParInto(g, match, ps)
+			gotG, gotCmap := contractParInto(g, match, ps, nil)
 			if err := sliceEq("cmap", gotCmap, wantCmap); err != nil {
 				t.Errorf("%s workers=%d: %v", name, w, err)
 			}
@@ -121,7 +121,7 @@ func TestContractMapParMatchesSequential(t *testing.T) {
 		want := ContractMap(g, cmap, nc)
 		for _, w := range kernelWorkerCounts {
 			ps := newPscratch(w, g.Ncon)
-			got := contractMapParInto(g, cmap, nc, newScratch(g.NumVertices(), g.Ncon), ps)
+			got := contractMapParInto(g, cmap, nc, newScratch(g.NumVertices(), g.Ncon), ps, nil)
 			if err := graphsEqual(got, want); err != nil {
 				t.Errorf("%s workers=%d: coarse graph: %v", name, w, err)
 			}

@@ -20,8 +20,22 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
+
+// checkAdjncyLen rejects an adjacency-array length (2x the undirected edge
+// count) the int32 CSR cannot index: Xadj entries reach exactly this
+// value, so anything past MaxInt32 would wrap the prefix sums. Shared by
+// Builder.Finish (on the merged edge total) and the METIS header check (on
+// the declared edge count, before anything proportional is allocated).
+func checkAdjncyLen(entries int64) error {
+	if entries > math.MaxInt32 {
+		return fmt.Errorf("graph: %d adjacency entries (%d undirected edges) overflow int32 Xadj indexing (max %d entries)",
+			entries, entries/2, int64(math.MaxInt32))
+	}
+	return nil
+}
 
 // Graph is an undirected multi-constraint weighted graph in CSR form.
 type Graph struct {
@@ -248,6 +262,12 @@ func (b *Builder) Finish() (*Graph, error) {
 		} else {
 			merged = append(merged, e)
 		}
+	}
+
+	// The int32 CSR bound must hold on the merged total before any Xadj
+	// arithmetic: past it the prefix sums below wrap silently.
+	if err := checkAdjncyLen(2 * int64(len(merged))); err != nil {
+		return nil, err
 	}
 
 	xadj := make([]int32, b.n+1)

@@ -116,8 +116,11 @@ func ReadMETISLimited(r io.Reader, lim Limits) (*Graph, error) {
 	if n > math.MaxInt32 || int64(n)*int64(ncon) > math.MaxInt32 {
 		return nil, fmt.Errorf("graph: declared size n=%d ncon=%d exceeds int32 indexing", n, ncon)
 	}
-	if m > math.MaxInt32 {
-		return nil, fmt.Errorf("graph: declared edge count %d exceeds int32 indexing", m)
+	// Each undirected edge contributes two adjacency entries, so the int32
+	// Xadj bound is MaxInt32/2 edges — not MaxInt32, which would let the
+	// final prefix sums wrap for m in (MaxInt32/2, MaxInt32].
+	if err := checkAdjncyLen(2 * int64(m)); err != nil {
+		return nil, err
 	}
 	if lim.MaxVertices > 0 && n > lim.MaxVertices {
 		return nil, fmt.Errorf("graph: %d vertices exceeds the limit of %d", n, lim.MaxVertices)

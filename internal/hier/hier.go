@@ -1,0 +1,177 @@
+// Package hier is the hierarchy memory plan: a pre-sized budget for the
+// retained per-level outputs of coarsening (cmap and the coarse CSR) and
+// the carve/retire discipline that keeps paper-scale runs at
+// ~finest-graph + retained-hierarchy peak RSS instead of the full
+// geometric sum plus allocator churn.
+//
+// The plan is an accountant, not an allocator pool: each coarse level's
+// retained arrays are carved from at most three level-local chunks (cmap;
+// vwgt|xadj; adjncy|adjwgt), sized exactly, so when uncoarsening retires a
+// level the garbage collector can return whole chunks to the OS. A single
+// contiguous slab would pin every retired level's pages for the lifetime
+// of the run — Go's collector cannot free the interior of a live slice —
+// so the "slab budget" here is the grow-only *accounting* (budget,
+// retained, peak, over-budget) over chunked storage, which is what makes
+// retirement real.
+//
+// The budget is estimated up front from the finest level's n/ncon/nnz and
+// measured shrink factors (see DESIGN.md, "Hierarchy memory budget"): on
+// the mrng meshes the retained coarse hierarchy sums to ~1.12x the finest
+// vertex count and ~1.78x the finest edge count, and the cmap chain to
+// ~2.1x the finest vertex count. The plan records (never fails) when a
+// hierarchy outgrows the estimate, so degenerate inputs still partition.
+//
+// A Plan is not safe for concurrent use: Begin/carve/RetireTop calls all
+// happen on the coordinating goroutine (BuildHierarchy's loop and the
+// uncoarsening loop); parallel workers only write *into* carved memory.
+package hier
+
+// Measured shrink factors with headroom. The measured values (mrng1/mrng2,
+// heavy-edge matching) are 1.12x finest n for the summed coarse vertex
+// counts, 1.78x finest nnz for the summed coarse adjacency lengths, and
+// 2.12x finest n for the summed cmap lengths; the constants leave ~15-30%
+// headroom so cluster coarsening's steeper-but-wider levels and slow
+// coarsening near the stall cutoff stay in budget.
+const (
+	// shrinkN64 is the summed-coarse-n bound as a /64 fixed-point factor
+	// of the finest n (83/64 = 1.30x).
+	shrinkN64 = 83
+	// shrinkNNZ64 bounds the summed coarse adjacency lengths (128/64 = 2.0x
+	// finest nnz).
+	shrinkNNZ64 = 128
+	// shrinkCMap64 bounds the summed cmap lengths (160/64 = 2.5x finest n).
+	shrinkCMap64 = 160
+	// maxLevels pads the budget for each level's xadj[0] sentinel entry.
+	maxLevels = 64
+)
+
+// EstimateBytes returns the hierarchy memory plan's budget in bytes for a
+// finest graph with n vertices, ncon constraints per vertex, and nnz
+// adjacency entries (len(Xadj)-1, len(Vwgt)/ncon, len(Adjncy) of the CSR).
+// It covers every retained coarse-level array — cmap, vwgt, xadj, adjncy,
+// adjwgt, all int32 — under the measured shrink factors.
+func EstimateBytes(n, ncon, nnz int) int64 {
+	coarseN := int64(n) * shrinkN64 / 64
+	cmapSum := int64(n) * shrinkCMap64 / 64
+	edgeSum := int64(nnz) * shrinkNNZ64 / 64
+	words := cmapSum + coarseN*int64(ncon) + (coarseN + maxLevels) + 2*edgeSum
+	return 4 * words
+}
+
+// Plan tracks the budget and the live stack of carved levels for one
+// hierarchy. Zero value is not usable; create with NewPlan.
+type Plan struct {
+	ncon     int
+	budget   int64
+	retained int64
+	peak     int64
+	over     bool
+	live     []*Level
+	retired  int
+}
+
+// NewPlan sizes a plan from the finest level's dimensions (see
+// EstimateBytes for the parameter meanings).
+func NewPlan(n, ncon, nnz int) *Plan {
+	if ncon < 1 {
+		ncon = 1
+	}
+	return &Plan{ncon: ncon, budget: EstimateBytes(n, ncon, nnz)}
+}
+
+// Level is the carving handle for one coarse level. The three carve calls
+// — CMap, Coarse, Edges — each allocate one exactly-sized chunk; all
+// carved memory is zeroed (levels are never reused), so accumulating
+// writes (+=) need no clearing pass.
+type Level struct {
+	p     *Plan
+	fineN int
+	cmap  []int32
+	head  []int32 // vwgt | xadj
+	edges []int32 // adjncy | adjwgt
+	bytes int64
+}
+
+// Begin pushes a new live level onto the plan; fineN is the vertex count
+// of the level being contracted (the cmap length).
+func (p *Plan) Begin(fineN int) *Level {
+	l := &Level{p: p, fineN: fineN}
+	p.live = append(p.live, l)
+	return l
+}
+
+func (l *Level) account(words int) {
+	b := 4 * int64(words)
+	l.bytes += b
+	p := l.p
+	p.retained += b
+	if p.retained > p.peak {
+		p.peak = p.retained
+	}
+	if p.retained > p.budget {
+		p.over = true
+	}
+}
+
+// CMap carves the fine-vertex → coarse-vertex map (length fineN).
+func (l *Level) CMap() []int32 {
+	l.cmap = make([]int32, l.fineN)
+	l.account(l.fineN)
+	return l.cmap
+}
+
+// Coarse carves the coarse vertex-weight array (coarseN*ncon) and the
+// coarse xadj (coarseN+1), both zeroed.
+func (l *Level) Coarse(coarseN int) (vwgt, xadj []int32) {
+	m := l.p.ncon
+	l.head = make([]int32, coarseN*m+coarseN+1)
+	l.account(len(l.head))
+	return l.head[: coarseN*m : coarseN*m], l.head[coarseN*m:]
+}
+
+// Edges carves the coarse adjacency and edge-weight arrays, nnz entries
+// each, once the exact merged edge count is known.
+func (l *Level) Edges(nnz int) (adjncy, adjwgt []int32) {
+	l.edges = make([]int32, 2*nnz)
+	l.account(len(l.edges))
+	return l.edges[:nnz:nnz], l.edges[nnz:]
+}
+
+// RetireTop pops the most recently begun live level — uncoarsening
+// consumes levels coarsest-first, the reverse of carve order — dropping
+// the plan's references so the collector can return the level's chunks.
+// It returns the bytes released (0 when no level is live). The caller must
+// also drop its own references (the coarsen.Level entry) for the release
+// to be real.
+func (p *Plan) RetireTop() int64 {
+	if len(p.live) == 0 {
+		return 0
+	}
+	l := p.live[len(p.live)-1]
+	p.live[len(p.live)-1] = nil
+	p.live = p.live[:len(p.live)-1]
+	p.retained -= l.bytes
+	p.retired++
+	l.cmap, l.head, l.edges = nil, nil, nil
+	l.p = nil
+	return l.bytes
+}
+
+// Budget returns the pre-sized byte budget from NewPlan.
+func (p *Plan) Budget() int64 { return p.budget }
+
+// Retained returns the bytes currently held by live (un-retired) levels.
+func (p *Plan) Retained() int64 { return p.retained }
+
+// Peak returns the high-water mark of Retained over the plan's lifetime.
+func (p *Plan) Peak() int64 { return p.peak }
+
+// OverBudget reports whether retained bytes ever exceeded the budget. The
+// plan keeps allocating regardless — the flag is for stats and tests.
+func (p *Plan) OverBudget() bool { return p.over }
+
+// Live returns the number of carved, not-yet-retired levels.
+func (p *Plan) Live() int { return len(p.live) }
+
+// Retired returns the number of levels released by RetireTop.
+func (p *Plan) Retired() int { return p.retired }

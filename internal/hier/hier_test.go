@@ -1,0 +1,120 @@
+package hier
+
+import "testing"
+
+func TestEstimateBytesScales(t *testing.T) {
+	// The budget must cover the measured mrng shrink (1.12x n, 1.78x nnz,
+	// 2.12x n cmap) with headroom, and be linear in each dimension.
+	n, ncon, nnz := 258048, 2, 2016124
+	got := EstimateBytes(n, ncon, nnz)
+	measured := int64(4 * (2121*int64(n)/1000 + // cmap chain
+		1120*int64(n)/1000*int64(ncon) + // vwgt
+		1120*int64(n)/1000 + // xadj
+		2*1780*int64(nnz)/1000)) // adjncy+adjwgt
+	if got < measured {
+		t.Fatalf("EstimateBytes(%d,%d,%d) = %d < measured retained %d", n, ncon, nnz, got, measured)
+	}
+	if got > 2*measured {
+		t.Fatalf("EstimateBytes(%d,%d,%d) = %d: over 2x the measured retained %d (headroom too loose)", n, ncon, nnz, got, measured)
+	}
+	if double := EstimateBytes(2*n, ncon, 2*nnz); double < 2*got-4*8*maxLevels || double > 2*got+4*8*maxLevels {
+		t.Fatalf("EstimateBytes not ~linear: f(2x)=%d, 2*f(x)=%d", double, 2*got)
+	}
+}
+
+func TestCarveShapesAndZeroing(t *testing.T) {
+	p := NewPlan(100, 3, 400)
+	l := p.Begin(100)
+	cmap := l.CMap()
+	if len(cmap) != 100 {
+		t.Fatalf("CMap len = %d, want 100", len(cmap))
+	}
+	vwgt, xadj := l.Coarse(40)
+	if len(vwgt) != 40*3 || len(xadj) != 41 {
+		t.Fatalf("Coarse(40) lens = %d,%d, want 120,41", len(vwgt), len(xadj))
+	}
+	adjncy, adjwgt := l.Edges(300)
+	if len(adjncy) != 300 || len(adjwgt) != 300 {
+		t.Fatalf("Edges(300) lens = %d,%d, want 300,300", len(adjncy), len(adjwgt))
+	}
+	for _, s := range [][]int32{cmap, vwgt, xadj, adjncy, adjwgt} {
+		for i, x := range s {
+			if x != 0 {
+				t.Fatalf("carved memory not zeroed at [%d]=%d", i, x)
+			}
+		}
+	}
+	// vwgt and xadj share a chunk but must not alias: writing one end of
+	// vwgt (via append-capacity or index) cannot reach xadj.
+	vwgt[len(vwgt)-1] = 7
+	if xadj[0] != 0 {
+		t.Fatalf("vwgt write aliased xadj")
+	}
+	if cap(vwgt) != len(vwgt) {
+		t.Fatalf("vwgt cap %d != len %d: append could bleed into xadj", cap(vwgt), len(vwgt))
+	}
+	if cap(adjncy) != len(adjncy) {
+		t.Fatalf("adjncy cap %d != len %d: append could bleed into adjwgt", cap(adjncy), len(adjncy))
+	}
+}
+
+func TestAccountingAndRetirement(t *testing.T) {
+	p := NewPlan(1000, 2, 4000)
+	if p.Budget() != EstimateBytes(1000, 2, 4000) {
+		t.Fatalf("Budget = %d, want estimate %d", p.Budget(), EstimateBytes(1000, 2, 4000))
+	}
+	l1 := p.Begin(1000)
+	l1.CMap()
+	l1.Coarse(500)
+	l1.Edges(1500)
+	want1 := int64(4 * (1000 + 500*2 + 501 + 2*1500))
+	if p.Retained() != want1 || p.Peak() != want1 {
+		t.Fatalf("after level 1: retained %d peak %d, want %d", p.Retained(), p.Peak(), want1)
+	}
+	l2 := p.Begin(500)
+	l2.CMap()
+	l2.Coarse(250)
+	l2.Edges(700)
+	want2 := want1 + int64(4*(500+250*2+251+2*700))
+	if p.Retained() != want2 || p.Live() != 2 {
+		t.Fatalf("after level 2: retained %d live %d, want %d, 2", p.Retained(), p.Live(), want2)
+	}
+	// LIFO retirement: top (coarsest) pops first.
+	if rel := p.RetireTop(); rel != want2-want1 {
+		t.Fatalf("RetireTop released %d, want %d", rel, want2-want1)
+	}
+	if p.Retained() != want1 || p.Peak() != want2 || p.Retired() != 1 {
+		t.Fatalf("after retire: retained %d peak %d retired %d, want %d %d 1", p.Retained(), p.Peak(), p.Retired(), want1, want2)
+	}
+	if rel := p.RetireTop(); rel != want1 {
+		t.Fatalf("RetireTop released %d, want %d", rel, want1)
+	}
+	if p.Retained() != 0 || p.Live() != 0 {
+		t.Fatalf("after retiring all: retained %d live %d", p.Retained(), p.Live())
+	}
+	if rel := p.RetireTop(); rel != 0 {
+		t.Fatalf("RetireTop on empty plan released %d, want 0", rel)
+	}
+	if p.OverBudget() {
+		t.Fatalf("tiny hierarchy flagged over budget (budget %d, peak %d)", p.Budget(), p.Peak())
+	}
+}
+
+func TestOverBudgetRecordsNeverFails(t *testing.T) {
+	p := NewPlan(10, 1, 10) // tiny budget
+	l := p.Begin(10)
+	l.CMap()
+	// A pathological level far beyond the estimate must still carve.
+	vwgt, xadj := l.Coarse(100000)
+	if len(vwgt) != 100000 || len(xadj) != 100001 {
+		t.Fatalf("over-budget carve failed: %d %d", len(vwgt), len(xadj))
+	}
+	if !p.OverBudget() {
+		t.Fatalf("OverBudget not recorded (retained %d, budget %d)", p.Retained(), p.Budget())
+	}
+	// Retirement clears retained but the flag is sticky.
+	p.RetireTop()
+	if p.Retained() != 0 || !p.OverBudget() {
+		t.Fatalf("after retire: retained %d over %v", p.Retained(), p.OverBudget())
+	}
+}

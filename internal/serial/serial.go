@@ -21,6 +21,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/coarsen"
 	"repro/internal/graph"
+	"repro/internal/hier"
 	"repro/internal/initpart"
 	"repro/internal/kwayrefine"
 	"repro/internal/metrics"
@@ -88,6 +89,16 @@ type Stats struct {
 	CoarsenTime   time.Duration
 	InitTime      time.Duration
 	UncoarsenTime time.Duration
+	// HierBudgetBytes is the hierarchy memory plan's pre-sized byte budget
+	// for the retained coarse levels (hier.EstimateBytes of the input);
+	// HierPeakBytes is the measured high-water mark of retained bytes. The
+	// uncoarsening loop retires each coarse level after projecting its
+	// partition, so by the end every plan byte has been released.
+	HierBudgetBytes int64
+	HierPeakBytes   int64
+	// HierOverBudget records a hierarchy that outgrew the plan's estimate
+	// (degenerate coarsening); the run still completes.
+	HierOverBudget bool
 }
 
 // maxRestarts bounds the seeded retries Partition may take when a run ends
@@ -175,11 +186,13 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *
 			trace.I64("n", int64(n)),
 			trace.I64("edges", int64(g.NumEdges())))
 	}
+	plan := hier.NewPlan(n, g.Ncon, len(g.Adjncy))
 	levels := coarsen.BuildHierarchy(g, opt.CoarsenTo, rand, coarsen.Options{
 		Scheme:       opt.CoarsenScheme,
 		Tol:          opt.Tol,
 		BalancedEdge: !opt.NoBalancedEdge,
 		Workers:      opt.CoarsenWorkers,
+		Plan:         plan,
 		Stop:         stop,
 		Trace:        rk,
 	})
@@ -196,6 +209,11 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *
 	stats.Levels = len(levels)
 	coarsest := levels[len(levels)-1].Graph
 	stats.CoarsestN = coarsest.NumVertices()
+	// Carving only happens during coarsening, so the plan's budget, peak,
+	// and over-budget flag are final here; uncoarsening only releases.
+	stats.HierBudgetBytes = plan.Budget()
+	stats.HierPeakBytes = plan.Peak()
+	stats.HierOverBudget = plan.OverBudget()
 
 	if check.Enabled {
 		check.Graph("serial: input", g)
@@ -267,6 +285,12 @@ func partitionOnce(ctx context.Context, g *graph.Graph, k int, opt Options, tr *
 			fpart[v] = part[cmap[v]]
 		}
 		part = fpart
+		// This level's partition is projected; retire its coarse graph and
+		// cmap so peak RSS during uncoarsening is the finest graph plus the
+		// refiner, not the whole hierarchy. Both reference drops matter: the
+		// plan's (accounting + chunks) and the levels slice's.
+		levels[lvl] = coarsen.Level{}
+		plan.RetireTop()
 		if rk != nil {
 			rk.Begin("refine.level",
 				trace.I64("level", int64(lvl-1)),
